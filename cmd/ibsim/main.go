@@ -1,0 +1,443 @@
+// Command ibsim regenerates every table and figure of "Security
+// Enhancement in InfiniBand Architecture" (IPPS 2005) from the ibasec
+// simulator.
+//
+// Usage:
+//
+//	ibsim config                 print the Table 1 testbed parameters
+//	ibsim fig1   [-class rt|be]  queuing/latency vs number of attackers
+//	ibsim fig5   [-duty 0.01]    NoFiltering/DPT/IF/SIF delay comparison
+//	ibsim fig6   [-level qp|partition]  authentication overhead
+//	ibsim table2 [-p 4]          enforcement cost model
+//	ibsim table4 [-bytes 188]    MAC throughput & forgery probability
+//	ibsim attacks                Table 3 key-theft matrix
+//	ibsim sweep                  ablation: SIF exposure vs attack duty
+//	ibsim authrate               ablation: MAC engine speed vs link speed
+//	ibsim smdos                  ablation: management DoS against the SM
+//	ibsim scale                  ablation: DoS damage vs mesh size
+//	ibsim trace                  dump a packet-lifecycle trace
+//	ibsim all                    everything above
+//
+// Global flags (before the subcommand): -seed, -duration-ms, -quick,
+// -csv <dir> (export each experiment's rows as CSV).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"ibasec"
+)
+
+var (
+	seed       = flag.Int64("seed", 1, "simulation seed")
+	durationMS = flag.Int("duration-ms", 20, "simulated milliseconds per data point")
+	quick      = flag.Bool("quick", false, "short runs (2 ms) for smoke testing")
+	cpuGHz     = flag.Float64("cpu-ghz", 2.1, "CPU clock for table4 cycles/byte conversion")
+	csvDir     = flag.String("csv", "", "also write each experiment's rows to <dir>/<name>.csv")
+)
+
+// writeCSV dumps rows to <csvDir>/<name>.csv when -csv is set.
+func writeCSV(name string, header []string, rows [][]string) error {
+	if *csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+func itoa(v uint64) string  { return strconv.FormatUint(v, 10) }
+
+func baseConfig() ibasec.Config {
+	cfg := ibasec.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Duration = ibasec.Time(*durationMS) * ibasec.Millisecond
+	cfg.Warmup = cfg.Duration / 10
+	if *quick {
+		cfg.Duration = 2 * ibasec.Millisecond
+		cfg.Warmup = 200 * ibasec.Microsecond
+	}
+	return cfg
+}
+
+func main() {
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	args := flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "config":
+		err = runConfig()
+	case "fig1":
+		err = runFig1(args)
+	case "fig5":
+		err = runFig5(args)
+	case "fig6":
+		err = runFig6(args)
+	case "table2":
+		err = runTable2(args)
+	case "table4":
+		err = runTable4(args)
+	case "attacks":
+		err = runAttacks()
+	case "sweep":
+		err = runSweep(args)
+	case "authrate":
+		err = runAuthRate(args)
+	case "smdos":
+		err = runSMDoS(args)
+	case "scale":
+		err = runScale(args)
+	case "trace":
+		err = runTrace(args)
+	case "all":
+		err = runAll()
+	default:
+		fmt.Fprintf(os.Stderr, "ibsim: unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runConfig() error {
+	cfg := baseConfig()
+	fmt.Println("Table 1. IBA simulation testbed parameters")
+	fmt.Printf("  Physical link bandwidth      %.1f Gbps\n", cfg.Params.LinkBandwidth/1e9)
+	fmt.Printf("  Ports per switch             5 (4x4 mesh, one HCA per switch)\n")
+	fmt.Printf("  VLs per physical link        16 (VL0 best-effort, VL1 realtime, VL15 management)\n")
+	fmt.Printf("  MTU                          %d bytes\n", cfg.MsgSize)
+	fmt.Printf("  Credits per VL               %d packets\n", cfg.Params.CreditsPerVL)
+	fmt.Printf("  Switch lookup latency        %v\n", cfg.Params.SwitchLookup)
+	fmt.Printf("  Core clock cycle             %v\n", cfg.Params.ClockCycle)
+	fmt.Printf("  Partitions                   %d random groups\n", cfg.NumPartitions)
+	fmt.Printf("  Simulated time per point     %v (warmup %v)\n", cfg.Duration, cfg.Warmup)
+	return nil
+}
+
+func runFig1(args []string) error {
+	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
+	classFlag := fs.String("class", "both", "rt, be, or both")
+	attackers := fs.Int("attackers", 4, "maximum number of attackers")
+	arb := fs.String("arb", "strict", "VL arbiter: strict or weighted (ablation)")
+	fs.Parse(args)
+
+	base := baseConfig()
+	base.RealtimeLoad = 0.7
+	base.BestEffortLoad = 0.65
+	if *arb == "weighted" {
+		p := *base.Params
+		p.Arbitration = ibasec.ArbWeighted
+		p.HighPriLimit = 2
+		base.Params = &p
+	}
+
+	show := func(name string, class ibasec.Class) error {
+		rows, err := ibasec.Fig1(class, *attackers, base)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 1(%s). Average queuing time & network latency under DoS (%s traffic)\n",
+			map[ibasec.Class]string{ibasec.ClassRealtime: "a", ibasec.ClassBestEffort: "b"}[class], name)
+		fmt.Println("  attackers   queuing(us)   sd      network(us)   sd      delivered   attack-pkts")
+		var csvRows [][]string
+		for _, r := range rows {
+			fmt.Printf("  %9d   %11.2f   %-6.1f  %11.2f   %-6.1f  %9d   %d\n",
+				r.Attackers, r.QueuingUS, r.QueuingSD, r.NetworkUS, r.NetworkSD, r.Delivered, r.AttackHits)
+			csvRows = append(csvRows, []string{
+				itoa(uint64(r.Attackers)), ftoa(r.QueuingUS), ftoa(r.QueuingSD),
+				ftoa(r.NetworkUS), ftoa(r.NetworkSD), itoa(r.Delivered), itoa(r.AttackHits),
+			})
+		}
+		fmt.Println()
+		return writeCSV("fig1_"+name, []string{"attackers", "queuing_us", "queuing_sd", "network_us", "network_sd", "delivered", "attack_pkts"}, csvRows)
+	}
+	if *classFlag == "rt" || *classFlag == "both" {
+		if err := show("realtime", ibasec.ClassRealtime); err != nil {
+			return err
+		}
+	}
+	if *classFlag == "be" || *classFlag == "both" {
+		if err := show("best-effort", ibasec.ClassBestEffort); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig5(args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	duty := fs.Float64("duty", 0.01, "fraction of time the DoS attack is active")
+	fs.Parse(args)
+
+	base := baseConfig()
+	base.AttackCycle = base.Duration / 4
+	rows, err := ibasec.Fig5([]float64{0.4, 0.5, 0.6, 0.7}, *duty, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 5. Delay comparison among No Filtering, DPT, IF, SIF (4 attackers, %.0f%% duty)\n", *duty*100)
+	fmt.Println("  load   mode         queuing(us)  network(us)  total(us)  sd(q)    filtered  leaked")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("  %3.0f%%   %-11s  %11.2f  %11.2f  %9.2f  %-7.1f  %8d  %d\n",
+			r.Load*100, r.Mode, r.QueuingUS, r.NetworkUS, r.TotalUS, r.QueuingSD, r.Dropped, r.AttackHits)
+		csvRows = append(csvRows, []string{
+			ftoa(r.Load), r.Mode.String(), ftoa(r.QueuingUS), ftoa(r.NetworkUS),
+			ftoa(r.TotalUS), ftoa(r.QueuingSD), itoa(r.Dropped), itoa(r.AttackHits),
+		})
+	}
+	return writeCSV("fig5", []string{"load", "mode", "queuing_us", "network_us", "total_us", "queuing_sd", "filtered", "leaked"}, csvRows)
+}
+
+func runFig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	levelFlag := fs.String("level", "qp", "key management level: qp or partition")
+	fs.Parse(args)
+
+	level := ibasec.QPLevel
+	if *levelFlag == "partition" {
+		level = ibasec.PartitionLevel
+	}
+	base := baseConfig()
+	rows, err := ibasec.Fig6([]float64{0.4, 0.5, 0.6, 0.7}, level, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 6. Message authentication overhead with key initialization (%v keys)\n", level)
+	fmt.Println("  load   keys     queuing(us)  sd       network(us)  sd       key-exchanges  signed")
+	var csvRows [][]string
+	for _, r := range rows {
+		label := "No Key"
+		if r.WithKey {
+			label = "WithKey"
+		}
+		fmt.Printf("  %3.0f%%   %-8s %11.2f  %-7.1f  %11.2f  %-7.1f  %13d  %d\n",
+			r.Load*100, label, r.QueuingUS, r.QueuingSD, r.NetworkUS, r.NetworkSD, r.KeyExchanges, r.PacketsSigned)
+		csvRows = append(csvRows, []string{
+			ftoa(r.Load), label, ftoa(r.QueuingUS), ftoa(r.QueuingSD),
+			ftoa(r.NetworkUS), ftoa(r.NetworkSD), itoa(r.KeyExchanges), itoa(r.PacketsSigned),
+		})
+	}
+	return writeCSV("fig6", []string{"load", "keys", "queuing_us", "queuing_sd", "network_us", "network_sd", "key_exchanges", "signed"}, csvRows)
+}
+
+func runTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	p := fs.Int("p", 4, "partitions joined per node")
+	pr := fs.Float64("pr", 0.01, "Pr(n): probability a node attacks")
+	avg := fs.Float64("avg", 2, "Avg(p): mean Invalid_P_Key_Table entries")
+	fs.Parse(args)
+
+	rows := ibasec.Table2(*p, *pr, *avg)
+	fmt.Printf("Table 2. Partition enforcement overhead (n=16, s=16, p=%d, Pr=%.2f, Avg=%.1f)\n", *p, *pr, *avg)
+	fmt.Println("  mode  mem/switch  mem/all-switches  lookups/pkt(linear f)  lookups/pkt(1-cycle f)")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("  %-4s  %10.2f  %16.2f  %21.4f  %22.4f\n",
+			r.Mode, r.MemPerSwitch, r.MemAll, r.LookupLinear, r.LookupConst)
+		csvRows = append(csvRows, []string{
+			r.Mode.String(), ftoa(r.MemPerSwitch), ftoa(r.MemAll), ftoa(r.LookupLinear), ftoa(r.LookupConst),
+		})
+	}
+	return writeCSV("table2", []string{"mode", "mem_per_switch", "mem_all", "lookups_linear", "lookups_const"}, csvRows)
+}
+
+func runTable4(args []string) error {
+	fs := flag.NewFlagSet("table4", flag.ExitOnError)
+	bytes := fs.Int("bytes", 188, "message size (paper: 1500 bits)")
+	budget := fs.Duration("budget", 200*time.Millisecond, "measurement budget per algorithm")
+	fs.Parse(args)
+
+	rows := ibasec.Table4(*bytes, *budget, *cpuGHz)
+	fmt.Printf("Table 4. Time & forgery complexity (%d-byte messages, cycles at %.1f GHz)\n", *bytes, *cpuGHz)
+	fmt.Println("  algorithm   cycles/byte   Gbits/sec   forgery probability")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("  %-10s  %11.2f  %10.2f   %.3g\n", r.Name, r.CyclesByte, r.GbitsPerSec, r.ForgeryProb)
+		csvRows = append(csvRows, []string{r.Name, ftoa(r.CyclesByte), ftoa(r.GbitsPerSec), strconv.FormatFloat(r.ForgeryProb, 'g', 6, 64)})
+	}
+	return writeCSV("table4", []string{"algorithm", "cycles_per_byte", "gbits_per_sec", "forgery_prob"}, csvRows)
+}
+
+func runAttacks() error {
+	fmt.Println("Table 3. IBA key vulnerability: attacks vs plain IBA and vs ICRC-as-MAC")
+	for _, o := range ibasec.AttackMatrix(*seed) {
+		fmt.Println(" ", o)
+	}
+	return nil
+}
+
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	load := fs.Float64("load", 0.4, "best-effort input load")
+	fs.Parse(args)
+
+	base := baseConfig()
+	base.AttackCycle = base.Duration / 4
+	rows, err := ibasec.SweepDuty([]float64{0.005, 0.01, 0.05, 0.1, 0.25}, *load, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Ablation. SIF exposure vs attack duty cycle (load %.0f%%)\n", *load*100)
+	fmt.Println("  duty     queuing(us)  network(us)  filtered  leaked-to-victims")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("  %5.1f%%  %11.2f  %11.2f  %8d  %d\n",
+			r.Load*100, r.QueuingUS, r.NetworkUS, r.Dropped, r.AttackHits)
+		csvRows = append(csvRows, []string{ftoa(r.Load), ftoa(r.QueuingUS), ftoa(r.NetworkUS), itoa(r.Dropped), itoa(r.AttackHits)})
+	}
+	return writeCSV("sweep_duty", []string{"duty", "queuing_us", "network_us", "filtered", "leaked"}, csvRows)
+}
+
+func runAuthRate(args []string) error {
+	fs := flag.NewFlagSet("authrate", flag.ExitOnError)
+	load := fs.Float64("load", 0.5, "best-effort input load")
+	fs.Parse(args)
+
+	base := baseConfig()
+	rows, err := ibasec.AuthRateSweep(ibasec.PaperTable4Rates(), *load, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Section 5.2/7. Can the MAC keep up with the link? (load %.0f%%, Table 4 rates)\n", *load*100)
+	fmt.Println("  algorithm   engine(Gb/s)  queuing(us)  network(us)  delivered  bottleneck?")
+	var csvRows [][]string
+	for _, r := range rows {
+		mark := ""
+		if r.Bottleneck {
+			mark = "  <-- slower than the 2.5 Gb/s link"
+		}
+		fmt.Printf("  %-10s  %12.2f  %11.2f  %11.2f  %9d%s\n",
+			r.Name, r.RateGbps, r.QueuingUS, r.NetworkUS, r.Delivered, mark)
+		csvRows = append(csvRows, []string{r.Name, ftoa(r.RateGbps), ftoa(r.QueuingUS), ftoa(r.NetworkUS), itoa(r.Delivered)})
+	}
+	return writeCSV("authrate", []string{"algorithm", "rate_gbps", "queuing_us", "network_us", "delivered"}, csvRows)
+}
+
+func runSMDoS(args []string) error {
+	fs := flag.NewFlagSet("smdos", flag.ExitOnError)
+	fs.Parse(args)
+
+	base := baseConfig()
+	rows, err := ibasec.SMFloodSweep([]float64{0, 50e3, 200e3, 400e3, 450e3}, base)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Section 7. Management DoS: SIF registration latency vs MAD flood rate")
+	fmt.Println("  flood(MAD/s)  reg-latency mean(us)  max(us)   MADs processed   legit registrations")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("  %12.0f  %20.2f  %7.2f   %14d   %d\n",
+			r.FloodRate, r.RegLatencyUS, r.RegLatencyMax, r.TrapsReceived, r.Registrations)
+		csvRows = append(csvRows, []string{ftoa(r.FloodRate), ftoa(r.RegLatencyUS), ftoa(r.RegLatencyMax), itoa(r.TrapsReceived), itoa(r.Registrations)})
+	}
+	return writeCSV("smdos", []string{"flood_rate", "reg_latency_us", "reg_latency_max_us", "mads_processed", "registrations"}, csvRows)
+}
+
+func runScale(args []string) error {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	load := fs.Float64("load", 0.5, "best-effort input load")
+	fs.Parse(args)
+
+	base := baseConfig()
+	base.BestEffortLoad = *load
+	base.RealtimeLoad = 0
+	rows, err := ibasec.ScaleSweep([][2]int{{2, 2}, {4, 4}, {6, 6}, {8, 8}}, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Ablation. DoS damage vs fabric size (load %.0f%%, nodes/4 attackers)\n", *load*100)
+	fmt.Println("  mesh   nodes  attackers  base queue(us)  attacked queue(us)  base net(us)  attacked net(us)")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("  %dx%d    %5d  %9d  %14.2f  %18.2f  %12.2f  %15.2f\n",
+			r.W, r.H, r.Nodes, r.Attackers, r.BaseQueuingUS, r.AttackQueuingUS, r.BaseNetworkUS, r.AttackNetworkUS)
+		csvRows = append(csvRows, []string{
+			fmt.Sprintf("%dx%d", r.W, r.H), itoa(uint64(r.Nodes)), itoa(uint64(r.Attackers)),
+			ftoa(r.BaseQueuingUS), ftoa(r.AttackQueuingUS), ftoa(r.BaseNetworkUS), ftoa(r.AttackNetworkUS),
+		})
+	}
+	return writeCSV("scale", []string{"mesh", "nodes", "attackers", "base_queuing_us", "attack_queuing_us", "base_network_us", "attack_network_us"}, csvRows)
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	events := fs.Int("events", 30, "how many trailing events to print")
+	fs.Parse(args)
+
+	cfg := baseConfig()
+	cfg.Duration = 200 * ibasec.Microsecond
+	cfg.Warmup = 0
+	cfg.Attackers = 1
+	cfg.TraceCapacity = 65536
+	cl, err := ibasec.Build(cfg)
+	if err != nil {
+		return err
+	}
+	cl.Simulate()
+	all := cl.Trace.Events()
+	fmt.Printf("Packet-lifecycle trace: %d events recorded, last %d:\n", cl.Trace.Total(), *events)
+	start := len(all) - *events
+	if start < 0 {
+		start = 0
+	}
+	for _, ev := range all[start:] {
+		fmt.Println(" ", ev)
+	}
+	fmt.Println("\nCounts by kind:")
+	for kind, n := range cl.Trace.CountByKind() {
+		fmt.Printf("  %-12v %d\n", kind, n)
+	}
+	return nil
+}
+
+func runAll() error {
+	steps := []func() error{
+		runConfig,
+		func() error { return runFig1(nil) },
+		func() error { return runFig5(nil) },
+		func() error { return runFig6(nil) },
+		func() error { return runTable2(nil) },
+		func() error { return runAttacks() },
+		func() error { return runTable4(nil) },
+		func() error { return runSweep(nil) },
+		func() error { return runAuthRate(nil) },
+		func() error { return runSMDoS(nil) },
+		func() error { return runScale(nil) },
+	}
+	for _, s := range steps {
+		if err := s(); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module ibasec
+
+go 1.22

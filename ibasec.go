@@ -1,0 +1,200 @@
+// Package ibasec is a from-scratch reproduction of "Security Enhancement
+// in InfiniBand Architecture" (Lee, Kim, Yousif — IPPS 2005): a
+// packet-level InfiniBand fabric simulator plus the paper's three
+// security mechanisms —
+//
+//  1. stateful partition enforcement in switches (DPT / IF / SIF,
+//     section 3),
+//  2. partition-level and QP-level authentication-key management
+//     (section 4), and
+//  3. ICRC-as-MAC packet authentication that stores a 32-bit tag in the
+//     Invariant CRC field without changing the IBA packet format
+//     (section 5).
+//
+// The package re-exports the library's public surface; the underlying
+// implementation lives in internal/ subpackages (simulator, packet
+// formats, CRC, UMAC, fabric, transport, subnet manager, workloads).
+//
+// Quick start:
+//
+//	cfg := ibasec.DefaultConfig()
+//	cfg.Attackers = 4
+//	res, err := ibasec.Run(cfg)
+//	// res.BestEffort.Queuing.Mean() is the paper's queuing-time metric.
+//
+// Every table and figure of the paper's evaluation has a regeneration
+// entry point here (Fig1, Fig5, Fig6, Table2, Table4, AttackMatrix) and a
+// corresponding benchmark in bench_test.go; the cmd/ibsim CLI prints
+// them.
+package ibasec
+
+import (
+	"time"
+
+	"ibasec/internal/attack"
+	"ibasec/internal/core"
+	"ibasec/internal/enforce"
+	"ibasec/internal/fabric"
+	"ibasec/internal/mac"
+	"ibasec/internal/sim"
+	"ibasec/internal/transport"
+)
+
+// Core configuration and results.
+type (
+	// Config describes one simulation run; start from DefaultConfig.
+	Config = core.Config
+	// AuthConfig selects the authentication mechanism and key level.
+	AuthConfig = core.AuthConfig
+	// Results holds a run's measurements (delays in microseconds).
+	Results = core.Results
+	// Cluster is a fully wired simulation instance (advanced use).
+	Cluster = core.Cluster
+)
+
+// Experiment row types.
+type (
+	Fig1Row     = core.Fig1Row
+	Fig5Row     = core.Fig5Row
+	Fig6Row     = core.Fig6Row
+	Table2Row   = core.Table2Row
+	Table4Row   = core.Table4Row
+	AuthRateRow = core.AuthRateRow
+	SMFloodRow  = core.SMFloodRow
+	ScaleRow    = core.ScaleRow
+	// AttackOutcome is one row of the Table 3 attack matrix.
+	AttackOutcome = attack.Outcome
+)
+
+// Mode is a switch partition-enforcement design.
+type Mode = enforce.Mode
+
+// Enforcement modes (paper section 3.3).
+const (
+	NoFiltering = enforce.NoFiltering
+	DPT         = enforce.DPT
+	IF          = enforce.IF
+	SIF         = enforce.SIF
+)
+
+// KeyLevel selects the authentication-key management scheme.
+type KeyLevel = transport.KeyLevel
+
+// Key management levels (paper sections 4.2-4.3).
+const (
+	PartitionLevel = transport.PartitionLevel
+	QPLevel        = transport.QPLevel
+)
+
+// ArbitrationMode selects the fabric's VL arbiter.
+type ArbitrationMode = fabric.ArbitrationMode
+
+// VL arbiter choices (strict priority is the paper's default; weighted is
+// the IBA 7.6.9 two-table design).
+const (
+	ArbStrictPriority = fabric.ArbStrictPriority
+	ArbWeighted       = fabric.ArbWeighted
+)
+
+// Class is a traffic class.
+type Class = fabric.Class
+
+// Traffic classes (Table 1's two workloads plus the management lane).
+const (
+	ClassBestEffort = fabric.ClassBestEffort
+	ClassRealtime   = fabric.ClassRealtime
+	ClassManagement = fabric.ClassManagement
+)
+
+// Authentication function IDs for AuthConfig.FuncID (stored in the BTH
+// Resv8a byte on the wire).
+const (
+	AuthHMACMD5  = mac.IDHMACMD5
+	AuthHMACSHA1 = mac.IDHMACSHA1
+	AuthUMAC32   = mac.IDUMAC32
+)
+
+// Time aliases for configuring durations.
+type Time = sim.Time
+
+// Duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DefaultConfig returns the paper's Table 1 testbed configuration: a 4x4
+// mesh of 5-port switches, 2.5 Gb/s links, 16 VLs per link, MTU 1024.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Run simulates one configuration and returns its measurements.
+func Run(cfg Config) (*Results, error) { return core.Run(cfg) }
+
+// Build assembles a cluster without starting traffic (advanced use).
+func Build(cfg Config) (*Cluster, error) { return core.Build(cfg) }
+
+// Fig1 regenerates Figure 1: queuing time and network latency versus the
+// number of line-rate attackers, for the given traffic class.
+func Fig1(class Class, maxAttackers int, base Config) ([]Fig1Row, error) {
+	return core.Fig1(class, maxAttackers, base)
+}
+
+// Fig5 regenerates Figure 5: the NoFiltering/DPT/IF/SIF delay comparison
+// across input loads under a duty-cycled four-attacker DoS.
+func Fig5(loads []float64, attackDuty float64, base Config) ([]Fig5Row, error) {
+	return core.Fig5(loads, attackDuty, base)
+}
+
+// Fig6 regenerates Figure 6: authentication and key-initialization
+// overhead (No Key vs With Key) across input loads.
+func Fig6(loads []float64, level KeyLevel, base Config) ([]Fig6Row, error) {
+	return core.Fig6(loads, level, base)
+}
+
+// Table2 evaluates the partition-enforcement cost model for p partitions
+// per node with attack probability prAttack and average invalid-table
+// size avgInvalid.
+func Table2(p int, prAttack, avgInvalid float64) []Table2Row {
+	return core.Table2Rows(p, prAttack, avgInvalid)
+}
+
+// Table4 measures the MAC algorithms on msgBytes messages for roughly
+// budget wall time each, reporting Gb/s, cycles/byte at cpuGHz, and
+// forgery probability.
+func Table4(msgBytes int, budget time.Duration, cpuGHz float64) []Table4Row {
+	return core.Table4(msgBytes, budget, cpuGHz)
+}
+
+// AttackMatrix runs the Table 3 key-theft scenarios against plain and
+// authenticated IBA.
+func AttackMatrix(seed int64) []AttackOutcome { return attack.Matrix(seed) }
+
+// SweepDuty is a beyond-paper ablation: SIF exposure versus attack duty
+// cycle at a fixed load.
+func SweepDuty(duties []float64, load float64, base Config) ([]Fig5Row, error) {
+	return core.SweepDuty(duties, load, base)
+}
+
+// AuthRateSweep runs the section 5.2/7 link-speed question: cluster delay
+// when the MAC engine digests messages at each given throughput (Gb/s).
+func AuthRateSweep(rates map[string]float64, load float64, base Config) ([]AuthRateRow, error) {
+	return core.AuthRateSweep(rates, load, base)
+}
+
+// PaperTable4Rates returns the paper's Table 4 throughput column for use
+// with AuthRateSweep.
+func PaperTable4Rates() map[string]float64 { return core.PaperTable4Rates() }
+
+// SMFloodSweep quantifies the section-7 management-DoS attack: SIF
+// registration latency as junk MADs flood the Subnet Manager.
+func SMFloodSweep(rates []float64, base Config) ([]SMFloodRow, error) {
+	return core.SMFloodSweep(rates, base)
+}
+
+// ScaleSweep measures DoS damage across mesh sizes (beyond-paper
+// ablation).
+func ScaleSweep(sizes [][2]int, base Config) ([]ScaleRow, error) {
+	return core.ScaleSweep(sizes, base)
+}

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ibasec/internal/enforce"
+	"ibasec/internal/fabric"
+	"ibasec/internal/keys"
+	"ibasec/internal/mac"
+	"ibasec/internal/metrics"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+	"ibasec/internal/sm"
+	"ibasec/internal/topology"
+	"ibasec/internal/trace"
+	"ibasec/internal/transport"
+	"ibasec/internal/workload"
+)
+
+// Results aggregates one run's measurements. Delay statistics are in
+// microseconds, the paper's reporting unit, and cover legitimate
+// (non-attack, non-management) traffic delivered after the warmup.
+type Results struct {
+	Config Config
+
+	Realtime   metrics.LatencySplit
+	BestEffort metrics.LatencySplit
+
+	SentLegit       uint64
+	DeliveredLegit  uint64
+	WithheldRT      uint64
+	AttackDelivered uint64 // attack packets that reached a victim HCA
+	HCAViolations   uint64
+
+	FilterLookups     uint64
+	FilterDropped     uint64
+	FilterActivations uint64
+
+	TrapsSent        uint64
+	SIFRegistrations uint64
+	KeyExchanges     uint64
+	PacketsSigned    uint64
+	AuthOK           uint64
+	AuthFail         uint64
+
+	// Link utilization across all directed channels (switch ports and
+	// HCA uplinks): fraction of the run each spent serializing.
+	MeanLinkUtil float64
+	MaxLinkUtil  float64
+}
+
+// Combined returns the mean queuing and network delay over both traffic
+// classes, weighted by sample counts (the single-bar view of Figure 5).
+func (r *Results) Combined() (queuingUS, networkUS float64) {
+	var q, n metrics.Welford
+	q.Merge(&r.Realtime.Queuing)
+	q.Merge(&r.BestEffort.Queuing)
+	n.Merge(&r.Realtime.Network)
+	n.Merge(&r.BestEffort.Network)
+	return q.Mean(), n.Mean()
+}
+
+// Cluster is a fully wired simulation instance. Most callers use Run;
+// Build is exposed for the attack scenarios and tests that need to poke
+// at the assembled system.
+type Cluster struct {
+	Cfg       Config
+	Sim       *sim.Simulator
+	Mesh      *topology.Mesh
+	Filter    *enforce.Filter
+	SM        *sm.SubnetManager
+	Endpoints []*transport.Endpoint  // nil entries when auth is off
+	PKeyOf    []packet.PKey          // node -> its primary partition P_Key
+	Partners  [][]int                // node -> same-partition peers (deduped)
+	PairPKey  map[[2]int]packet.PKey // (src,dst) -> shared partition key
+	AttackSet map[int]bool
+	Rng       *rand.Rand
+	// Trace is the packet-lifecycle recorder, non-nil when
+	// Config.TraceCapacity > 0.
+	Trace *trace.Ring
+
+	res *Results
+}
+
+// Run builds the cluster from cfg, simulates it, and returns the results.
+func Run(cfg Config) (*Results, error) {
+	cl, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Simulate(), nil
+}
+
+// Build assembles the cluster without starting traffic.
+func Build(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Three independent streams so that enabling authentication (which
+	// consumes crypto randomness) cannot change partition grouping,
+	// attacker placement, or traffic arrival times — experiment arms
+	// must differ only in the mechanism under test.
+	rngSetup := rand.New(rand.NewSource(cfg.Seed))
+	rngCrypto := rand.New(rand.NewSource(cfg.Seed ^ 0x5EC0DE))
+	rngTraffic := rand.New(rand.NewSource(cfg.Seed ^ 0x7AFF1C))
+	s := sim.New()
+	var ring *trace.Ring
+	if cfg.BitErrorRate > 0 || cfg.TraceCapacity > 0 {
+		// Copy the params so error injection / tracing does not leak
+		// into other runs sharing the same Params value.
+		p := *cfg.Params
+		if cfg.BitErrorRate > 0 {
+			p.BitErrorRate = cfg.BitErrorRate
+			p.RNG = rand.New(rand.NewSource(cfg.Seed ^ 0xBE4))
+		}
+		if cfg.TraceCapacity > 0 {
+			ring = trace.NewRing(cfg.TraceCapacity)
+			p.Observer = ring
+		}
+		cfg.Params = &p
+	}
+	mesh := topology.NewMesh(s, cfg.Params, cfg.MeshW, cfg.MeshH)
+	n := mesh.NumNodes()
+
+	var filter *enforce.Filter
+	if cfg.Enforcement != enforce.NoFiltering {
+		filter = enforce.NewFilter(cfg.Enforcement, cfg.Params)
+		mesh.SetFilterAll(filter)
+	}
+	manager := sm.New(s, mesh, filter, cfg.SM)
+
+	cl := &Cluster{
+		Cfg:       cfg,
+		Sim:       s,
+		Mesh:      mesh,
+		Filter:    filter,
+		SM:        manager,
+		Endpoints: make([]*transport.Endpoint, n),
+		PKeyOf:    make([]packet.PKey, n),
+		Partners:  make([][]int, n),
+		PairPKey:  make(map[[2]int]packet.PKey),
+		AttackSet: make(map[int]bool),
+		Rng:       rngTraffic,
+		Trace:     ring,
+		res:       &Results{Config: cfg},
+	}
+
+	// Random partitioning: shuffle nodes, slice into NumPartitions
+	// groups (section 3.1). With PartitionsPerNode > 1 each node also
+	// joins extra random groups (Table 2's p).
+	order := rngSetup.Perm(n)
+	groups := make([][]int, cfg.NumPartitions)
+	primary := make([]int, n)
+	for i, node := range order {
+		g := i % cfg.NumPartitions
+		groups[g] = append(groups[g], node)
+		primary[node] = g
+	}
+	perNode := cfg.PartitionsPerNode
+	if perNode < 1 {
+		perNode = 1
+	}
+	for node := 0; node < n; node++ {
+		if perNode == 1 {
+			break
+		}
+		joined := map[int]bool{primary[node]: true}
+		for len(joined) < perNode {
+			g := rngSetup.Intn(cfg.NumPartitions)
+			if joined[g] {
+				continue
+			}
+			joined[g] = true
+			groups[g] = append(groups[g], node)
+		}
+	}
+
+	// Key-management scaffolding.
+	var dir *keys.Directory
+	kps := make([]*keys.NodeKeyPair, n)
+	if cfg.Auth.Enabled {
+		dir = keys.NewDirectory()
+		if cfg.Auth.Level == transport.QPLevel {
+			for i := 0; i < n; i++ {
+				kp, err := keys.GenerateNodeKeyPair(rngCrypto)
+				if err != nil {
+					return nil, fmt.Errorf("core: node %d key pair: %w", i, err)
+				}
+				kps[i] = kp
+				dir.Register(mesh.HCA(i).Name(), kp.Public())
+			}
+		} else {
+			manager.Authority = keys.NewPartitionAuthority(rngCrypto, dir)
+			manager.InstallSecret = func(node int, pk packet.PKey, k keys.SecretKey) {
+				if ep := cl.Endpoints[node]; ep != nil {
+					ep.Store.InstallPartitionSecret(pk, k)
+				}
+			}
+		}
+		// Transport endpoints (created before partitions so secret
+		// installation finds their stores).
+		reg := mac.DefaultRegistry()
+		for i := 0; i < n; i++ {
+			cl.Endpoints[i] = transport.NewEndpoint(mesh.HCA(i), transport.Config{
+				Registry:      reg,
+				AuthID:        cfg.Auth.FuncID,
+				KeyLevel:      cfg.Auth.Level,
+				ReplayProtect: cfg.Auth.Replay,
+				RNG:           rngCrypto,
+				Directory:     dir,
+				KeyPair:       kps[i],
+			})
+			// MAC generation adds one pipeline stage per message
+			// (section 6) — or, when a finite engine throughput is
+			// configured, the time to digest the message at that rate.
+			if cfg.Auth.ThroughputGbps > 0 {
+				mesh.HCA(i).ExtraSendDelay = sim.Time(float64(cfg.MsgSize*8) / cfg.Auth.ThroughputGbps * 1000)
+			} else {
+				mesh.HCA(i).ExtraSendDelay = cfg.Params.ClockCycle
+			}
+		}
+	}
+
+	// Create the partitions through the SM. Partners lists each peer
+	// once, under the first partition the pair shares; PKeyOf holds the
+	// node's primary partition key.
+	for g, members := range groups {
+		pk := packet.PKey(0x8000 | uint16(g+1))
+		if err := manager.CreatePartition(cfg.SM.MKey, pk, members); err != nil {
+			return nil, fmt.Errorf("core: creating partition %d: %w", g, err)
+		}
+		for _, node := range members {
+			for _, peer := range members {
+				if peer == node {
+					continue
+				}
+				key := [2]int{node, peer}
+				if _, dup := cl.PairPKey[key]; !dup {
+					cl.PairPKey[key] = pk
+					cl.Partners[node] = append(cl.Partners[node], peer)
+				}
+			}
+		}
+	}
+	for node := 0; node < n; node++ {
+		cl.PKeyOf[node] = packet.PKey(0x8000 | uint16(primary[node]+1))
+	}
+	manager.ProgramSwitchTables()
+	if cfg.Enforcement == enforce.SIF {
+		manager.AttachTraps()
+	}
+
+	// Choose attackers among non-SM nodes.
+	candidates := make([]int, 0, n-1)
+	for _, node := range rngSetup.Perm(n) {
+		if node != cfg.SM.Node {
+			candidates = append(candidates, node)
+		}
+	}
+	for i := 0; i < cfg.Attackers; i++ {
+		cl.AttackSet[candidates[i]] = true
+	}
+	return cl, nil
+}
+
+// collector wraps a node's delivery path with measurement.
+func (cl *Cluster) attachCollectors() {
+	for i := range cl.Mesh.HCAs {
+		i := i
+		hca := cl.Mesh.HCA(i)
+		var inner func(d *fabric.Delivery)
+		if ep := cl.Endpoints[i]; ep != nil {
+			inner = ep.Deliver
+		}
+		hca.OnDeliver = func(d *fabric.Delivery) {
+			if d.Class == fabric.ClassManagement {
+				if cl.SM.HandleManagement(d) {
+					return
+				}
+			} else if d.Attack {
+				cl.res.AttackDelivered++
+			} else if d.EnqueuedAt >= cl.Cfg.Warmup {
+				q := d.QueuingTime().Microseconds()
+				net := d.NetworkLatency().Microseconds()
+				switch d.Class {
+				case fabric.ClassRealtime:
+					cl.res.Realtime.AddSample(q, net)
+				case fabric.ClassBestEffort:
+					cl.res.BestEffort.AddSample(q, net)
+				}
+				cl.res.DeliveredLegit++
+			}
+			if inner != nil {
+				inner(d)
+			}
+		}
+	}
+}
+
+// Simulate runs the configured workload and returns results.
+func (cl *Cluster) Simulate() *Results {
+	cfg := cl.Cfg
+	cl.attachCollectors()
+
+	var gens []*workload.Generator
+	var attackers []*workload.Attacker
+	bw := cfg.Params.LinkBandwidth
+
+	for node := 0; node < cl.Mesh.NumNodes(); node++ {
+		node := node
+		hca := cl.Mesh.HCA(node)
+		if cl.AttackSet[node] {
+			sender := &workload.RawUDSender{
+				HCA:   hca,
+				Class: cfg.AttackClass,
+				LIDOf: topology.LIDOf,
+			}
+			targets := allExcept(cl.Mesh.NumNodes(), node)
+			attackers = append(attackers, workload.StartAttacker(
+				cl.Sim, cl.Rng, sender, targets, cfg.MsgSize, cfg.AttackDuty, cfg.AttackCycle))
+			continue
+		}
+		if len(cl.Partners[node]) == 0 {
+			continue
+		}
+		// Exclude attacker peers from target lists: attackers send no
+		// legitimate traffic and never reply, but they can still be
+		// receive targets; the paper keeps them as pure sources, so we
+		// target only non-attackers.
+		targets := make([]int, 0, len(cl.Partners[node]))
+		for _, p := range cl.Partners[node] {
+			if !cl.AttackSet[p] {
+				targets = append(targets, p)
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+
+		sendRT, sendBE := cl.senders(node, targets)
+		if cfg.RealtimeLoad > 0 {
+			admit := func() bool {
+				return hca.SendQueueLen(fabric.VLRealtime) < cfg.RealtimeMaxQueue
+			}
+			g := workload.Realtime(cl.Sim, cl.Rng, cfg.RealtimeLoad*bw, cfg.MsgSize, targets, admit, sendRT)
+			gens = append(gens, g)
+		}
+		if cfg.BestEffortLoad > 0 {
+			g := workload.BestEffort(cl.Sim, cl.Rng, cfg.BestEffortLoad*bw, cfg.MsgSize, targets, sendBE)
+			gens = append(gens, g)
+		}
+	}
+
+	cl.Sim.RunUntil(cfg.Duration)
+
+	for _, g := range gens {
+		g.Stop()
+		cl.res.SentLegit += g.Sent
+		cl.res.WithheldRT += g.Withheld
+	}
+	for _, a := range attackers {
+		a.Stop()
+	}
+	cl.SM.Stop()
+
+	for _, hca := range cl.Mesh.HCAs {
+		cl.res.HCAViolations += hca.PKeyViolations()
+	}
+	if cl.Filter != nil {
+		cl.res.FilterLookups = cl.Filter.Lookups
+		cl.res.FilterDropped = cl.Filter.Dropped
+		cl.res.FilterActivations = cl.Filter.Activations
+	}
+	cl.res.TrapsSent = cl.SM.Counters.Get("traps_sent")
+	cl.res.SIFRegistrations = cl.SM.Counters.Get("sif_registrations")
+	for _, ep := range cl.Endpoints {
+		if ep != nil {
+			cl.res.KeyExchanges += ep.Counters.Get("qkey_established")
+			cl.res.PacketsSigned += ep.Counters.Get("packets_signed")
+			cl.res.AuthOK += ep.Counters.Get("auth_ok")
+			cl.res.AuthFail += ep.Counters.Get("auth_fail")
+		}
+	}
+
+	// Link utilization over the whole run.
+	var sum float64
+	links := 0
+	addLink := func(busy sim.Time) {
+		u := float64(busy) / float64(cfg.Duration)
+		sum += u
+		if u > cl.res.MaxLinkUtil {
+			cl.res.MaxLinkUtil = u
+		}
+		links++
+	}
+	for _, sw := range cl.Mesh.Switches {
+		for p := 0; p < sw.NumPorts(); p++ {
+			if sw.PortConnected(p) {
+				_, busy := sw.PortStats(p)
+				addLink(busy)
+			}
+		}
+	}
+	for _, hca := range cl.Mesh.HCAs {
+		_, busy := hca.PortStats()
+		addLink(busy)
+	}
+	if links > 0 {
+		cl.res.MeanLinkUtil = sum / float64(links)
+	}
+	return cl.res
+}
+
+// senders builds the per-node send functions for the two classes: raw
+// HCA injection without authentication, transport-layer sends with it.
+func (cl *Cluster) senders(node int, targets []int) (rt, be workload.SendFunc) {
+	cfg := cl.Cfg
+	if !cfg.Auth.Enabled {
+		mk := func(class fabric.Class) workload.SendFunc {
+			sender := &workload.RawUDSender{
+				HCA:   cl.Mesh.HCA(node),
+				Class: class,
+				PKey:  cl.PKeyOf[node],
+				LIDOf: topology.LIDOf,
+			}
+			return func(dst, size int) {
+				// Use the partition this pair shares (relevant when
+				// nodes join several partitions).
+				sender.SendPKey(dst, size, cl.PairPKey[[2]int{node, dst}])
+			}
+		}
+		return mk(fabric.ClassRealtime), mk(fabric.ClassBestEffort)
+	}
+
+	// Authenticated path: one UD QP per node; peers' QP numbers are the
+	// first allocated (2) on every endpoint; Q_Keys are deterministic.
+	ep := cl.Endpoints[node]
+	qp := ep.CreateUDQP(cl.PKeyOf[node], serviceQKey(node))
+	qp.AuthRequired = true
+
+	ready := make(map[int]packet.QKey, len(targets))
+	if cfg.Auth.Level == transport.QPLevel {
+		// One key-exchange round trip per destination before traffic
+		// flows (Figure 6's "With Key" overhead).
+		for _, dst := range targets {
+			dst := dst
+			err := ep.RequestQKey(qp, topology.LIDOf(dst), serviceQPN, func(qk packet.QKey, err error) {
+				if err == nil {
+					ready[dst] = qk
+				}
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+	} else {
+		// Partition-level: secrets and Q_Keys are pre-distributed by
+		// the SM; no exchange needed (the paper: "Key distribution
+		// overhead is virtually zero").
+		for _, dst := range targets {
+			ready[dst] = serviceQKey(dst)
+		}
+	}
+
+	mk := func(class fabric.Class) workload.SendFunc {
+		return func(dst, size int) {
+			qk, ok := ready[dst]
+			if !ok {
+				return // key exchange still in flight
+			}
+			if err := ep.SendUD(qp, topology.LIDOf(dst), serviceQPN, qk, make([]byte, size), class); err != nil {
+				panic(fmt.Sprintf("core: node %d send: %v", node, err))
+			}
+		}
+	}
+	return mk(fabric.ClassRealtime), mk(fabric.ClassBestEffort)
+}
+
+// serviceQPN is the QP number of each node's service QP: endpoints
+// allocate from 2 and the service QP is created first.
+const serviceQPN = packet.QPN(2)
+
+// serviceQKey is the deterministic Q_Key of a node's service QP.
+func serviceQKey(node int) packet.QKey { return packet.QKey(0x1000 + uint32(node)) }
+
+func allExcept(n, skip int) []int {
+	out := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != skip {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+// Package core assembles the full system — mesh, subnet manager,
+// partition enforcement, transport endpoints, key management and traffic
+// generators — into reproducible experiments. Every figure and table of
+// the paper's evaluation is regenerated from this package (see
+// experiments.go and the cmd/ibsim tool).
+package core
+
+import (
+	"fmt"
+
+	"ibasec/internal/enforce"
+	"ibasec/internal/fabric"
+	"ibasec/internal/mac"
+	"ibasec/internal/sim"
+	"ibasec/internal/sm"
+	"ibasec/internal/transport"
+)
+
+// AuthConfig selects the paper's authentication mechanism.
+type AuthConfig struct {
+	// Enabled turns ICRC-field authentication tags on.
+	Enabled bool
+	// FuncID is the MAC function (mac.IDUMAC32 by default).
+	FuncID uint8
+	// Level selects partition-level or QP-level key management.
+	Level transport.KeyLevel
+	// Replay enables the PSN replay check (section 7 extension).
+	Replay bool
+	// ThroughputGbps, when non-zero, charges each outgoing message a
+	// MAC-generation delay of size/throughput instead of the default
+	// single pipeline cycle — modelling a CA whose MAC engine runs
+	// slower than the link (the section 5.2/7 "can authentication keep
+	// up with IBA link speed?" question). Zero keeps the paper's
+	// 1-cycle pipelined assumption.
+	ThroughputGbps float64
+}
+
+// Config describes one simulation run. The zero value is not runnable;
+// start from DefaultConfig.
+type Config struct {
+	// Mesh geometry (Table 1 testbed: 4x4 = 16 nodes).
+	MeshW, MeshH int
+	// Params holds link/switch constants; nil means fabric defaults.
+	Params *fabric.Params
+
+	// Enforcement is the switch filtering design under test.
+	Enforcement enforce.Mode
+	// Auth configures ICRC-as-MAC authentication.
+	Auth AuthConfig
+
+	// NumPartitions random node groups are formed ("we partition the
+	// IBA network into four random groups", section 3.1).
+	NumPartitions int
+	// PartitionsPerNode is Table 2's p: how many partitions each node
+	// joins (default 1). Values above 1 grow the switch tables and the
+	// DPT/IF lookup costs exactly as the cost model predicts. Requires
+	// Auth.Enabled to be false (the authenticated workload binds one
+	// QP per node to its primary partition).
+	PartitionsPerNode int
+
+	// MsgSize is the payload size per message (Table 1 MTU: 1024).
+	MsgSize int
+	// RealtimeLoad and BestEffortLoad are per-node offered loads as a
+	// fraction of the link bandwidth; zero disables the class.
+	RealtimeLoad   float64
+	BestEffortLoad float64
+	// RealtimeMaxQueue is the send-queue depth beyond which realtime
+	// sources withhold traffic (admission control, section 3.1).
+	RealtimeMaxQueue int
+
+	// Attackers is the number of compromised nodes flooding at line
+	// rate; they are drawn from the node set and send no legitimate
+	// traffic.
+	Attackers int
+	// AttackDuty is the fraction of each AttackCycle the attack is
+	// active (Figure 1: 1.0; Figure 5: 0.01).
+	AttackDuty  float64
+	AttackCycle sim.Time
+	// AttackClass is the traffic class (and so the VL) the attacker
+	// floods. A compromised node dumps packets that look like the
+	// application traffic it was running, so Figure 1(a) floods the
+	// realtime VL and Figure 1(b)/Figure 5 the best-effort VL.
+	AttackClass fabric.Class
+
+	// Duration is the simulated time; samples before Warmup are
+	// discarded.
+	Duration sim.Time
+	Warmup   sim.Time
+
+	// BitErrorRate injects per-bit link corruption; the fabric's VCRC
+	// and ICRC checks drop struck packets (failure-injection knob).
+	BitErrorRate float64
+
+	// TraceCapacity, when positive, attaches a packet-lifecycle trace
+	// ring of that many events to the fabric; read it from
+	// Cluster.Trace after Simulate.
+	TraceCapacity int
+
+	// Seed makes the run reproducible.
+	Seed int64
+
+	// SM configures the subnet manager.
+	SM sm.Config
+}
+
+// DefaultConfig returns the paper's Table 1 testbed with no attackers,
+// no filtering and no authentication.
+func DefaultConfig() Config {
+	return Config{
+		MeshW:            4,
+		MeshH:            4,
+		Params:           fabric.DefaultParams(),
+		Enforcement:      enforce.NoFiltering,
+		Auth:             AuthConfig{FuncID: mac.IDUMAC32},
+		NumPartitions:    4,
+		MsgSize:          1024,
+		BestEffortLoad:   0.4,
+		RealtimeMaxQueue: 8,
+		AttackDuty:       1.0,
+		AttackCycle:      sim.Millisecond,
+		Duration:         10 * sim.Millisecond,
+		Warmup:           sim.Millisecond,
+		Seed:             1,
+		SM:               sm.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.MeshW <= 0 || c.MeshH <= 0 {
+		return fmt.Errorf("core: invalid mesh %dx%d", c.MeshW, c.MeshH)
+	}
+	n := c.MeshW * c.MeshH
+	if c.NumPartitions <= 0 || c.NumPartitions > n {
+		return fmt.Errorf("core: %d partitions for %d nodes", c.NumPartitions, n)
+	}
+	if c.PartitionsPerNode < 0 || c.PartitionsPerNode > c.NumPartitions {
+		return fmt.Errorf("core: %d partitions per node with %d partitions", c.PartitionsPerNode, c.NumPartitions)
+	}
+	if c.PartitionsPerNode > 1 && c.Auth.Enabled {
+		return fmt.Errorf("core: multi-partition membership is not supported with authentication enabled")
+	}
+	if c.Attackers < 0 || c.Attackers >= n {
+		return fmt.Errorf("core: %d attackers for %d nodes", c.Attackers, n)
+	}
+	if c.MsgSize <= 0 || c.MsgSize > 1024 {
+		return fmt.Errorf("core: message size %d outside (0,1024]", c.MsgSize)
+	}
+	if c.RealtimeLoad < 0 || c.RealtimeLoad > 1 || c.BestEffortLoad < 0 || c.BestEffortLoad > 1 {
+		return fmt.Errorf("core: loads must be in [0,1]")
+	}
+	if c.RealtimeLoad == 0 && c.BestEffortLoad == 0 && c.Attackers == 0 {
+		return fmt.Errorf("core: nothing to simulate")
+	}
+	if c.Duration <= 0 || c.Warmup < 0 || c.Warmup >= c.Duration {
+		return fmt.Errorf("core: bad duration/warmup %v/%v", c.Duration, c.Warmup)
+	}
+	if c.AttackDuty <= 0 || c.AttackDuty > 1 {
+		return fmt.Errorf("core: attack duty %v outside (0,1]", c.AttackDuty)
+	}
+	if c.Params == nil {
+		return fmt.Errorf("core: nil fabric params")
+	}
+	return c.Params.Validate()
+}

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"ibasec/internal/enforce"
+	"ibasec/internal/fabric"
+	"ibasec/internal/icrc"
+	"ibasec/internal/mac"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+	"ibasec/internal/topology"
+	"ibasec/internal/transport"
+)
+
+// Fig1Row is one point of Figure 1: mean legitimate-traffic delays (µs)
+// under a DoS attack by Attackers compromised nodes.
+type Fig1Row struct {
+	Attackers  int
+	QueuingUS  float64
+	QueuingSD  float64
+	NetworkUS  float64
+	NetworkSD  float64
+	Delivered  uint64
+	AttackHits uint64
+}
+
+// Fig1 regenerates Figure 1(a) (realtime) or 1(b) (best-effort): average
+// queuing time and network latency as the number of attackers grows from
+// 0 to maxAttackers. Attackers flood at full line rate with random
+// P_Keys and destinations; no switch filtering is in place.
+func Fig1(class fabric.Class, maxAttackers int, base Config) ([]Fig1Row, error) {
+	rows := make([]Fig1Row, 0, maxAttackers+1)
+	for k := 0; k <= maxAttackers; k++ {
+		cfg := base
+		cfg.Enforcement = enforce.NoFiltering
+		cfg.Attackers = k
+		cfg.AttackDuty = 1.0
+		cfg.AttackClass = class
+		switch class {
+		case fabric.ClassRealtime:
+			cfg.RealtimeLoad, cfg.BestEffortLoad = base.RealtimeLoad, 0
+		default:
+			cfg.RealtimeLoad, cfg.BestEffortLoad = 0, base.BestEffortLoad
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		split := &res.BestEffort
+		if class == fabric.ClassRealtime {
+			split = &res.Realtime
+		}
+		rows = append(rows, Fig1Row{
+			Attackers:  k,
+			QueuingUS:  split.Queuing.Mean(),
+			QueuingSD:  split.Queuing.StdDev(),
+			NetworkUS:  split.Network.Mean(),
+			NetworkSD:  split.Network.StdDev(),
+			Delivered:  res.DeliveredLegit,
+			AttackHits: res.HCAViolations,
+		})
+	}
+	return rows, nil
+}
+
+// Fig5Row is one bar of Figure 5: the delay split for one (load, mode)
+// pair under a duty-cycled four-attacker DoS.
+type Fig5Row struct {
+	Load       float64
+	Mode       enforce.Mode
+	QueuingUS  float64
+	NetworkUS  float64
+	TotalUS    float64
+	QueuingSD  float64
+	NetworkSD  float64
+	Dropped    uint64
+	AttackHits uint64
+}
+
+// Fig5 regenerates Figure 5: queuing and network delay of non-attacking
+// best-effort traffic at input loads for each enforcement design, with
+// four attackers active attackDuty of the time (the paper uses 1%).
+func Fig5(loads []float64, attackDuty float64, base Config) ([]Fig5Row, error) {
+	modes := []enforce.Mode{enforce.NoFiltering, enforce.DPT, enforce.IF, enforce.SIF}
+	rows := make([]Fig5Row, 0, len(loads)*len(modes))
+	for _, load := range loads {
+		for _, mode := range modes {
+			cfg := base
+			cfg.Enforcement = mode
+			cfg.Attackers = 4
+			cfg.AttackDuty = attackDuty
+			cfg.RealtimeLoad = 0
+			cfg.BestEffortLoad = load
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig5Row{
+				Load:       load,
+				Mode:       mode,
+				QueuingUS:  res.BestEffort.Queuing.Mean(),
+				NetworkUS:  res.BestEffort.Network.Mean(),
+				TotalUS:    res.BestEffort.Queuing.Mean() + res.BestEffort.Network.Mean(),
+				QueuingSD:  res.BestEffort.Queuing.StdDev(),
+				NetworkSD:  res.BestEffort.Network.StdDev(),
+				Dropped:    res.FilterDropped,
+				AttackHits: res.HCAViolations,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Row is one bar pair of Figure 6: delays without and with
+// authentication + key management at one input load.
+type Fig6Row struct {
+	Load          float64
+	WithKey       bool
+	QueuingUS     float64
+	NetworkUS     float64
+	QueuingSD     float64
+	NetworkSD     float64
+	KeyExchanges  uint64
+	PacketsSigned uint64
+}
+
+// Fig6 regenerates Figure 6: message-authentication overhead with key
+// initialization. "No Key" runs plain traffic; "With Key" runs QP-level
+// key management (one key-exchange round trip per QP pair at start) plus
+// per-message MAC generation (one clock cycle).
+func Fig6(loads []float64, level transport.KeyLevel, base Config) ([]Fig6Row, error) {
+	rows := make([]Fig6Row, 0, 2*len(loads))
+	for _, load := range loads {
+		for _, withKey := range []bool{false, true} {
+			cfg := base
+			cfg.Enforcement = enforce.NoFiltering
+			cfg.Attackers = 0
+			cfg.RealtimeLoad = 0
+			cfg.BestEffortLoad = load
+			cfg.Auth = AuthConfig{Enabled: withKey, FuncID: mac.IDUMAC32, Level: level}
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig6Row{
+				Load:          load,
+				WithKey:       withKey,
+				QueuingUS:     res.BestEffort.Queuing.Mean(),
+				NetworkUS:     res.BestEffort.Network.Mean(),
+				QueuingSD:     res.BestEffort.Queuing.StdDev(),
+				NetworkSD:     res.BestEffort.Network.StdDev(),
+				KeyExchanges:  res.KeyExchanges,
+				PacketsSigned: res.PacketsSigned,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Table4Row is one row of Table 4: per-algorithm authentication cost and
+// forgery probability.
+type Table4Row struct {
+	Name        string
+	CyclesByte  float64
+	GbitsPerSec float64
+	ForgeryProb float64
+}
+
+// Table4 regenerates Table 4 by timing real implementations on msgBytes
+// messages (the paper uses 1500-bit ≈ 188-byte messages) for roughly
+// budget wall time per algorithm. cpuGHz converts measured throughput to
+// cycles/byte on the measuring machine.
+func Table4(msgBytes int, budget time.Duration, cpuGHz float64) []Table4Row {
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	msg := make([]byte, msgBytes)
+	algs := []mac.Authenticator{
+		mac.NewCRC32(),
+		mac.NewHMACSHA1(),
+		mac.NewHMACMD5(),
+		mac.NewUMAC32(),
+	}
+	rows := make([]Table4Row, 0, len(algs))
+	for _, a := range algs {
+		// Warm up (key schedule, caches).
+		if _, err := a.Tag(key, msg, 0); err != nil {
+			panic(err)
+		}
+		var n uint64
+		start := time.Now()
+		for time.Since(start) < budget {
+			for i := 0; i < 64; i++ {
+				if _, err := a.Tag(key, msg, n); err != nil {
+					panic(err)
+				}
+				n++
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		bytesPerSec := float64(n) * float64(msgBytes) / elapsed
+		rows = append(rows, Table4Row{
+			Name:        a.Name(),
+			CyclesByte:  cpuGHz * 1e9 / bytesPerSec,
+			GbitsPerSec: bytesPerSec * 8 / 1e9,
+			ForgeryProb: a.ForgeryProb(),
+		})
+	}
+	return rows
+}
+
+// Table2Rows evaluates the paper's Table 2 formulas for a model of this
+// testbed (n=16 nodes, s=16 switches) with the given per-node partition
+// count and attack statistics.
+func Table2Rows(p int, prAttack, avgInvalid float64) []Table2Row {
+	c := enforce.CostModel{N: 16, S: 16, P: p, PrAttack: prAttack, AvgInvalid: avgInvalid}
+	modes := []enforce.Mode{enforce.DPT, enforce.IF, enforce.SIF}
+	rows := make([]Table2Row, 0, len(modes))
+	for _, m := range modes {
+		rows = append(rows, Table2Row{
+			Mode:         m,
+			MemPerSwitch: c.MemoryPerSwitch(m),
+			MemAll:       c.MemoryAllSwitches(m),
+			LookupLinear: c.LookupsPerPacket(m, enforce.LinearLookup),
+			LookupConst:  c.LookupsPerPacket(m, enforce.ConstantLookup),
+		})
+	}
+	return rows
+}
+
+// Table2Row is one row of Table 2.
+type Table2Row struct {
+	Mode         enforce.Mode
+	MemPerSwitch float64
+	MemAll       float64
+	LookupLinear float64
+	LookupConst  float64
+}
+
+// AuthRateRow is one row of the authentication-rate ablation: the delay
+// impact of running a MAC engine at a given throughput.
+type AuthRateRow struct {
+	Name       string
+	RateGbps   float64
+	QueuingUS  float64
+	NetworkUS  float64
+	Delivered  uint64
+	Bottleneck bool // engine slower than the link
+}
+
+// AuthRateSweep answers the paper's section 5.2/7 question — "is it
+// possible for authentication functions to operate at IBA link speed?" —
+// inside the simulator: each row runs the cluster with per-message MAC
+// delay set by the algorithm's throughput. Engines slower than the link
+// (e.g. HMAC-SHA1's 0.22 Gb/s from Table 4) throttle injection and blow
+// up queuing; engines at Gb/s class (UMAC) cost nearly nothing.
+func AuthRateSweep(rates map[string]float64, load float64, base Config) ([]AuthRateRow, error) {
+	names := make([]string, 0, len(rates))
+	for n := range rates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([]AuthRateRow, 0, len(rates))
+	for _, name := range names {
+		rate := rates[name]
+		cfg := base
+		cfg.Attackers = 0
+		cfg.RealtimeLoad = 0
+		cfg.BestEffortLoad = load
+		cfg.Auth = AuthConfig{
+			Enabled:        true,
+			FuncID:         mac.IDUMAC32, // tag algorithm is irrelevant to timing
+			Level:          transport.PartitionLevel,
+			ThroughputGbps: rate,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AuthRateRow{
+			Name:       name,
+			RateGbps:   rate,
+			QueuingUS:  res.BestEffort.Queuing.Mean(),
+			NetworkUS:  res.BestEffort.Network.Mean(),
+			Delivered:  res.DeliveredLegit,
+			Bottleneck: rate < base.Params.LinkBandwidth/1e9,
+		})
+	}
+	return rows, nil
+}
+
+// PaperTable4Rates returns the paper's Table 4 throughput column (Gb/s,
+// normalized to 350 MHz hosts) for use with AuthRateSweep.
+func PaperTable4Rates() map[string]float64 {
+	return map[string]float64{
+		"CRC-32":    11.2,
+		"HMAC-SHA1": 0.22,
+		"HMAC-MD5":  0.53,
+		"UMAC":      4.00,
+	}
+}
+
+// ScaleRow is one point of the mesh-size ablation.
+type ScaleRow struct {
+	W, H      int
+	Nodes     int
+	Attackers int
+	// Baseline (no attackers) and under-attack delays.
+	BaseQueuingUS   float64
+	BaseNetworkUS   float64
+	AttackQueuingUS float64
+	AttackNetworkUS float64
+	AttackHits      uint64
+}
+
+// ScaleSweep is a beyond-paper ablation: how the DoS damage of section
+// 3.2 scales with fabric size. For each mesh geometry it runs the
+// workload once clean and once with nodes/4 attackers, keeping per-node
+// loads constant.
+func ScaleSweep(sizes [][2]int, base Config) ([]ScaleRow, error) {
+	rows := make([]ScaleRow, 0, len(sizes))
+	for _, wh := range sizes {
+		cfg := base
+		cfg.MeshW, cfg.MeshH = wh[0], wh[1]
+		nodes := wh[0] * wh[1]
+		// Keep at least a few nodes per partition so every node has
+		// someone to talk to.
+		if maxParts := nodes / 4; cfg.NumPartitions > maxParts {
+			cfg.NumPartitions = maxParts
+			if cfg.NumPartitions < 1 {
+				cfg.NumPartitions = 1
+			}
+		}
+		attackers := nodes / 4
+		if attackers < 1 {
+			attackers = 1
+		}
+
+		cfg.Attackers = 0
+		clean, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Attackers = attackers
+		cfg.AttackDuty = 1.0
+		hot, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScaleRow{
+			W: wh[0], H: wh[1], Nodes: nodes, Attackers: attackers,
+			BaseQueuingUS:   clean.BestEffort.Queuing.Mean(),
+			BaseNetworkUS:   clean.BestEffort.Network.Mean(),
+			AttackQueuingUS: hot.BestEffort.Queuing.Mean(),
+			AttackNetworkUS: hot.BestEffort.Network.Mean(),
+			AttackHits:      hot.HCAViolations,
+		})
+	}
+	return rows, nil
+}
+
+// SMFloodRow is one point of the management-DoS experiment.
+type SMFloodRow struct {
+	FloodRate     float64 // junk management packets per second
+	RegLatencyUS  float64 // mean trap->registration latency
+	RegLatencyMax float64
+	TrapsReceived uint64
+	Registrations uint64
+}
+
+// SMFloodSweep quantifies the section-7 attack the paper leaves open:
+// "DoS attack on the SM by dumping management messages and trap
+// messages. Since a management packet can reach SM regardless of its
+// partition, the attacker can dump management packets to slow down the
+// SM and network." One node floods junk trap MADs at the SM at each
+// rate while a conventional P_Key attacker runs; the row reports how
+// long legitimate SIF registrations take as the SM's serial MAD
+// processor backs up.
+func SMFloodSweep(rates []float64, base Config) ([]SMFloodRow, error) {
+	rows := make([]SMFloodRow, 0, len(rates))
+	for _, rate := range rates {
+		cfg := base
+		cfg.Enforcement = enforce.SIF
+		cfg.Attackers = 1
+		cfg.AttackDuty = 1.0
+		if cfg.BestEffortLoad == 0 && cfg.RealtimeLoad == 0 {
+			cfg.BestEffortLoad = 0.3
+		}
+		cl, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if rate > 0 {
+			startMADFlood(cl, rate)
+		}
+		cl.Simulate()
+		rows = append(rows, SMFloodRow{
+			FloodRate:     rate,
+			RegLatencyUS:  cl.SM.RegLatency.Mean(),
+			RegLatencyMax: cl.SM.RegLatency.Max(),
+			TrapsReceived: cl.SM.Counters.Get("traps_received"),
+			Registrations: cl.SM.Counters.Get("sif_registrations"),
+		})
+	}
+	return rows, nil
+}
+
+// startMADFlood arms a junk-trap generator on a non-SM, non-attacker
+// node: each packet is a well-formed trap MAD whose offender LID does
+// not exist, so the SM burns its per-trap processing time and registers
+// nothing.
+func startMADFlood(cl *Cluster, pktPerSec float64) {
+	flooder := -1
+	for i := cl.Mesh.NumNodes() - 1; i >= 0; i-- {
+		if i != cl.Cfg.SM.Node && !cl.AttackSet[i] {
+			flooder = i
+			break
+		}
+	}
+	if flooder < 0 {
+		panic("core: no node available for MAD flood")
+	}
+	hca := cl.Mesh.HCA(flooder)
+	interval := sim.Time(1e12 / pktPerSec)
+	if interval < 1 {
+		interval = 1
+	}
+	cl.Sim.Every(interval, func() {
+		payload := make([]byte, 5)
+		payload[0] = 1 // trap type: P_Key violation
+		payload[1] = 0xFF
+		payload[2] = 0xF0 // offender LID 0xFFF0: unlocatable
+		payload[3] = 0x77
+		payload[4] = 0x77
+		p := &packet.Packet{
+			LRH:     packet.LRH{SLID: hca.LID(), DLID: topology.LIDOf(cl.Cfg.SM.Node), VL: fabric.VLManagement},
+			BTH:     packet.BTH{OpCode: packet.UDSendOnly, PKey: 0xFFFF, DestQP: 0},
+			DETH:    &packet.DETH{QKey: 0, SrcQP: 0},
+			Payload: payload,
+		}
+		if err := icrc.Seal(p); err != nil {
+			panic(err)
+		}
+		hca.Send(&fabric.Delivery{
+			Pkt:    p,
+			Class:  fabric.ClassManagement,
+			VL:     fabric.VLManagement,
+			Attack: true,
+			Source: hca.Name(),
+		})
+	})
+}
+
+// SweepDuty is an ablation beyond the paper: SIF delay as a function of
+// attack duty cycle, quantifying the registration-window leakage that
+// makes SIF slightly worse than IF at low loads in Figure 5.
+func SweepDuty(duties []float64, load float64, base Config) ([]Fig5Row, error) {
+	rows := make([]Fig5Row, 0, len(duties))
+	for _, duty := range duties {
+		cfg := base
+		cfg.Enforcement = enforce.SIF
+		cfg.Attackers = 4
+		cfg.AttackDuty = duty
+		cfg.RealtimeLoad = 0
+		cfg.BestEffortLoad = load
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig5Row{
+			Load:       duty, // reused column: the swept variable
+			Mode:       enforce.SIF,
+			QueuingUS:  res.BestEffort.Queuing.Mean(),
+			NetworkUS:  res.BestEffort.Network.Mean(),
+			TotalUS:    res.BestEffort.Queuing.Mean() + res.BestEffort.Network.Mean(),
+			Dropped:    res.FilterDropped,
+			AttackHits: res.HCAViolations,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,81 @@
+package enforce
+
+import "math"
+
+// CostModel evaluates the analytic overhead formulas of the paper's
+// Table 2 for the three filtering designs. The network has N nodes and S
+// switches; every node joins P partitions; each node connects to exactly
+// one switch (the paper's simplifying assumptions).
+//
+// PrAttack is Pr(n), the probability that a node participates in a P_Key
+// attack, and AvgInvalid is Avg(p), the average number of entries in a
+// switch's Invalid_P_Key_Table during an attack.
+type CostModel struct {
+	N          int     // nodes
+	S          int     // switches
+	P          int     // partitions joined per node
+	PrAttack   float64 // Pr(n)
+	AvgInvalid float64 // Avg(p)
+}
+
+// LookupCost is f(i): the cost of one search over a table with i entries.
+// Table 2 leaves f abstract; LinearLookup and ConstantLookup are the two
+// obvious instances (linear scan vs single-cycle SRAM/CAM access).
+type LookupCost func(entries float64) float64
+
+// LinearLookup models a linear table scan: f(i) = i.
+func LinearLookup(entries float64) float64 { return entries }
+
+// ConstantLookup models a one-cycle associative lookup: f(i) = 1 for any
+// non-empty table (the CACTI-based assumption of section 6).
+func ConstantLookup(entries float64) float64 {
+	if entries <= 0 {
+		return 0
+	}
+	return 1
+}
+
+// MemoryPerSwitch returns Table 2's "Memory for one switch" row, in
+// P_Key-table entries.
+func (c CostModel) MemoryPerSwitch(m Mode) float64 {
+	switch m {
+	case DPT:
+		return float64(c.N) * float64(c.P)
+	case IF:
+		return float64(c.P)
+	case SIF:
+		return float64(c.P) + c.PrAttack*math.Min(c.AvgInvalid, float64(c.P))
+	default:
+		return 0
+	}
+}
+
+// MemoryAllSwitches returns Table 2's "Memory for all switches" row.
+func (c CostModel) MemoryAllSwitches(m Mode) float64 {
+	switch m {
+	case DPT:
+		return float64(c.N) * float64(c.P) * float64(c.S)
+	case IF:
+		return float64(c.P) * float64(c.N)
+	case SIF:
+		return float64(c.P)*float64(c.N) +
+			c.PrAttack*math.Min(c.AvgInvalid, float64(c.P))*float64(c.N)
+	default:
+		return 0
+	}
+}
+
+// LookupsPerPacket returns Table 2's "Table lookup operations/packet" row
+// under the given lookup-cost function.
+func (c CostModel) LookupsPerPacket(m Mode, f LookupCost) float64 {
+	switch m {
+	case DPT:
+		return f(float64(c.N) * float64(c.P))
+	case IF:
+		return f(float64(c.P))
+	case SIF:
+		return c.PrAttack * f(math.Min(c.AvgInvalid, float64(c.P)))
+	default:
+		return 0
+	}
+}

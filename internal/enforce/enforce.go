@@ -1,0 +1,272 @@
+// Package enforce implements the paper's partition-enforcement designs
+// for switches (section 3.3):
+//
+//   - NoFiltering: the IBA baseline — switches forward everything and only
+//     destination HCAs check P_Keys, so DoS traffic crosses the whole
+//     fabric before being discarded.
+//   - DPT (Duplicate Partition Table): every switch holds the full
+//     partition table and filters every packet at every hop.
+//   - IF (Ingress Filtering): only end-node-facing ports filter, against
+//     the attached node's own partition table.
+//   - SIF (Stateful Ingress Filtering): ingress filtering is enabled on
+//     demand, per switch, when the Subnet Manager registers an invalid
+//     P_Key reported by a victim's trap; an Ingress P_Key Violation
+//     Counter auto-disables it after the attack subsides.
+//
+// The same Filter object also meters the lookup work, so simulations can
+// be cross-checked against the analytic cost model of Table 2.
+package enforce
+
+import (
+	"fmt"
+	"sync"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/keys"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+)
+
+// Mode selects a partition-enforcement design.
+type Mode int
+
+// Enforcement modes, in the order of the paper's Figure 5.
+const (
+	NoFiltering Mode = iota
+	DPT
+	IF
+	SIF
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NoFiltering:
+		return "NoFiltering"
+	case DPT:
+		return "DPT"
+	case IF:
+		return "IF"
+	case SIF:
+		return "SIF"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// switchState is the per-switch enforcement state.
+type switchState struct {
+	valid *keys.PartitionTable // legal P_Keys (DPT: global; IF/SIF: attached node's)
+	// modelEntries is the Table 2 table size charged per lookup (DPT:
+	// n×p, IF/SIF: p); the actual map may deduplicate entries.
+	modelEntries int
+
+	// SIF state.
+	active        bool
+	invalid       map[uint16]bool // Invalid_P_Key_Table
+	violations    uint64          // Ingress P_Key Violation Counter
+	lastViolCount uint64          // snapshot for the auto-disable timer
+	autoDisable   func()
+}
+
+// Filter implements fabric.Filter for all four modes. One Filter instance
+// serves an entire mesh; per-switch state is kept internally. It is safe
+// for concurrent use, though the simulator drives it single-threaded.
+type Filter struct {
+	mode   Mode
+	params *fabric.Params
+
+	// CostFn converts a table size into lookup operations; each
+	// operation costs one ClockCycle of forwarding latency. Defaults to
+	// LinearLookup, matching Table 2's f(i) with a linear scan; set
+	// ConstantLookup to model the one-cycle SRAM of section 6.
+	CostFn LookupCost
+
+	mu       sync.Mutex
+	switches map[*fabric.Switch]*switchState
+
+	// Lookups counts partition-table lookup operations actually
+	// performed, the quantity Table 2 models as f(·) per packet.
+	Lookups uint64
+	// Dropped counts packets discarded by enforcement.
+	Dropped uint64
+	// Activations counts SIF enable events.
+	Activations uint64
+}
+
+// NewFilter returns a filter in the given mode.
+func NewFilter(mode Mode, params *fabric.Params) *Filter {
+	return &Filter{
+		mode:     mode,
+		params:   params,
+		CostFn:   LinearLookup,
+		switches: make(map[*fabric.Switch]*switchState),
+	}
+}
+
+// Mode returns the filter's enforcement mode.
+func (f *Filter) Mode() Mode { return f.mode }
+
+func (f *Filter) state(sw *fabric.Switch) *switchState {
+	st := f.switches[sw]
+	if st == nil {
+		st = &switchState{invalid: make(map[uint16]bool)}
+		f.switches[sw] = st
+	}
+	return st
+}
+
+// SetSwitchTable installs the valid-P_Key table a switch filters against
+// and the Table 2 model size charged per lookup. For DPT the table is the
+// full network table (model size n×p); for IF/SIF it is the partition set
+// of the node attached to the switch's ingress port (model size p). A
+// modelEntries of zero defaults to the table's actual length.
+func (f *Filter) SetSwitchTable(sw *fabric.Switch, table *keys.PartitionTable, modelEntries int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state(sw)
+	st.valid = table
+	if modelEntries <= 0 && table != nil {
+		modelEntries = table.Len()
+	}
+	st.modelEntries = modelEntries
+}
+
+// lookupDelay converts a model table size into forwarding latency.
+func (f *Filter) lookupDelay(entries int) sim.Time {
+	ops := f.CostFn(float64(entries))
+	return sim.Time(ops) * f.params.ClockCycle
+}
+
+// RegisterInvalid is the Subnet Manager's SIF action: record an invalid
+// P_Key at the attacker's ingress switch and enable filtering there.
+// The Invalid_P_Key_Table is capped at the size of the switch's valid
+// partition table; beyond the cap the switch falls back to positive
+// (valid-table) filtering, per the paper's table-growth discussion.
+func (f *Filter) RegisterInvalid(sw *fabric.Switch, pk packet.PKey) {
+	if f.mode != SIF {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state(sw)
+	cap := 0
+	if st.valid != nil {
+		cap = st.valid.Len()
+	}
+	if len(st.invalid) < cap || st.invalid[pk.Base()] {
+		st.invalid[pk.Base()] = true
+	}
+	if !st.active {
+		st.active = true
+		f.Activations++
+	}
+}
+
+// Active reports whether SIF filtering is currently enabled at sw.
+func (f *Filter) Active(sw *fabric.Switch) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.switches[sw]
+	return st != nil && st.active
+}
+
+// Violations returns sw's Ingress P_Key Violation Counter.
+func (f *Filter) Violations(sw *fabric.Switch) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.switches[sw]
+	if st == nil {
+		return 0
+	}
+	return st.violations
+}
+
+// StartAutoDisable arms the SIF self-disable rule on a simulator: every
+// period, any switch whose violation counter has not advanced disables
+// its ingress filtering and clears its Invalid_P_Key_Table ("If this
+// counter does not increase for some time, the switch disables ingress
+// filtering by itself"). The returned cancel function stops the timer.
+func (f *Filter) StartAutoDisable(s *sim.Simulator, period sim.Time) (cancel func()) {
+	if f.mode != SIF {
+		return func() {}
+	}
+	return s.Every(period, func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		for _, st := range f.switches {
+			if !st.active {
+				continue
+			}
+			if st.violations == st.lastViolCount {
+				st.active = false
+				st.invalid = make(map[uint16]bool)
+			}
+			st.lastViolCount = st.violations
+		}
+	})
+}
+
+// Inspect implements fabric.Filter.
+func (f *Filter) Inspect(sw *fabric.Switch, _ int, ingress bool, d *fabric.Delivery) (bool, sim.Time) {
+	if d.Class == fabric.ClassManagement {
+		return false, 0 // management packets bypass partition enforcement
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state(sw)
+	pk := d.Pkt.BTH.PKey
+
+	switch f.mode {
+	case NoFiltering:
+		return false, 0
+
+	case DPT:
+		// Full table at every switch: one lookup per hop, every packet,
+		// charged at f(n×p).
+		f.Lookups++
+		delay := f.lookupDelay(st.modelEntries)
+		if st.valid == nil || !st.valid.Check(pk) {
+			f.Dropped++
+			return true, delay
+		}
+		return false, delay
+
+	case IF:
+		if !ingress {
+			return false, 0
+		}
+		// Ingress only, charged at f(p).
+		f.Lookups++
+		delay := f.lookupDelay(st.modelEntries)
+		if st.valid == nil || !st.valid.Check(pk) {
+			f.Dropped++
+			return true, delay
+		}
+		return false, delay
+
+	case SIF:
+		if !ingress || !st.active {
+			return false, 0
+		}
+		f.Lookups++
+		overflowed := st.valid != nil && len(st.invalid) >= st.valid.Len()
+		var drop bool
+		var delay sim.Time
+		if overflowed {
+			// Fallback: positive filtering against the valid table.
+			delay = f.lookupDelay(st.modelEntries)
+			drop = !st.valid.Check(pk)
+		} else {
+			// Invalid-table lookup: f(min(Avg(p), p)).
+			delay = f.lookupDelay(len(st.invalid))
+			drop = st.invalid[pk.Base()]
+		}
+		if drop {
+			st.violations++
+			f.Dropped++
+			return true, delay
+		}
+		return false, delay
+	}
+	return false, 0
+}

@@ -1,0 +1,257 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+)
+
+// Device is anything with ports: a switch or an HCA. The fabric calls
+// arrive when a packet has fully landed in the device's input buffer on
+// the given port; the device must call d.ReturnCredit() exactly once when
+// the packet leaves that buffer.
+type Device interface {
+	Name() string
+	arrive(port int, d *Delivery)
+}
+
+// Port is one physical port of a device. Its out channel transmits toward
+// the link peer; arriving packets are handed to the owning device.
+type Port struct {
+	owner Device
+	id    int
+	out   *outChannel
+}
+
+// Connected reports whether the port has been wired to a peer.
+func (p *Port) Connected() bool { return p != nil && p.out != nil }
+
+// outChannel is one direction of a link: the sender-side output queues,
+// per-VL credit counters, and the serializer. All state is driven by the
+// single simulation goroutine.
+type outChannel struct {
+	sim     *sim.Simulator
+	params  *Params
+	peer    Device
+	peerIn  int // peer's port id
+	queues  [NumVLs][]*Delivery
+	credits [NumVLs]int
+	busy    bool
+	rr      [NumVLs]int // per-priority-level round-robin cursor base
+	// queuedBytes tracks the backlog for realtime source backpressure.
+	queuedBytes int
+
+	// Weighted-arbitration state (ArbWeighted): per-VL remaining WRR
+	// quantum and the consecutive high-priority service counter.
+	quantum [NumVLs]int
+	hiRun   int
+
+	// Link accounting for utilization reports.
+	bytesSent uint64
+	busyTime  sim.Time
+}
+
+// Connect wires port pa of device a to port pb of device b with a
+// full-duplex link using the given parameters. Ports are created lazily;
+// reconnecting a port panics.
+func Connect(s *sim.Simulator, params *Params, a Device, pa int, b Device, pb int) {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	ach := &outChannel{sim: s, params: params, peer: b, peerIn: pb}
+	bch := &outChannel{sim: s, params: params, peer: a, peerIn: pa}
+	for vl := 0; vl < NumVLs; vl++ {
+		ach.credits[vl] = params.CreditsPerVL
+		bch.credits[vl] = params.CreditsPerVL
+	}
+	bindPort(a, pa, ach)
+	bindPort(b, pb, bch)
+}
+
+// porter lets Connect reach the devices' port slices without exposing
+// them; Switch and HCA implement it.
+type porter interface {
+	bind(port int, ch *outChannel)
+}
+
+func bindPort(d Device, port int, ch *outChannel) {
+	p, ok := d.(porter)
+	if !ok {
+		panic(fmt.Sprintf("fabric: device %s cannot bind ports", d.Name()))
+	}
+	p.bind(port, ch)
+}
+
+// enqueue appends a delivery to the VL's output queue and kicks the
+// serializer.
+func (c *outChannel) enqueue(d *Delivery) {
+	if int(d.VL) >= NumVLs {
+		panic(fmt.Sprintf("fabric: VL %d out of range", d.VL))
+	}
+	c.queues[d.VL] = append(c.queues[d.VL], d)
+	c.queuedBytes += d.Pkt.WireSize()
+	c.trySend()
+}
+
+// QueueLen returns the number of packets waiting on a VL (used by
+// realtime sources for admission decisions).
+func (c *outChannel) QueueLen(vl uint8) int { return len(c.queues[vl]) }
+
+// eligible reports whether a VL has both a queued packet and a credit.
+func (c *outChannel) eligible(vl int) bool {
+	return len(c.queues[vl]) > 0 && c.credits[vl] > 0
+}
+
+// pickVL chooses the next VL to serve according to the configured
+// arbiter.
+func (c *outChannel) pickVL() int {
+	if c.params.Arbitration == ArbWeighted {
+		return c.pickVLWeighted()
+	}
+	bestPrio := -1 << 31
+	best := -1
+	for off := 0; off < NumVLs; off++ {
+		vl := (c.rr[0] + off) % NumVLs
+		if !c.eligible(vl) {
+			continue
+		}
+		if p := c.params.VLPriority[vl]; p > bestPrio {
+			bestPrio = p
+			best = vl
+		}
+	}
+	return best
+}
+
+// pickVLWeighted implements the IBA-style two-table arbiter: WRR over
+// the high-priority VLs (VLPriority > 0), with one low-priority packet
+// forced through after HighPriLimit consecutive high-priority services.
+func (c *outChannel) pickVLWeighted() int {
+	limit := c.params.HighPriLimit
+	if limit <= 0 {
+		limit = 4
+	}
+	pickGroup := func(high bool) int {
+		// Two passes: first VLs with remaining quantum, then refill.
+		for pass := 0; pass < 2; pass++ {
+			for off := 0; off < NumVLs; off++ {
+				vl := (c.rr[0] + off) % NumVLs
+				isHigh := c.params.VLPriority[vl] > 0
+				if isHigh != high || !c.eligible(vl) {
+					continue
+				}
+				if c.quantum[vl] > 0 {
+					c.quantum[vl]--
+					return vl
+				}
+			}
+			// Refill this group's quanta and retry once.
+			for vl := 0; vl < NumVLs; vl++ {
+				if (c.params.VLPriority[vl] > 0) == high {
+					w := c.params.VLWeights[vl]
+					if w <= 0 {
+						w = 1
+					}
+					c.quantum[vl] = w
+				}
+			}
+		}
+		return -1
+	}
+	// Anti-starvation: after limit high-priority packets, serve one
+	// low-priority packet if any is waiting.
+	if c.hiRun >= limit {
+		if vl := pickGroup(false); vl >= 0 {
+			c.hiRun = 0
+			return vl
+		}
+	}
+	if vl := pickGroup(true); vl >= 0 {
+		c.hiRun++
+		return vl
+	}
+	if vl := pickGroup(false); vl >= 0 {
+		c.hiRun = 0
+		return vl
+	}
+	return -1
+}
+
+// maybeCorrupt applies the link bit-error model: with the per-packet
+// strike probability 1-(1-BER)^bits, one uniformly random wire bit is
+// flipped and the packet re-parsed. Flips that destroy the framing mark
+// the delivery malformed; all strikes taint it for CRC verification
+// downstream.
+func (c *outChannel) maybeCorrupt(d *Delivery) {
+	ber := c.params.BitErrorRate
+	if ber == 0 {
+		return
+	}
+	bits := d.Pkt.WireSize() * 8
+	pStrike := -math.Expm1(float64(bits) * math.Log1p(-ber))
+	if c.params.RNG.Float64() >= pStrike {
+		return
+	}
+	wire := d.Pkt.Marshal()
+	i := c.params.RNG.Intn(len(wire) * 8)
+	wire[i/8] ^= 1 << uint(i%8)
+	var q packet.Packet
+	if err := q.Unmarshal(wire); err != nil {
+		d.Malformed = true
+	} else {
+		d.Pkt = &q
+	}
+	d.Tainted = true
+}
+
+// trySend starts serializing the next eligible packet if the link is
+// idle. It reschedules itself at serialization end and on credit return.
+func (c *outChannel) trySend() {
+	if c.busy {
+		return
+	}
+	vl := c.pickVL()
+	if vl < 0 {
+		return
+	}
+	d := c.queues[vl][0]
+	c.queues[vl] = c.queues[vl][1:]
+	c.queuedBytes -= d.Pkt.WireSize()
+	c.credits[vl]--
+	c.rr[0] = (vl + 1) % NumVLs
+	c.busy = true
+
+	// Source injection: stamp the first byte on the wire.
+	if !d.injected {
+		d.injected = true
+		d.InjectedAt = c.sim.Now()
+	}
+	// The packet leaves the upstream input buffer as it starts down the
+	// wire; that frees the upstream credit.
+	d.ReturnCredit()
+
+	ser := c.params.SerializationDelay(d.Pkt.WireSize())
+	c.bytesSent += uint64(d.Pkt.WireSize())
+	c.busyTime += ser
+	ch := c // capture
+	c.sim.Schedule(ser, func() {
+		ch.busy = false
+		ch.trySend()
+	})
+	c.maybeCorrupt(d)
+	c.sim.Schedule(ser+c.params.PropDelay, func() {
+		// Store-and-forward: the peer sees the packet once fully
+		// received. The packet now occupies one credit of the peer's
+		// input buffer until the peer consumes it.
+		d.creditor = func() {
+			// Credit return travels back over the wire.
+			ch.sim.Schedule(ch.params.PropDelay, func() {
+				ch.credits[vl]++
+				ch.trySend()
+			})
+		}
+		ch.peer.arrive(ch.peerIn, d)
+	})
+}

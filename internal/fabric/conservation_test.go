@@ -1,0 +1,118 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"ibasec/internal/icrc"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+)
+
+// Conservation property: across random traffic patterns, every injected
+// packet is accounted for exactly once — delivered, P_Key-rejected,
+// filtered, unroutable, or CRC-dropped — and when the network drains, no
+// packet remains in flight. This is the lossless-fabric invariant the
+// paper's queuing-time argument rests on.
+func TestPropertyPacketConservation(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		params := DefaultParams()
+		params.CreditsPerVL = 1 + rng.Intn(4)
+		if trial%3 == 0 {
+			params.Arbitration = ArbWeighted
+			params.HighPriLimit = 1 + rng.Intn(4)
+		}
+		s := sim.New()
+
+		// Random small topology: a chain of 2-4 switches, one HCA each.
+		nsw := 2 + rng.Intn(3)
+		sws := make([]*Switch, nsw)
+		hcas := make([]*HCA, nsw)
+		for i := 0; i < nsw; i++ {
+			sws[i] = NewSwitch(s, params, "sw", 5)
+			hcas[i] = NewHCA(s, params, "hca", packet.LID(i+1))
+			Connect(s, params, hcas[i], 0, sws[i], 0)
+			sws[i].MarkIngress(0)
+		}
+		for i := 0; i+1 < nsw; i++ {
+			Connect(s, params, sws[i], 1, sws[i+1], 2)
+		}
+		for i := 0; i < nsw; i++ {
+			for dst := 0; dst < nsw; dst++ {
+				port := 0
+				if dst > i {
+					port = 1
+				} else if dst < i {
+					port = 2
+				}
+				sws[i].SetRoute(packet.LID(dst+1), port)
+			}
+		}
+		good := packet.PKey(0x8001)
+		for _, h := range hcas {
+			h.PKeyTable.Add(good)
+		}
+
+		delivered := 0
+		for _, h := range hcas {
+			h.OnDeliver = func(d *Delivery) { delivered++ }
+		}
+
+		sent := 0
+		for i := 0; i < 100; i++ {
+			src := rng.Intn(nsw)
+			dst := rng.Intn(nsw)
+			if dst == src {
+				continue
+			}
+			pk := good
+			if rng.Intn(5) == 0 {
+				pk = packet.PKey(rng.Intn(1 << 15)) // likely invalid
+			}
+			dlid := packet.LID(dst + 1)
+			if rng.Intn(20) == 0 {
+				dlid = packet.LID(200) // unroutable
+			}
+			vl := VLBestEffort
+			class := ClassBestEffort
+			if rng.Intn(3) == 0 {
+				vl, class = VLRealtime, ClassRealtime
+			}
+			p := &packet.Packet{
+				LRH:     packet.LRH{SLID: packet.LID(src + 1), DLID: dlid},
+				BTH:     packet.BTH{OpCode: packet.UDSendOnly, PKey: pk, DestQP: 1, PSN: uint32(i)},
+				DETH:    &packet.DETH{QKey: 1, SrcQP: 1},
+				Payload: make([]byte, rng.Intn(1024)),
+			}
+			if err := icrc.Seal(p); err != nil {
+				t.Fatal(err)
+			}
+			hcas[src].Send(&Delivery{Pkt: p, Class: class, VL: vl})
+			sent++
+		}
+		s.Run()
+
+		var rejected, unroutable, dead uint64
+		for _, h := range hcas {
+			rejected += h.PKeyViolations()
+		}
+		for _, sw := range sws {
+			unroutable += sw.Counters.Get("unroutable")
+			dead += sw.Counters.Get("dead_port")
+		}
+		total := delivered + int(rejected) + int(unroutable) + int(dead)
+		if total != sent {
+			t.Fatalf("trial %d: sent %d but accounted %d (delivered %d, rejected %d, unroutable %d, dead %d)",
+				trial, sent, total, delivered, rejected, unroutable, dead)
+		}
+		// Drained network: every send queue empty.
+		for _, h := range hcas {
+			for vl := uint8(0); vl < NumVLs; vl++ {
+				if h.SendQueueLen(vl) != 0 {
+					t.Fatalf("trial %d: packets stuck in a drained network", trial)
+				}
+			}
+		}
+	}
+}

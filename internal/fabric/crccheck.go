@@ -1,0 +1,19 @@
+package fabric
+
+import "ibasec/internal/icrc"
+
+// vcrcOK verifies a delivery's variant CRC. Clean (untainted) packets
+// pass without re-marshalling: a packet that no error event touched
+// always carries the VCRC it was sealed with, so skipping the check is
+// behaviour-preserving. Malformed packets (corruption destroyed the
+// framing) always fail.
+func vcrcOK(d *Delivery) bool {
+	if d.Malformed {
+		return false
+	}
+	if !d.Tainted {
+		return true
+	}
+	ok, err := icrc.VerifyVCRC(d.Pkt.Marshal())
+	return err == nil && ok
+}

@@ -1,0 +1,180 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ibasec/internal/icrc"
+	"ibasec/internal/keys"
+	"ibasec/internal/metrics"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+)
+
+// HCA is a Host Channel Adapter: one port into the fabric, per-VL send
+// queues (whose occupancy defines the paper's queuing-time metric), a
+// mandatory partition table (IBA requires HCAs to enforce partitioning;
+// section 3 of the paper), and an upcall to the transport layer for
+// received packets.
+type HCA struct {
+	name   string
+	lid    packet.LID
+	sim    *sim.Simulator
+	params *Params
+	port   *Port
+
+	// PKeyTable is the HCA's partition table; every arriving data
+	// packet is checked against it.
+	PKeyTable *keys.PartitionTable
+
+	// OnDeliver receives packets that passed the P_Key check.
+	OnDeliver func(d *Delivery)
+	// OnPKeyViolation fires for packets failing the P_Key check, after
+	// the violation counter increments; the subnet-management layer
+	// hooks traps here (section 3.3).
+	OnPKeyViolation func(d *Delivery)
+
+	// ExtraSendDelay is charged once per injected packet before
+	// serialization, modelling per-message work such as MAC generation
+	// (one clock cycle in the paper's section 6 analysis). The work is
+	// performed by a single serial engine: when messages arrive faster
+	// than the engine drains, they queue — which is how a MAC slower
+	// than the link becomes the bottleneck (paper section 7).
+	ExtraSendDelay sim.Time
+
+	Counters *metrics.Counters
+
+	pkeyViolations uint64
+	engineBusyTil  sim.Time
+	guid           uint64
+}
+
+// NewHCA creates an HCA with the given LID.
+func NewHCA(s *sim.Simulator, params *Params, name string, lid packet.LID) *HCA {
+	h := &HCA{
+		name:      name,
+		lid:       lid,
+		sim:       s,
+		params:    params,
+		PKeyTable: keys.NewPartitionTable(0),
+		Counters:  metrics.NewCounters(),
+	}
+	h.port = &Port{owner: h, id: 0}
+	return h
+}
+
+// Name returns the HCA's name.
+func (h *HCA) Name() string { return h.name }
+
+// LID returns the HCA's local identifier (0 until assigned).
+func (h *HCA) LID() packet.LID { return h.lid }
+
+// SetLID assigns the HCA's local identifier — in a real subnet this is
+// the Subnet Manager's job, done in-band during discovery.
+func (h *HCA) SetLID(lid packet.LID) { h.lid = lid }
+
+// SetGUID assigns the node GUID reported in NodeInfo.
+func (h *HCA) SetGUID(g uint64) { h.guid = g }
+
+// GUID returns the node GUID.
+func (h *HCA) GUID() uint64 { return h.guid }
+
+// Sim returns the simulator driving this HCA.
+func (h *HCA) Sim() *sim.Simulator { return h.sim }
+
+// Params returns the fabric parameters.
+func (h *HCA) Params() *Params { return h.params }
+
+func (h *HCA) bind(port int, ch *outChannel) {
+	if port != 0 {
+		panic(fmt.Sprintf("fabric: HCA %s has a single port", h.name))
+	}
+	if h.port.out != nil {
+		panic(fmt.Sprintf("fabric: HCA %s already connected", h.name))
+	}
+	h.port.out = ch
+}
+
+// Send queues a packet for injection. The delivery is stamped with the
+// enqueue time; its queuing time ends when serialization starts. The
+// source LID is filled in when unset but an explicit SLID is preserved:
+// a compromised node controls its own LRH, and source spoofing is part
+// of the paper's threat model (section 2.1).
+func (h *HCA) Send(d *Delivery) {
+	if h.port.out == nil {
+		panic(fmt.Sprintf("fabric: HCA %s not connected", h.name))
+	}
+	if d.Pkt.LRH.SLID == 0 {
+		d.Pkt.LRH.SLID = h.lid
+	}
+	d.Pkt.LRH.VL = d.VL
+	d.EnqueuedAt = h.sim.Now()
+	h.Counters.Inc("sent", 1)
+	h.params.observe(h.sim.Now(), ObsEnqueue, h.name, d)
+	if h.ExtraSendDelay > 0 {
+		start := h.sim.Now()
+		if h.engineBusyTil > start {
+			start = h.engineBusyTil
+		}
+		h.engineBusyTil = start + h.ExtraSendDelay
+		h.sim.ScheduleAt(h.engineBusyTil, func() { h.port.out.enqueue(d) })
+		return
+	}
+	h.port.out.enqueue(d)
+}
+
+// SendQueueLen returns the number of packets waiting on a VL, the signal
+// realtime sources use to withhold traffic when the network cannot
+// sustain their rate (section 3.1).
+func (h *HCA) SendQueueLen(vl uint8) int {
+	if h.port.out == nil {
+		return 0
+	}
+	return h.port.out.QueueLen(vl)
+}
+
+// PKeyViolations returns the HCA's P_Key violation counter (the IBA
+// counter the paper's trap mechanism is built on).
+func (h *HCA) PKeyViolations() uint64 { return h.pkeyViolations }
+
+// PortStats returns the bytes transmitted and cumulative serialization
+// time on the HCA's outbound link.
+func (h *HCA) PortStats() (bytes uint64, busy sim.Time) {
+	if h.port.out == nil {
+		return 0, 0
+	}
+	return h.port.out.bytesSent, h.port.out.busyTime
+}
+
+// arrive implements Device: verify CRCs, check the partition table,
+// then deliver. The VCRC guards the last link; the ICRC (when the packet
+// is not carrying an authentication tag) guards end to end.
+func (h *HCA) arrive(_ int, d *Delivery) {
+	d.DeliveredAt = h.sim.Now()
+	d.ReturnCredit()
+	if !vcrcOK(d) {
+		h.Counters.Inc("vcrc_drops", 1)
+		h.params.observe(h.sim.Now(), ObsCRCDrop, h.name, d)
+		return
+	}
+	if d.Tainted && d.Pkt.BTH.AuthID == 0 {
+		if ok, err := icrc.VerifyICRC(d.Pkt.Marshal()); err != nil || !ok {
+			h.Counters.Inc("icrc_drops", 1)
+			h.params.observe(h.sim.Now(), ObsCRCDrop, h.name, d)
+			return
+		}
+	}
+	if d.Class != ClassManagement && !h.PKeyTable.Check(d.Pkt.BTH.PKey) {
+		h.pkeyViolations++
+		h.Counters.Inc("pkey_violations", 1)
+		h.params.observe(h.sim.Now(), ObsPKeyReject, h.name, d)
+		if h.OnPKeyViolation != nil {
+			h.OnPKeyViolation(d)
+		}
+		return
+	}
+	h.Counters.Inc("delivered", 1)
+	h.params.observe(h.sim.Now(), ObsDeliver, h.name, d)
+	if h.OnDeliver != nil {
+		h.OnDeliver(d)
+	}
+}

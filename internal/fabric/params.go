@@ -1,0 +1,232 @@
+// Package fabric is the packet-level InfiniBand fabric model: full-duplex
+// serial links with credit-based flow control, 16 virtual lanes with
+// priority arbitration, 5-port store-and-forward switches, and Host
+// Channel Adapters with per-VL send queues. It reproduces the paper's
+// simulation testbed (section 3.1, Table 1): 2.5 Gb/s 1x links, 16 VLs
+// per physical link, MTU 1024 bytes, realtime and best-effort traffic on
+// separate VLs with realtime given arbitration priority.
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ibasec/internal/sim"
+)
+
+// NumVLs is the number of virtual lanes per physical link (Table 1).
+const NumVLs = 16
+
+// VL assignment used throughout the testbed. Best-effort and realtime
+// traffic ride separate data VLs so they "do not interfere with each
+// other" (section 3.1); VL 15 is the management lane (SMPs, traps).
+const (
+	VLBestEffort uint8 = 0
+	VLRealtime   uint8 = 1
+	VLManagement uint8 = 15
+)
+
+// Class labels a traffic class for metrics.
+type Class int
+
+// Traffic classes.
+const (
+	ClassBestEffort Class = iota
+	ClassRealtime
+	ClassManagement
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassBestEffort:
+		return "best-effort"
+	case ClassRealtime:
+		return "realtime"
+	case ClassManagement:
+		return "management"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// VL returns the virtual lane a class travels on.
+func (c Class) VL() uint8 {
+	switch c {
+	case ClassRealtime:
+		return VLRealtime
+	case ClassManagement:
+		return VLManagement
+	default:
+		return VLBestEffort
+	}
+}
+
+// Params holds the physical and architectural constants of the testbed.
+type Params struct {
+	// LinkBandwidth is the raw link signalling rate in bits per second
+	// (Table 1: 2.5 Gb/s for a 1x link).
+	LinkBandwidth float64
+	// PropDelay is the one-way wire propagation plus receiver latch
+	// delay per link.
+	PropDelay sim.Time
+	// CreditsPerVL is the downstream input-buffer capacity per VL, in
+	// packets (credit-based flow control: a sender transmits on a VL
+	// only while it holds credits).
+	CreditsPerVL int
+	// SwitchLookup is the base per-packet forwarding latency inside a
+	// switch (routing table access and arbitration setup).
+	SwitchLookup sim.Time
+	// ClockCycle is the switch/CA core clock period; the paper charges
+	// partition-enforcement table lookups and MAC generation in units
+	// of one cycle (section 6 assumes a CACTI-modelled 1-cycle SRAM
+	// access).
+	ClockCycle sim.Time
+	// VLPriority maps each VL to an arbitration priority; higher wins.
+	// Equal-priority VLs are served round-robin. Defaults give the
+	// realtime VL priority over best-effort and the management VL top
+	// priority, matching "IBA's VL arbitration gives higher priority
+	// to realtime traffic" (section 3.2).
+	VLPriority [NumVLs]int
+	// Arbitration selects the arbiter. ArbStrictPriority always serves
+	// the highest-priority eligible VL; ArbWeighted models the IBA
+	// high/low-priority weighted-round-robin tables (IBA 7.6.9): VLs
+	// with VLPriority > 0 form the high-priority table and are served
+	// WRR by VLWeights, but after HighPriLimit consecutive
+	// high-priority packets one low-priority packet is served if
+	// waiting, so low-priority lanes cannot starve.
+	Arbitration ArbitrationMode
+	// VLWeights are the WRR quanta (in packets) for ArbWeighted; zero
+	// means weight 1.
+	VLWeights [NumVLs]int
+	// HighPriLimit bounds consecutive high-priority packets in
+	// ArbWeighted (the IBA Limit of High-Priority counter); zero means
+	// 4.
+	HighPriLimit int
+
+	// BitErrorRate is the per-bit corruption probability on every
+	// link. When a packet is struck, a uniformly random wire bit flips;
+	// the per-link VCRC catches it at the next device and the
+	// end-to-end ICRC (or authentication tag) at the destination.
+	// Requires RNG when non-zero.
+	BitErrorRate float64
+	// RNG drives corruption draws (and nothing else in the fabric);
+	// the model stays deterministic for a fixed seed.
+	RNG *rand.Rand
+
+	// Observer, when non-nil, receives a callback for every notable
+	// packet event (enqueue, forward, filter, drop, deliver) — the hook
+	// the trace package records through. Keep implementations cheap:
+	// they run inline with the simulation.
+	Observer Observer
+}
+
+// ObsKind labels an observed packet event.
+type ObsKind uint8
+
+// Observed event kinds.
+const (
+	ObsEnqueue    ObsKind = iota + 1 // packet entered an HCA send queue
+	ObsForward                       // switch forwarded toward the next hop
+	ObsFiltered                      // partition enforcement dropped it
+	ObsUnroutable                    // no forwarding entry
+	ObsCRCDrop                       // VCRC/ICRC verification failed
+	ObsPKeyReject                    // destination HCA partition check failed
+	ObsDeliver                       // destination HCA accepted it
+)
+
+func (k ObsKind) String() string {
+	switch k {
+	case ObsEnqueue:
+		return "enqueue"
+	case ObsForward:
+		return "forward"
+	case ObsFiltered:
+		return "filtered"
+	case ObsUnroutable:
+		return "unroutable"
+	case ObsCRCDrop:
+		return "crc-drop"
+	case ObsPKeyReject:
+		return "pkey-reject"
+	case ObsDeliver:
+		return "deliver"
+	default:
+		return "unknown"
+	}
+}
+
+// Observer receives packet lifecycle events.
+type Observer interface {
+	Observe(at sim.Time, kind ObsKind, node string, d *Delivery)
+}
+
+// observe emits an event if an observer is configured.
+func (p *Params) observe(at sim.Time, kind ObsKind, node string, d *Delivery) {
+	if p.Observer != nil {
+		p.Observer.Observe(at, kind, node, d)
+	}
+}
+
+// ArbitrationMode selects the VL arbiter implementation.
+type ArbitrationMode int
+
+// Arbiter choices.
+const (
+	// ArbStrictPriority: higher VLPriority always wins (the paper's
+	// "VL arbitration gives higher priority to realtime traffic").
+	ArbStrictPriority ArbitrationMode = iota
+	// ArbWeighted: IBA-style two-table weighted round robin with a
+	// high-priority limit counter.
+	ArbWeighted
+)
+
+func (m ArbitrationMode) String() string {
+	if m == ArbWeighted {
+		return "weighted"
+	}
+	return "strict-priority"
+}
+
+// DefaultParams returns the paper's Table 1 testbed parameters.
+func DefaultParams() *Params {
+	p := &Params{
+		LinkBandwidth: 2.5e9,
+		PropDelay:     20 * sim.Nanosecond,
+		CreditsPerVL:  4,
+		SwitchLookup:  200 * sim.Nanosecond,
+		ClockCycle:    4 * sim.Nanosecond, // 250 MHz core clock
+	}
+	p.VLPriority[VLRealtime] = 1
+	p.VLPriority[VLManagement] = 2
+	return p
+}
+
+// ByteTime returns the serialization time of one byte on the link.
+func (p *Params) ByteTime() sim.Time {
+	return sim.Time(8e12/p.LinkBandwidth + 0.5)
+}
+
+// SerializationDelay returns the time to clock n bytes onto the link.
+func (p *Params) SerializationDelay(n int) sim.Time {
+	return sim.Time(n) * p.ByteTime()
+}
+
+// Validate reports configuration errors.
+func (p *Params) Validate() error {
+	if p.LinkBandwidth <= 0 {
+		return fmt.Errorf("fabric: non-positive link bandwidth %v", p.LinkBandwidth)
+	}
+	if p.CreditsPerVL <= 0 {
+		return fmt.Errorf("fabric: credits per VL must be positive, got %d", p.CreditsPerVL)
+	}
+	if p.PropDelay < 0 || p.SwitchLookup < 0 || p.ClockCycle < 0 {
+		return fmt.Errorf("fabric: negative delay parameter")
+	}
+	if p.BitErrorRate < 0 || p.BitErrorRate >= 1 {
+		return fmt.Errorf("fabric: bit error rate %v outside [0,1)", p.BitErrorRate)
+	}
+	if p.BitErrorRate > 0 && p.RNG == nil {
+		return fmt.Errorf("fabric: bit error injection needs an RNG")
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ibasec/internal/metrics"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+)
+
+// Filter is the partition-enforcement hook a switch consults for every
+// data packet (package enforce provides DPT/IF/SIF implementations;
+// section 3.3 of the paper). ingress is true when the packet entered on a
+// port directly connected to an end node. The filter returns whether to
+// drop the packet and how much lookup latency to charge.
+type Filter interface {
+	Inspect(sw *Switch, inPort int, ingress bool, d *Delivery) (drop bool, delay sim.Time)
+}
+
+// MADHandler processes management datagrams addressed to the switch
+// itself — most importantly directed-route SMPs, which are forwarded by
+// an explicit port path instead of the (possibly not yet programmed) LID
+// table. Returning true consumes the delivery: the handler has either
+// absorbed it or re-emitted it via SendRaw.
+type MADHandler interface {
+	HandleMAD(sw *Switch, inPort int, d *Delivery) bool
+}
+
+// Switch is a store-and-forward IBA switch with a LID-indexed linear
+// forwarding table. The testbed uses 5-port switches: port 0 to the local
+// HCA, ports 1-4 to neighbours (Table 1).
+type Switch struct {
+	name    string
+	sim     *sim.Simulator
+	params  *Params
+	ports   []*Port
+	ingress map[int]bool // ports directly connected to end nodes
+	fwd     map[packet.LID]int
+	filter  Filter
+	madh    MADHandler
+	guid    uint64
+
+	Counters *metrics.Counters
+}
+
+// NewSwitch creates a switch with nports ports.
+func NewSwitch(s *sim.Simulator, params *Params, name string, nports int) *Switch {
+	sw := &Switch{
+		name:     name,
+		sim:      s,
+		params:   params,
+		ports:    make([]*Port, nports),
+		ingress:  make(map[int]bool),
+		fwd:      make(map[packet.LID]int),
+		Counters: metrics.NewCounters(),
+	}
+	for i := range sw.ports {
+		sw.ports[i] = &Port{owner: sw, id: i}
+	}
+	return sw
+}
+
+// Name returns the switch's name.
+func (sw *Switch) Name() string { return sw.name }
+
+// NumPorts returns the port count.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// SetRoute installs "deliver packets for lid via port".
+func (sw *Switch) SetRoute(lid packet.LID, port int) {
+	if port < 0 || port >= len(sw.ports) {
+		panic(fmt.Sprintf("fabric: %s: route to invalid port %d", sw.name, port))
+	}
+	sw.fwd[lid] = port
+}
+
+// Route returns the output port for lid.
+func (sw *Switch) Route(lid packet.LID) (int, bool) {
+	p, ok := sw.fwd[lid]
+	return p, ok
+}
+
+// MarkIngress declares that a port connects directly to an end node, so
+// ingress filtering applies there.
+func (sw *Switch) MarkIngress(port int) { sw.ingress[port] = true }
+
+// IsIngress reports whether the port is an ingress (end-node-facing) port.
+func (sw *Switch) IsIngress(port int) bool { return sw.ingress[port] }
+
+// SetFilter installs the partition-enforcement filter (nil disables).
+func (sw *Switch) SetFilter(f Filter) { sw.filter = f }
+
+// SetMADHandler installs the management-datagram agent (nil disables).
+func (sw *Switch) SetMADHandler(h MADHandler) { sw.madh = h }
+
+// SetGUID assigns the switch's node GUID (reported in NodeInfo).
+func (sw *Switch) SetGUID(g uint64) { sw.guid = g }
+
+// GUID returns the switch's node GUID.
+func (sw *Switch) GUID() uint64 { return sw.guid }
+
+// SendRaw enqueues a delivery directly on an output port, bypassing the
+// forwarding table — the primitive directed-route forwarding is built on.
+// The caller must hold the delivery (e.g. from a MADHandler); its input
+// buffer credit is released when transmission starts, as usual.
+func (sw *Switch) SendRaw(port int, d *Delivery) {
+	if port < 0 || port >= len(sw.ports) || sw.ports[port].out == nil {
+		sw.Counters.Inc("dead_port", 1)
+		d.ReturnCredit()
+		return
+	}
+	sw.Counters.Inc("dr_forwarded", 1)
+	d.Hops++
+	sw.ports[port].out.enqueue(d)
+}
+
+// Sim returns the simulator driving this switch.
+func (sw *Switch) Sim() *sim.Simulator { return sw.sim }
+
+// PortConnected reports whether the port has been wired to a link.
+func (sw *Switch) PortConnected(port int) bool { return sw.ports[port].Connected() }
+
+// PortStats returns the bytes transmitted and cumulative serialization
+// time of the port's outbound channel (zero values when unconnected).
+func (sw *Switch) PortStats(port int) (bytes uint64, busy sim.Time) {
+	ch := sw.ports[port].out
+	if ch == nil {
+		return 0, 0
+	}
+	return ch.bytesSent, ch.busyTime
+}
+
+// Params returns the fabric parameters.
+func (sw *Switch) Params() *Params { return sw.params }
+
+func (sw *Switch) bind(port int, ch *outChannel) {
+	if sw.ports[port].out != nil {
+		panic(fmt.Sprintf("fabric: %s port %d already connected", sw.name, port))
+	}
+	sw.ports[port].out = ch
+}
+
+// arrive implements Device: route (and filter) after the lookup latency.
+// Corrupted packets are discarded by the per-link VCRC check first
+// (IBA 7.8: the variant CRC is validated at every link).
+func (sw *Switch) arrive(port int, d *Delivery) {
+	if !vcrcOK(d) {
+		sw.Counters.Inc("vcrc_drops", 1)
+		sw.params.observe(sw.sim.Now(), ObsCRCDrop, sw.name, d)
+		d.ReturnCredit()
+		return
+	}
+	// Management agent first: directed-route SMPs are forwarded by an
+	// explicit path, not by the LID table (which may not be programmed
+	// yet during subnet discovery).
+	if d.Class == ClassManagement && sw.madh != nil {
+		sw.sim.Schedule(sw.params.SwitchLookup, func() {
+			if sw.madh != nil && sw.madh.HandleMAD(sw, port, d) {
+				return
+			}
+			sw.routeByLID(d)
+		})
+		return
+	}
+	delay := sw.params.SwitchLookup
+	drop := false
+	if sw.filter != nil {
+		fdrop, fdelay := sw.filter.Inspect(sw, port, sw.ingress[port], d)
+		drop = fdrop
+		delay += fdelay
+	}
+	sw.sim.Schedule(delay, func() {
+		if drop {
+			sw.Counters.Inc("filtered", 1)
+			sw.params.observe(sw.sim.Now(), ObsFiltered, sw.name, d)
+			d.ReturnCredit()
+			return
+		}
+		sw.routeByLID(d)
+	})
+}
+
+// routeByLID performs the normal forwarding-table lookup and enqueue.
+func (sw *Switch) routeByLID(d *Delivery) {
+	out, ok := sw.fwd[d.Pkt.LRH.DLID]
+	if !ok {
+		sw.Counters.Inc("unroutable", 1)
+		sw.params.observe(sw.sim.Now(), ObsUnroutable, sw.name, d)
+		d.ReturnCredit()
+		return
+	}
+	ch := sw.ports[out].out
+	if ch == nil {
+		sw.Counters.Inc("dead_port", 1)
+		sw.params.observe(sw.sim.Now(), ObsUnroutable, sw.name, d)
+		d.ReturnCredit()
+		return
+	}
+	d.Hops++
+	sw.Counters.Inc("forwarded", 1)
+	sw.params.observe(sw.sim.Now(), ObsForward, sw.name, d)
+	ch.enqueue(d)
+}

@@ -1,0 +1,257 @@
+package icrc
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ibasec/internal/packet"
+)
+
+func mkPacket(payload int, grh bool) *packet.Packet {
+	p := &packet.Packet{
+		LRH:  packet.LRH{VL: 3, SL: 1, DLID: 9, SLID: 4},
+		BTH:  packet.BTH{OpCode: packet.UDSendOnly, PKey: 0x8005, DestQP: 11, PSN: 77},
+		DETH: &packet.DETH{QKey: 0x1234, SrcQP: 6},
+	}
+	if grh {
+		p.GRH = &packet.GRH{TClass: 1, FlowLabel: 2, HopLmt: 64}
+	}
+	p.Payload = make([]byte, payload)
+	for i := range p.Payload {
+		p.Payload[i] = byte(i * 7)
+	}
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Our table-driven CRC-32 must match the stdlib IEEE implementation on raw
+// data — both are the reflected 0x04C11DB7 CRC.
+func TestCRC32MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		n := rng.Intn(2000)
+		data := make([]byte, n)
+		rng.Read(data)
+		if got, want := CRC32(data), crc32.ChecksumIEEE(data); got != want {
+			t.Fatalf("len %d: CRC32 = %#x, stdlib = %#x", n, got, want)
+		}
+	}
+}
+
+func TestCRC32BitwiseMatchesTable(t *testing.T) {
+	f := func(data []byte) bool { return CRC32(data) == CRC32Bitwise(data) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32KnownVector(t *testing.T) {
+	// The classic CRC-32 check value: "123456789" -> 0xCBF43926.
+	if got := CRC32([]byte("123456789")); got != 0xCBF43926 {
+		t.Fatalf("CRC32(check) = %#x, want 0xCBF43926", got)
+	}
+}
+
+func TestCRC16Properties(t *testing.T) {
+	if CRC16(nil) != 0xFFFF {
+		t.Fatalf("CRC16(empty) = %#x, want init value 0xFFFF", CRC16(nil))
+	}
+	a := CRC16([]byte("hello"))
+	b := CRC16([]byte("hellp"))
+	if a == b {
+		t.Fatal("CRC16 failed to distinguish single-bit-different inputs")
+	}
+	if a != CRC16([]byte("hello")) {
+		t.Fatal("CRC16 not deterministic")
+	}
+}
+
+// Single-bit errors anywhere in the protected region must be detected by
+// CRC32 (guaranteed property of any CRC with a poly of degree > 1).
+func TestCRC32DetectsSingleBitErrors(t *testing.T) {
+	data := make([]byte, 256)
+	rand.New(rand.NewSource(3)).Read(data)
+	base := CRC32(data)
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			data[i] ^= 1 << bit
+			if CRC32(data) == base {
+				t.Fatalf("missed single-bit flip at byte %d bit %d", i, bit)
+			}
+			data[i] ^= 1 << bit
+		}
+	}
+}
+
+func TestSealVerify(t *testing.T) {
+	p := mkPacket(200, false)
+	if err := Seal(p); err != nil {
+		t.Fatal(err)
+	}
+	wire := p.Marshal()
+	if ok, err := VerifyICRC(wire); err != nil || !ok {
+		t.Fatalf("VerifyICRC = %v, %v", ok, err)
+	}
+	if ok, err := VerifyVCRC(wire); err != nil || !ok {
+		t.Fatalf("VerifyVCRC = %v, %v", ok, err)
+	}
+}
+
+// The defining property of the ICRC: changing variant fields (VL, Resv8a,
+// GRH TClass/FlowLabel/HopLmt) must NOT change it; changing invariant
+// fields must.
+func TestICRCInvariance(t *testing.T) {
+	p := mkPacket(64, true)
+	if err := Seal(p); err != nil {
+		t.Fatal(err)
+	}
+	base := p.ICRC
+
+	q := p.Clone()
+	q.LRH.VL = 9 // switch remaps the VL
+	q.GRH.TClass = 0xAA
+	q.GRH.FlowLabel = 0x1FFFF
+	q.GRH.HopLmt = 1
+	q.BTH.AuthID = 0 // keep zero; we only recompute
+	ic, err := ICRC(q.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic != base {
+		t.Fatalf("ICRC changed when only variant fields changed: %#x vs %#x", ic, base)
+	}
+
+	// Resv8a itself is variant — the paper's whole trick relies on this.
+	q2 := p.Clone()
+	q2.BTH.AuthID = 0xFF
+	ic2, err := ICRC(q2.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic2 != base {
+		t.Fatal("ICRC covers Resv8a; the paper's AuthID encoding would break packets")
+	}
+
+	// Invariant fields must be covered.
+	for name, mut := range map[string]func(*packet.Packet){
+		"DLID":    func(r *packet.Packet) { r.LRH.DLID++ },
+		"SLID":    func(r *packet.Packet) { r.LRH.SLID++ },
+		"PKey":    func(r *packet.Packet) { r.BTH.PKey++ },
+		"DestQP":  func(r *packet.Packet) { r.BTH.DestQP++ },
+		"PSN":     func(r *packet.Packet) { r.BTH.PSN++ },
+		"QKey":    func(r *packet.Packet) { r.DETH.QKey++ },
+		"payload": func(r *packet.Packet) { r.Payload[10] ^= 1 },
+		"SGID":    func(r *packet.Packet) { r.GRH.SGID[0] ^= 1 },
+	} {
+		r := p.Clone()
+		mut(r)
+		ic, err := ICRC(r.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ic == base {
+			t.Errorf("ICRC did not cover invariant field %s", name)
+		}
+	}
+}
+
+// VCRC must change when anything before it changes, including the VL and
+// the ICRC field itself.
+func TestVCRCCoversEverything(t *testing.T) {
+	p := mkPacket(32, false)
+	if err := Seal(p); err != nil {
+		t.Fatal(err)
+	}
+	base := p.VCRC
+	for name, mut := range map[string]func(*packet.Packet){
+		"VL":   func(r *packet.Packet) { r.LRH.VL++ },
+		"ICRC": func(r *packet.Packet) { r.ICRC ^= 1 },
+	} {
+		r := p.Clone()
+		mut(r)
+		vc, err := VCRC(r.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vc == base {
+			t.Errorf("VCRC did not cover %s", name)
+		}
+	}
+}
+
+// When an authentication tag occupies the ICRC field (AuthID != 0), Seal
+// must leave the tag alone and still produce a valid VCRC.
+func TestSealPreservesAuthTag(t *testing.T) {
+	p := mkPacket(16, false)
+	p.BTH.AuthID = 3
+	p.ICRC = 0xA5A5A5A5 // pretend MAC tag
+	if err := Seal(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ICRC != 0xA5A5A5A5 {
+		t.Fatalf("Seal overwrote the authentication tag: %#x", p.ICRC)
+	}
+	if ok, err := VerifyVCRC(p.Marshal()); err != nil || !ok {
+		t.Fatalf("VCRC invalid on auth packet: %v %v", ok, err)
+	}
+}
+
+func TestWireCorruptionDetected(t *testing.T) {
+	p := mkPacket(512, false)
+	if err := Seal(p); err != nil {
+		t.Fatal(err)
+	}
+	wire := p.Marshal()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		w := append([]byte(nil), wire...)
+		// Corrupt a random bit in the invariant region.
+		i := rng.Intn(len(w) - packet.ICRCSize - packet.VCRCSize)
+		if i == 0 || i == packet.LRHSize+4 {
+			continue // VL nibble / Resv8a are variant: legitimately mutable
+		}
+		w[i] ^= 1 << uint(rng.Intn(8))
+		okI, _ := VerifyICRC(w)
+		okV, _ := VerifyVCRC(w)
+		if okI && okV {
+			t.Fatalf("corruption at byte %d undetected by both CRCs", i)
+		}
+	}
+}
+
+func TestShortBufferErrors(t *testing.T) {
+	if _, err := ICRC(make([]byte, 8)); err == nil {
+		t.Fatal("ICRC accepted short buffer")
+	}
+	if _, err := VCRC(make([]byte, 8)); err == nil {
+		t.Fatal("VCRC accepted short buffer")
+	}
+	if _, err := VerifyICRC(make([]byte, 3)); err == nil {
+		t.Fatal("VerifyICRC accepted short buffer")
+	}
+	if _, err := VerifyVCRC(make([]byte, 3)); err == nil {
+		t.Fatal("VerifyVCRC accepted short buffer")
+	}
+}
+
+func BenchmarkCRC32Table1024(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		CRC32(data)
+	}
+}
+
+func BenchmarkICRCSeal(b *testing.B) {
+	p := mkPacket(1024, false)
+	b.SetBytes(int64(p.WireSize()))
+	for i := 0; i < b.N; i++ {
+		if err := Seal(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

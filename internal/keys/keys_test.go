@@ -1,0 +1,222 @@
+package keys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ibasec/internal/packet"
+)
+
+func TestSecretKeyGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k1, err := NewSecretKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewSecretKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("two generated keys identical")
+	}
+	if k1 == (SecretKey{}) {
+		t.Fatal("generated key is all zeros")
+	}
+}
+
+func TestPartitionTableBasics(t *testing.T) {
+	pt := NewPartitionTable(0)
+	full := packet.PKey(0x8010)
+	if pt.Check(full) {
+		t.Fatal("empty table accepted a P_Key")
+	}
+	if err := pt.Add(full); err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Check(full) {
+		t.Fatal("member P_Key rejected")
+	}
+	if pt.Check(packet.PKey(0x8011)) {
+		t.Fatal("non-member accepted")
+	}
+	if pt.Len() != 1 {
+		t.Fatalf("Len = %d", pt.Len())
+	}
+	pt.Remove(full)
+	if pt.Check(full) {
+		t.Fatal("removed key still accepted")
+	}
+}
+
+// IBA 10.9.3: a limited-member packet is accepted only by a full member
+// (two limited members must not communicate).
+func TestPartitionMembershipRules(t *testing.T) {
+	base := uint16(0x0123)
+	fullKey := packet.PKey(0x8000 | base)
+	limKey := packet.PKey(base)
+
+	fullTable := NewPartitionTable(0)
+	if err := fullTable.Add(fullKey); err != nil {
+		t.Fatal(err)
+	}
+	limTable := NewPartitionTable(0)
+	if err := limTable.Add(limKey); err != nil {
+		t.Fatal(err)
+	}
+
+	if !fullTable.Check(limKey) {
+		t.Fatal("full member rejected limited sender")
+	}
+	if !fullTable.Check(fullKey) {
+		t.Fatal("full member rejected full sender")
+	}
+	if !limTable.Check(fullKey) {
+		t.Fatal("limited member rejected full sender")
+	}
+	if limTable.Check(limKey) {
+		t.Fatal("two limited members allowed to communicate")
+	}
+}
+
+func TestPartitionTableLimit(t *testing.T) {
+	pt := NewPartitionTable(2)
+	if err := pt.Add(packet.PKey(0x8001)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Add(packet.PKey(0x8002)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Add(packet.PKey(0x8003)); err == nil {
+		t.Fatal("exceeded configured limit")
+	}
+	// Overwriting an existing base value is allowed at the limit.
+	if err := pt.Add(packet.PKey(0x0001)); err != nil {
+		t.Fatalf("membership update rejected: %v", err)
+	}
+	if pt.Check(packet.PKey(0x0001)) {
+		t.Fatal("limited+limited accepted after membership downgrade")
+	}
+}
+
+func TestPartitionTableDefaultLimit(t *testing.T) {
+	pt := NewPartitionTable(-1)
+	if pt.limit != MaxPKeysPerPort {
+		t.Fatalf("default limit = %d", pt.limit)
+	}
+}
+
+func TestLookupCounting(t *testing.T) {
+	pt := NewPartitionTable(0)
+	pt.Add(packet.PKey(0x8001))
+	for i := 0; i < 5; i++ {
+		pt.Check(packet.PKey(0x8001))
+	}
+	if pt.Lookups() != 5 {
+		t.Fatalf("Lookups = %d", pt.Lookups())
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	pt := NewPartitionTable(0)
+	for _, v := range []uint16{0x300, 0x100, 0x200} {
+		pt.Add(packet.PKey(0x8000 | v))
+	}
+	ks := pt.Keys()
+	if len(ks) != 3 || ks[0].Base() != 0x100 || ks[2].Base() != 0x300 {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
+
+// Property: a table accepts exactly the base values added to it (with a
+// full-member entry, membership bits don't matter).
+func TestPropertyTableMembership(t *testing.T) {
+	f := func(added []uint16, probes []uint16) bool {
+		pt := NewPartitionTable(0)
+		in := map[uint16]bool{}
+		for _, a := range added {
+			if err := pt.Add(packet.PKey(0x8000 | a&0x7FFF)); err != nil {
+				return false
+			}
+			in[a&0x7FFF] = true
+		}
+		for _, p := range probes {
+			if pt.Check(packet.PKey(p)) != in[packet.PKey(p).Base()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonceUniqueness(t *testing.T) {
+	seen := map[uint64]bool{}
+	for src := packet.QPN(0); src < 4; src++ {
+		for dst := packet.QPN(0); dst < 4; dst++ {
+			for psn := uint32(0); psn < 64; psn++ {
+				n := Nonce(src, dst, psn)
+				if seen[n] {
+					t.Fatalf("nonce collision at src=%d dst=%d psn=%d", src, dst, psn)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+func TestNonceFieldSeparation(t *testing.T) {
+	if Nonce(1, 0, 0) == Nonce(0, 1, 0) || Nonce(0, 1, 0) == Nonce(0, 0, 1) {
+		t.Fatal("nonce fields alias")
+	}
+}
+
+func TestStorePartitionSecrets(t *testing.T) {
+	s := NewStore()
+	var k SecretKey
+	k[0] = 0xAA
+	s.InstallPartitionSecret(packet.PKey(0x8005), k)
+	// Lookup must ignore the membership bit.
+	got, ok := s.PartitionSecret(packet.PKey(0x0005))
+	if !ok || got != k {
+		t.Fatalf("PartitionSecret = %v, %v", got, ok)
+	}
+	if _, ok := s.PartitionSecret(packet.PKey(0x0006)); ok {
+		t.Fatal("secret for unknown partition")
+	}
+}
+
+func TestStoreQPSecrets(t *testing.T) {
+	s := NewStore()
+	var kA, kB SecretKey
+	kA[0], kB[0] = 1, 2
+	// One Q_Key, two requesters with distinct secrets — the paper's
+	// Fig. 3 scenario (QP2 issues S_K2 to QP4 and S_K3 to QP5).
+	s.InstallRecvQPSecret(packet.QKey(0x42), 7, 4, kA)
+	s.InstallRecvQPSecret(packet.QKey(0x42), 7, 5, kB)
+	if got, ok := s.RecvQPSecret(packet.QKey(0x42), 7, 4); !ok || got != kA {
+		t.Fatal("recv secret for QP4 wrong")
+	}
+	if got, ok := s.RecvQPSecret(packet.QKey(0x42), 7, 5); !ok || got != kB {
+		t.Fatal("recv secret for QP5 wrong")
+	}
+	if _, ok := s.RecvQPSecret(packet.QKey(0x42), 7, 6); ok {
+		t.Fatal("secret for unknown source QP")
+	}
+
+	s.InstallSendQPSecret(4, 9, 2, kA)
+	if got, ok := s.SendQPSecret(4, 9, 2); !ok || got != kA {
+		t.Fatal("send secret wrong")
+	}
+	if _, ok := s.SendQPSecret(2, 9, 4); ok {
+		t.Fatal("send secret index must be directional")
+	}
+
+	p, r, snd := s.Counts()
+	if p != 0 || r != 2 || snd != 1 {
+		t.Fatalf("Counts = %d,%d,%d", p, r, snd)
+	}
+}

@@ -1,0 +1,190 @@
+package keys
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"ibasec/internal/packet"
+)
+
+// Store is a Channel Adapter's table of installed authentication secrets,
+// covering both management schemes:
+//
+//   - Partition-level (paper Fig. 2): one secret per partition, indexed by
+//     the P_Key base value. All QPs in the partition share it.
+//   - QP-level (paper Fig. 3): per-QP secrets. On the receive side a
+//     secret is indexed by (Q_Key, source QP) because one datagram QP may
+//     issue distinct secrets to many requesters; on the send side it is
+//     indexed by (local QP, remote QP).
+//
+// Store is safe for concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	partition map[uint16]SecretKey
+	recvQP    map[recvIndex]SecretKey
+	sendQP    map[pairIndex]SecretKey
+}
+
+type recvIndex struct {
+	qkey packet.QKey
+	lid  packet.LID
+	src  packet.QPN
+}
+
+type pairIndex struct {
+	local     packet.QPN
+	remoteLID packet.LID
+	remote    packet.QPN
+}
+
+// NewStore returns an empty secret-key store.
+func NewStore() *Store {
+	return &Store{
+		partition: make(map[uint16]SecretKey),
+		recvQP:    make(map[recvIndex]SecretKey),
+		sendQP:    make(map[pairIndex]SecretKey),
+	}
+}
+
+// InstallPartitionSecret stores the shared secret for a partition.
+func (s *Store) InstallPartitionSecret(pk packet.PKey, k SecretKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partition[pk.Base()] = k
+}
+
+// PartitionSecret returns the secret for pk's partition.
+func (s *Store) PartitionSecret(pk packet.PKey) (SecretKey, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k, ok := s.partition[pk.Base()]
+	return k, ok
+}
+
+// InstallRecvQPSecret stores a secret this CA issued for datagram packets
+// arriving with the given Q_Key from the given source (LID, QP). The
+// paper indexes by (Q_Key, source QP) alone (Fig. 3); since IBA QP
+// numbers are only unique per CA, the source LID is added to make the
+// index unambiguous when two nodes happen to use the same QP number.
+func (s *Store) InstallRecvQPSecret(qk packet.QKey, lid packet.LID, src packet.QPN, k SecretKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recvQP[recvIndex{qk, lid, src}] = k
+}
+
+// RecvQPSecret looks up the receive-side secret by (Q_Key, source LID,
+// source QP).
+func (s *Store) RecvQPSecret(qk packet.QKey, lid packet.LID, src packet.QPN) (SecretKey, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k, ok := s.recvQP[recvIndex{qk, lid, src}]
+	return k, ok
+}
+
+// InstallSendQPSecret stores the secret a local QP uses when sending to a
+// specific remote (LID, QP). As with the receive index, the remote LID
+// disambiguates QP numbers that are only unique per CA.
+func (s *Store) InstallSendQPSecret(local packet.QPN, remoteLID packet.LID, remote packet.QPN, k SecretKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sendQP[pairIndex{local, remoteLID, remote}] = k
+}
+
+// SendQPSecret returns the secret for the (local QP, remote LID, remote
+// QP) pair.
+func (s *Store) SendQPSecret(local packet.QPN, remoteLID packet.LID, remote packet.QPN) (SecretKey, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k, ok := s.sendQP[pairIndex{local, remoteLID, remote}]
+	return k, ok
+}
+
+// Counts returns the number of partition, receive-QP and send-QP entries,
+// used by memory-overhead accounting.
+func (s *Store) Counts() (partition, recvQP, sendQP int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.partition), len(s.recvQP), len(s.sendQP)
+}
+
+// PartitionAuthority is the Subnet Manager side of partition-level key
+// management (paper section 4.2): it owns one secret per partition and
+// seals it to each member CA's public key. It is safe for concurrent use.
+type PartitionAuthority struct {
+	mu      sync.Mutex
+	rng     io.Reader
+	dir     *Directory
+	secrets map[uint16]SecretKey
+}
+
+// NewPartitionAuthority returns an authority drawing randomness from rng
+// and resolving node public keys through dir.
+func NewPartitionAuthority(rng io.Reader, dir *Directory) *PartitionAuthority {
+	return &PartitionAuthority{rng: rng, dir: dir, secrets: make(map[uint16]SecretKey)}
+}
+
+// EnsureSecret returns the partition's secret, generating it on first use
+// (the paper: "When the SM creates a partition, it generates a secret key
+// for that partition").
+func (a *PartitionAuthority) EnsureSecret(pk packet.PKey) (SecretKey, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if k, ok := a.secrets[pk.Base()]; ok {
+		return k, nil
+	}
+	k, err := NewSecretKey(a.rng)
+	if err != nil {
+		return SecretKey{}, err
+	}
+	a.secrets[pk.Base()] = k
+	return k, nil
+}
+
+// Rotate replaces the partition's secret, e.g. after membership change.
+func (a *PartitionAuthority) Rotate(pk packet.PKey) (SecretKey, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	k, err := NewSecretKey(a.rng)
+	if err != nil {
+		return SecretKey{}, err
+	}
+	a.secrets[pk.Base()] = k
+	return k, nil
+}
+
+// EnvelopeFor seals the partition secret to the named node's public key
+// for secure distribution.
+func (a *PartitionAuthority) EnvelopeFor(pk packet.PKey, node string) (Envelope, error) {
+	pub, ok := a.dir.Lookup(node)
+	if !ok {
+		return Envelope{}, fmt.Errorf("keys: node %q not in public-key directory", node)
+	}
+	k, err := a.EnsureSecret(pk)
+	if err != nil {
+		return Envelope{}, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Seal(a.rng, pub, k)
+}
+
+// IssueQPSecret implements the QP-level issuance step (paper section 4.3):
+// generate a fresh secret and seal it to the requesting node's public key.
+// The issuer installs the plaintext in its own receive table; the sealed
+// envelope travels back with the Q_Key response.
+func IssueQPSecret(rng io.Reader, dir *Directory, requester string) (SecretKey, Envelope, error) {
+	pub, ok := dir.Lookup(requester)
+	if !ok {
+		return SecretKey{}, Envelope{}, fmt.Errorf("keys: requester %q not in directory", requester)
+	}
+	k, err := NewSecretKey(rng)
+	if err != nil {
+		return SecretKey{}, Envelope{}, err
+	}
+	env, err := Seal(rng, pub, k)
+	if err != nil {
+		return SecretKey{}, Envelope{}, err
+	}
+	return k, env, nil
+}

@@ -1,0 +1,246 @@
+// Package mac provides the authentication functions the paper compares
+// (section 5.2, Table 4) behind one interface: a keyed function producing
+// the 32-bit Authentication Tag (AT) that replaces the ICRC field.
+//
+// Each Authenticator has a small numeric ID. The sender stores the ID in
+// the BTH Resv8a byte (zero means "plain ICRC, no authentication") and the
+// tag in the ICRC field; the receiver looks the ID up in a Registry and
+// verifies the tag with the secret key indexed by P_Key or (Q_Key, SrcQP).
+// Because Resv8a is a variant field, legacy IBA gear forwards these packets
+// unmodified — the property the paper's design hinges on.
+package mac
+
+import (
+	"crypto/hmac"
+	"crypto/md5"
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"sort"
+	"sync"
+
+	"ibasec/internal/icrc"
+	"ibasec/internal/umac"
+)
+
+// Well-known authentication function IDs (values of BTH.Resv8a). ID 0 is
+// reserved for "no authentication; ICRC in use".
+const (
+	IDNone      uint8 = 0
+	IDHMACMD5   uint8 = 1
+	IDHMACSHA1  uint8 = 2
+	IDUMAC32    uint8 = 3
+	IDTruncUMAC uint8 = 4 // fast mode: digest a bounded prefix (paper §7)
+)
+
+// TagSize is the authentication tag size in bytes — it must equal the
+// ICRC field size for the paper's in-place encoding to work.
+const TagSize = 4
+
+// Authenticator computes and verifies 32-bit authentication tags.
+// Implementations must be safe for concurrent use.
+type Authenticator interface {
+	// ID is the function identifier stored in BTH.Resv8a (non-zero).
+	ID() uint8
+	// Name is a short human-readable algorithm name.
+	Name() string
+	// Tag authenticates msg under key. The nonce must be unique per
+	// (key, message) — the transport builds it from the source QP and
+	// PSN. Algorithms that don't consume a nonce ignore it.
+	Tag(key, msg []byte, nonce uint64) (uint32, error)
+	// ForgeryProb returns the per-packet forgery probability of the
+	// 32-bit truncated tag (Table 4's last column).
+	ForgeryProb() float64
+}
+
+// Verify recomputes the tag and compares. All current algorithms are
+// deterministic given (key, msg, nonce), so verification is recomputation.
+func Verify(a Authenticator, key, msg []byte, nonce uint64, tag uint32) (bool, error) {
+	want, err := a.Tag(key, msg, nonce)
+	if err != nil {
+		return false, err
+	}
+	return want == tag, nil
+}
+
+// hmacAuth truncates an HMAC digest to 32 bits. The paper projects the
+// forgery probability of a t-bit truncation of an unbroken hash as ~2^-t.
+type hmacAuth struct {
+	id   uint8
+	name string
+	newH func() hash.Hash
+}
+
+func (h *hmacAuth) ID() uint8            { return h.id }
+func (h *hmacAuth) Name() string         { return h.name }
+func (h *hmacAuth) ForgeryProb() float64 { return 1.0 / (1 << 32) }
+
+func (h *hmacAuth) Tag(key, msg []byte, nonce uint64) (uint32, error) {
+	if len(key) == 0 {
+		return 0, fmt.Errorf("mac: %s requires a key", h.name)
+	}
+	m := hmac.New(h.newH, key)
+	var nb [8]byte
+	binary.BigEndian.PutUint64(nb[:], nonce)
+	m.Write(nb[:])
+	m.Write(msg)
+	return binary.BigEndian.Uint32(m.Sum(nil)[:TagSize]), nil
+}
+
+// NewHMACMD5 returns the HMAC-MD5 authenticator (IPSec-conventional MAC
+// included for interoperability comparison).
+func NewHMACMD5() Authenticator {
+	return &hmacAuth{id: IDHMACMD5, name: "HMAC-MD5", newH: md5.New}
+}
+
+// NewHMACSHA1 returns the HMAC-SHA1 authenticator.
+func NewHMACSHA1() Authenticator {
+	return &hmacAuth{id: IDHMACSHA1, name: "HMAC-SHA1", newH: sha1.New}
+}
+
+// umacAuth is the paper's preferred algorithm: provable 2^-30 forgery at
+// 32-bit tags and near-CRC speed.
+type umacAuth struct {
+	mu    sync.Mutex
+	cache map[[umac.KeySize]byte]*umac.UMAC
+	// prefix > 0 enables the paper's section-7 fast mode: only the
+	// first prefix bytes of the message are digested, trading forgery
+	// probability for speed.
+	prefix int
+	id     uint8
+	name   string
+}
+
+// NewUMAC32 returns the UMAC-32 authenticator.
+func NewUMAC32() Authenticator {
+	return &umacAuth{cache: map[[umac.KeySize]byte]*umac.UMAC{}, id: IDUMAC32, name: "UMAC-32"}
+}
+
+// NewTruncatedUMAC returns the section-7 "fast authentication" variant
+// that digests only the first prefix bytes of each message. Forgery
+// probability on the undigested suffix is 1, so the effective bound is
+// dominated by how much of the packet an attacker needs to control.
+func NewTruncatedUMAC(prefix int) Authenticator {
+	if prefix <= 0 {
+		panic("mac: prefix must be positive")
+	}
+	return &umacAuth{
+		cache:  map[[umac.KeySize]byte]*umac.UMAC{},
+		prefix: prefix,
+		id:     IDTruncUMAC,
+		name:   fmt.Sprintf("UMAC-32/prefix%d", prefix),
+	}
+}
+
+func (u *umacAuth) ID() uint8    { return u.id }
+func (u *umacAuth) Name() string { return u.name }
+
+func (u *umacAuth) ForgeryProb() float64 {
+	if u.prefix > 0 {
+		// Tampering beyond the digested prefix is undetectable.
+		return 1.0
+	}
+	return 1.0 / (1 << 30) // proven bound for UMAC-32
+}
+
+func (u *umacAuth) Tag(key, msg []byte, nonce uint64) (uint32, error) {
+	if len(key) != umac.KeySize {
+		return 0, fmt.Errorf("mac: UMAC requires a %d-byte key, got %d", umac.KeySize, len(key))
+	}
+	var kk [umac.KeySize]byte
+	copy(kk[:], key)
+	u.mu.Lock()
+	inst := u.cache[kk]
+	if inst == nil {
+		var err error
+		inst, err = umac.New(key)
+		if err != nil {
+			u.mu.Unlock()
+			return 0, err
+		}
+		u.cache[kk] = inst
+	}
+	u.mu.Unlock()
+	if u.prefix > 0 && len(msg) > u.prefix {
+		msg = msg[:u.prefix]
+	}
+	return inst.Tag32Uint(msg, nonce)
+}
+
+// crcAuth is the unkeyed CRC-32 baseline: pure error detection, forgery
+// probability 1 (anyone can recompute it). It exists so Table 4 can be
+// regenerated and so tests can demonstrate why CRC is not authentication.
+type crcAuth struct{}
+
+// NewCRC32 returns the CRC-32 "authenticator" baseline. It never appears
+// in a Registry under a non-zero ID in production configurations.
+func NewCRC32() Authenticator { return crcAuth{} }
+
+func (crcAuth) ID() uint8            { return IDNone }
+func (crcAuth) Name() string         { return "CRC-32" }
+func (crcAuth) ForgeryProb() float64 { return 1.0 }
+func (crcAuth) Tag(_ []byte, msg []byte, _ uint64) (uint32, error) {
+	return icrc.CRC32(msg), nil
+}
+
+// Registry maps authentication-function IDs to implementations. The zero
+// value is empty; DefaultRegistry returns one with all standard functions.
+type Registry struct {
+	mu    sync.RWMutex
+	byID  map[uint8]Authenticator
+	names map[string]uint8
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: map[uint8]Authenticator{}, names: map[string]uint8{}}
+}
+
+// DefaultRegistry returns a registry holding HMAC-MD5, HMAC-SHA1 and
+// UMAC-32 under their well-known IDs.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, a := range []Authenticator{NewHMACMD5(), NewHMACSHA1(), NewUMAC32()} {
+		if err := r.Register(a); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Register adds an authenticator under its ID. ID 0 and duplicate IDs are
+// rejected.
+func (r *Registry) Register(a Authenticator) error {
+	if a.ID() == IDNone {
+		return fmt.Errorf("mac: cannot register under reserved ID 0 (%s)", a.Name())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[a.ID()]; dup {
+		return fmt.Errorf("mac: ID %d already registered", a.ID())
+	}
+	r.byID[a.ID()] = a
+	r.names[a.Name()] = a.ID()
+	return nil
+}
+
+// Lookup returns the authenticator registered under id.
+func (r *Registry) Lookup(id uint8) (Authenticator, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.byID[id]
+	return a, ok
+}
+
+// IDs returns all registered IDs in ascending order.
+func (r *Registry) IDs() []uint8 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]uint8, 0, len(r.byID))
+	for id := range r.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,283 @@
+package mac
+
+import (
+	"crypto/hmac"
+	"crypto/md5"
+	"crypto/sha1"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+var key16 = []byte("0123456789abcdef")
+
+func allAuths() []Authenticator {
+	return []Authenticator{NewHMACMD5(), NewHMACSHA1(), NewUMAC32(), NewTruncatedUMAC(64)}
+}
+
+func TestIDsAndNames(t *testing.T) {
+	want := map[string]uint8{
+		"HMAC-MD5":         IDHMACMD5,
+		"HMAC-SHA1":        IDHMACSHA1,
+		"UMAC-32":          IDUMAC32,
+		"UMAC-32/prefix64": IDTruncUMAC,
+	}
+	for _, a := range allAuths() {
+		if want[a.Name()] != a.ID() {
+			t.Errorf("%s: ID = %d, want %d", a.Name(), a.ID(), want[a.Name()])
+		}
+	}
+	if NewCRC32().ID() != IDNone {
+		t.Error("CRC baseline must use ID 0")
+	}
+}
+
+func TestTagVerifyRoundTrip(t *testing.T) {
+	msg := []byte("an IBA packet's invariant bytes")
+	for _, a := range allAuths() {
+		tag, err := a.Tag(key16, msg, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		ok, err := Verify(a, key16, msg, 7, tag)
+		if err != nil || !ok {
+			t.Fatalf("%s: Verify = %v, %v", a.Name(), ok, err)
+		}
+		// Tampered message must fail.
+		m2 := append([]byte(nil), msg...)
+		m2[0] ^= 1
+		ok, err = Verify(a, key16, m2, 7, tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("%s: verified tampered message", a.Name())
+		}
+		// Wrong key must fail.
+		k2 := append([]byte(nil), key16...)
+		k2[5] ^= 1
+		ok, _ = Verify(a, k2, msg, 7, tag)
+		if ok {
+			t.Fatalf("%s: verified under wrong key", a.Name())
+		}
+		// Wrong nonce must fail (replay defense hook).
+		ok, _ = Verify(a, key16, msg, 8, tag)
+		if ok {
+			t.Fatalf("%s: verified under wrong nonce", a.Name())
+		}
+	}
+}
+
+func TestHMACMatchesStdlibComposition(t *testing.T) {
+	// Our HMAC tags must be the first 4 bytes of HMAC(key, nonce||msg).
+	msg := []byte("check composition")
+	nonce := uint64(99)
+	var nb [8]byte
+	binary.BigEndian.PutUint64(nb[:], nonce)
+
+	for _, tc := range []struct {
+		a   Authenticator
+		ref func() []byte
+	}{
+		{NewHMACMD5(), func() []byte {
+			m := hmac.New(md5.New, key16)
+			m.Write(nb[:])
+			m.Write(msg)
+			return m.Sum(nil)
+		}},
+		{NewHMACSHA1(), func() []byte {
+			m := hmac.New(sha1.New, key16)
+			m.Write(nb[:])
+			m.Write(msg)
+			return m.Sum(nil)
+		}},
+	} {
+		got, err := tc.a.Tag(key16, msg, nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := binary.BigEndian.Uint32(tc.ref()[:4]); got != want {
+			t.Fatalf("%s: tag %#x, want %#x", tc.a.Name(), got, want)
+		}
+	}
+}
+
+func TestHMACEmptyKeyRejected(t *testing.T) {
+	if _, err := NewHMACMD5().Tag(nil, []byte("m"), 0); err == nil {
+		t.Fatal("HMAC accepted empty key")
+	}
+}
+
+func TestUMACKeySizeEnforced(t *testing.T) {
+	if _, err := NewUMAC32().Tag(make([]byte, 8), []byte("m"), 0); err == nil {
+		t.Fatal("UMAC accepted 8-byte key")
+	}
+}
+
+func TestUMACKeyCache(t *testing.T) {
+	a := NewUMAC32()
+	msg := []byte("cached key path")
+	t1, err := a.Tag(key16, msg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := a.Tag(key16, msg, 3) // second call hits the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("cache changed tag value")
+	}
+}
+
+// The truncated variant must ignore changes beyond its prefix — that is
+// the documented trade-off of the paper's section-7 fast mode.
+func TestTruncatedUMACPrefixSemantics(t *testing.T) {
+	a := NewTruncatedUMAC(16)
+	msg := make([]byte, 64)
+	base, _ := a.Tag(key16, msg, 1)
+	m2 := append([]byte(nil), msg...)
+	m2[40] ^= 0xFF // beyond prefix: undetected by design
+	tag, _ := a.Tag(key16, m2, 1)
+	if tag != base {
+		t.Fatal("truncated UMAC digested beyond its prefix")
+	}
+	m3 := append([]byte(nil), msg...)
+	m3[4] ^= 0xFF // inside prefix: must detect
+	tag3, _ := a.Tag(key16, m3, 1)
+	if tag3 == base {
+		t.Fatal("truncated UMAC missed change inside prefix")
+	}
+	if a.ForgeryProb() != 1.0 {
+		t.Fatal("truncated UMAC must report forgery probability 1 beyond prefix")
+	}
+}
+
+func TestTruncatedUMACPanicsOnBadPrefix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTruncatedUMAC(0)
+}
+
+// CRC's defining weakness (Table 4, forgery probability 1): anyone can
+// recompute a valid tag for a forged message without any key.
+func TestCRCForgeable(t *testing.T) {
+	a := NewCRC32()
+	forged := []byte("attacker-chosen payload")
+	tag, err := a.Tag(nil, forged, 0) // no key needed
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := Verify(a, nil, forged, 0, tag)
+	if !ok {
+		t.Fatal("CRC recomputation failed")
+	}
+	if a.ForgeryProb() != 1.0 {
+		t.Fatal("CRC must report forgery probability 1")
+	}
+}
+
+func TestForgeryProbOrdering(t *testing.T) {
+	crc := NewCRC32().ForgeryProb()
+	um := NewUMAC32().ForgeryProb()
+	h1 := NewHMACSHA1().ForgeryProb()
+	if !(h1 < um && um < crc) {
+		t.Fatalf("forgery ordering wrong: sha1=%v umac=%v crc=%v", h1, um, crc)
+	}
+	if um != 1.0/(1<<30) || h1 != 1.0/(1<<32) {
+		t.Fatalf("forgery constants drifted: umac=%v hmac=%v", um, h1)
+	}
+}
+
+// Random forged tags should almost never verify: empirical forgery check.
+func TestRandomForgeryRejected(t *testing.T) {
+	a := NewUMAC32()
+	msg := []byte("protect me")
+	rng := rand.New(rand.NewSource(17))
+	real, _ := a.Tag(key16, msg, 5)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		guess := rng.Uint32()
+		if guess == real {
+			hits++
+		}
+	}
+	if hits > 1 {
+		t.Fatalf("%d/10000 random guesses matched a 32-bit tag", hits)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := DefaultRegistry()
+	ids := r.IDs()
+	if len(ids) != 3 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for _, id := range []uint8{IDHMACMD5, IDHMACSHA1, IDUMAC32} {
+		a, ok := r.Lookup(id)
+		if !ok || a.ID() != id {
+			t.Fatalf("Lookup(%d) = %v, %v", id, a, ok)
+		}
+	}
+	if _, ok := r.Lookup(200); ok {
+		t.Fatal("Lookup of unregistered ID succeeded")
+	}
+	if err := r.Register(NewUMAC32()); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Register(NewCRC32()); err == nil {
+		t.Fatal("registration under ID 0 accepted")
+	}
+	r2 := NewRegistry()
+	if err := r2.Register(NewTruncatedUMAC(32)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := DefaultRegistry()
+	done := make(chan bool, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				if _, ok := r.Lookup(IDUMAC32); !ok {
+					done <- false
+					return
+				}
+				r.IDs()
+			}
+			done <- true
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if !<-done {
+			t.Fatal("concurrent lookup failed")
+		}
+	}
+}
+
+// Benchmarks feeding Table 4: per-algorithm authentication cost on the
+// paper's 1500-bit (188-byte) message.
+func benchAuth(b *testing.B, a Authenticator, n int) {
+	msg := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Tag(key16, msg, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCRC32_188B(b *testing.B)    { benchAuth(b, NewCRC32(), 188) }
+func BenchmarkHMACMD5_188B(b *testing.B)  { benchAuth(b, NewHMACMD5(), 188) }
+func BenchmarkHMACSHA1_188B(b *testing.B) { benchAuth(b, NewHMACSHA1(), 188) }
+func BenchmarkUMAC32_188B(b *testing.B)   { benchAuth(b, NewUMAC32(), 188) }
+
+func BenchmarkCRC32_1024B(b *testing.B)    { benchAuth(b, NewCRC32(), 1024) }
+func BenchmarkHMACMD5_1024B(b *testing.B)  { benchAuth(b, NewHMACMD5(), 1024) }
+func BenchmarkHMACSHA1_1024B(b *testing.B) { benchAuth(b, NewHMACSHA1(), 1024) }
+func BenchmarkUMAC32_1024B(b *testing.B)   { benchAuth(b, NewUMAC32(), 1024) }

@@ -1,0 +1,190 @@
+package mac
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPMACBasics(t *testing.T) {
+	a := NewPMAC()
+	if a.ID() != IDPMAC || a.Name() != "PMAC-AES128" {
+		t.Fatalf("identity: %d %s", a.ID(), a.Name())
+	}
+	if a.ForgeryProb() != 1.0/(1<<32) {
+		t.Fatal("forgery probability")
+	}
+	tag, err := a.Tag(key16, []byte("hello"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Verify(a, key16, []byte("hello"), 7, tag)
+	if err != nil || !ok {
+		t.Fatalf("verify: %v %v", ok, err)
+	}
+}
+
+func TestPMACKeySize(t *testing.T) {
+	if _, err := NewPMAC().Tag(make([]byte, 8), []byte("m"), 0); err == nil {
+		t.Fatal("accepted short key")
+	}
+}
+
+func TestPMACSensitivity(t *testing.T) {
+	a := NewPMAC()
+	// Block-boundary sizes: empty, partial, exactly one block (with the
+	// 8-byte nonce prefix, msg of 8 bytes fills block 1), multi-block.
+	for _, n := range []int{0, 1, 7, 8, 9, 24, 40, 100, 1024} {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i)
+		}
+		base, err := a.Tag(key16, msg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Nonce sensitivity.
+		other, _ := a.Tag(key16, msg, 2)
+		if other == base {
+			t.Fatalf("len %d: nonce ignored", n)
+		}
+		// Key sensitivity.
+		k2 := append([]byte(nil), key16...)
+		k2[3] ^= 1
+		kt, _ := a.Tag(k2, msg, 1)
+		if kt == base {
+			t.Fatalf("len %d: key ignored", n)
+		}
+		if n == 0 {
+			continue
+		}
+		for _, flip := range []int{0, n / 2, n - 1} {
+			m2 := append([]byte(nil), msg...)
+			m2[flip] ^= 0x40
+			tag, _ := a.Tag(key16, m2, 1)
+			if tag == base {
+				t.Fatalf("len %d: flip at %d ignored", n, flip)
+			}
+		}
+		// Zero-extension must change the tag (10* padding + lInv
+		// distinction between full and partial final blocks).
+		ext, _ := a.Tag(key16, append(append([]byte(nil), msg...), 0), 1)
+		if ext == base {
+			t.Fatalf("len %d: zero extension collided", n)
+		}
+	}
+}
+
+func TestPMACDeterministicAcrossInstances(t *testing.T) {
+	a1, a2 := NewPMAC(), NewPMAC()
+	msg := []byte("same input, same tag")
+	t1, _ := a1.Tag(key16, msg, 3)
+	t2, _ := a2.Tag(key16, msg, 3)
+	if t1 != t2 {
+		t.Fatal("instances disagree")
+	}
+}
+
+func TestPMACRegistryIntegration(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(NewPMAC()); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := r.Lookup(IDPMAC)
+	if !ok || a.Name() != "PMAC-AES128" {
+		t.Fatal("registry lookup failed")
+	}
+}
+
+// GF(2^128) doubling/halving must be inverse operations and linear.
+func TestGFDoubleHalveInverse(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		if gfHalve(gfDouble(raw)) != raw {
+			return false
+		}
+		return gfDouble(gfHalve(raw)) == raw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFDoubleLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 100; i++ {
+		var a, b, ab [16]byte
+		rng.Read(a[:])
+		rng.Read(b[:])
+		for j := range ab {
+			ab[j] = a[j] ^ b[j]
+		}
+		da, db, dab := gfDouble(a), gfDouble(b), gfDouble(ab)
+		for j := range dab {
+			if dab[j] != da[j]^db[j] {
+				t.Fatal("doubling not linear over XOR")
+			}
+		}
+	}
+}
+
+// Empirical distribution sanity, as for UMAC.
+func TestPMACBitBalance(t *testing.T) {
+	a := NewPMAC()
+	rng := rand.New(rand.NewSource(22))
+	const trials = 1000
+	var ones [32]int
+	for i := 0; i < trials; i++ {
+		msg := make([]byte, 24)
+		rng.Read(msg)
+		tag, _ := a.Tag(key16, msg, uint64(i))
+		for b := 0; b < 32; b++ {
+			if tag>>uint(b)&1 == 1 {
+				ones[b]++
+			}
+		}
+	}
+	for b, c := range ones {
+		if c < trials/3 || c > 2*trials/3 {
+			t.Fatalf("bit %d biased: %d/%d", b, c, trials)
+		}
+	}
+}
+
+// Cross-check the offset schedule: tags over messages that differ only in
+// block order must differ (PMAC is not a plain XOR of block hashes).
+func TestPMACBlockOrderMatters(t *testing.T) {
+	a := NewPMAC()
+	m1 := make([]byte, 48)
+	m2 := make([]byte, 48)
+	for i := range m1 {
+		m1[i] = byte(i)
+	}
+	// Swap the first two 16-byte blocks (after the nonce prefix the
+	// alignment differs, but any reordering must still change the tag).
+	copy(m2[0:16], m1[16:32])
+	copy(m2[16:32], m1[0:16])
+	copy(m2[32:], m1[32:])
+	t1, _ := a.Tag(key16, m1, 1)
+	t2, _ := a.Tag(key16, m2, 1)
+	if t1 == t2 {
+		t.Fatal("block reordering undetected")
+	}
+}
+
+func TestPMACNonceAsUint(t *testing.T) {
+	a := NewPMAC()
+	msg := []byte("x")
+	var nb [8]byte
+	binary.BigEndian.PutUint64(nb[:], 0x1122334455667788)
+	t1, _ := a.Tag(key16, msg, 0x1122334455667788)
+	// Manually prepending the nonce and using nonce 0 is NOT the same
+	// construction; just assert determinism here.
+	t2, _ := a.Tag(key16, msg, 0x1122334455667788)
+	if t1 != t2 {
+		t.Fatal("non-deterministic")
+	}
+}
+
+func BenchmarkPMAC_188B(b *testing.B)  { benchAuth(b, NewPMAC(), 188) }
+func BenchmarkPMAC_1024B(b *testing.B) { benchAuth(b, NewPMAC(), 1024) }

@@ -1,0 +1,220 @@
+// Package metrics provides the statistics collectors used by the IBA
+// simulator: streaming mean/standard-deviation (Welford's algorithm),
+// fixed-bucket histograms, and named counter sets. The paper reports mean
+// queuing delay, mean network latency, and their standard deviations
+// (sections 3.2 and 6), all of which come from these collectors.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Welford accumulates a running mean and variance without storing samples.
+// The zero value is an empty accumulator.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples recorded.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// Merge folds other into w, as if every sample of other had been Added.
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n1, n2 := float64(w.n), float64(other.n)
+	d := other.mean - w.mean
+	tot := n1 + n2
+	w.mean += d * n2 / tot
+	w.m2 += other.m2 + d*d*n1*n2/tot
+	w.n += other.n
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+}
+
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f",
+		w.n, w.Mean(), w.StdDev(), w.Min(), w.Max())
+}
+
+// Histogram counts samples into equal-width buckets over [lo, hi); samples
+// outside the range land in underflow/overflow counters.
+type Histogram struct {
+	lo, hi    float64
+	buckets   []uint64
+	underflow uint64
+	overflow  uint64
+	n         uint64
+}
+
+// NewHistogram returns a histogram with nbuckets equal-width buckets
+// spanning [lo, hi).
+func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if !(hi > lo) || nbuckets <= 0 {
+		panic("metrics: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]uint64, nbuckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+		if i == len(h.buckets) { // guard FP rounding at the top edge
+			i--
+		}
+		h.buckets[i]++
+	}
+}
+
+// N returns the total number of samples, including out-of-range ones.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.underflow, h.overflow }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) assuming
+// uniform density within buckets. Out-of-range samples clamp to the edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	cum := float64(h.underflow)
+	if target <= cum {
+		return h.lo
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		if cum+float64(c) >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*width
+		}
+		cum += float64(c)
+	}
+	return h.hi
+}
+
+// Counters is a set of named monotonic counters. The zero value is unusable;
+// use NewCounters.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Inc adds delta to the named counter.
+func (c *Counters) Inc(name string, delta uint64) { c.m[name] += delta }
+
+// Get returns the named counter's value (0 if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, k := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, c.m[k])
+	}
+	return b.String()
+}
+
+// LatencySplit aggregates the two delay components the paper reports per
+// traffic class: HCA queuing delay and network latency (section 3.1).
+type LatencySplit struct {
+	Queuing Welford
+	Network Welford
+}
+
+// AddSample records one delivered packet's delay components, in
+// microseconds (the paper's reporting unit).
+func (l *LatencySplit) AddSample(queuingUS, networkUS float64) {
+	l.Queuing.Add(queuingUS)
+	l.Network.Add(networkUS)
+}

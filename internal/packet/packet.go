@@ -1,0 +1,247 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MTU is the path MTU used throughout the paper's testbed (Table 1).
+const MTU = 1024
+
+// Packet is a fully parsed IBA data packet. Optional headers are nil when
+// absent. ICRC holds either the Invariant CRC or, when BTH.AuthID != 0,
+// the 32-bit authentication tag (the paper's Fig. 4(b)).
+type Packet struct {
+	LRH     LRH
+	GRH     *GRH // present iff LRH.LNH == LNHIBAGlobal
+	BTH     BTH
+	DETH    *DETH
+	RETH    *RETH
+	AETH    *AETH
+	Imm     uint32 // valid iff BTH.OpCode.HasImm()
+	Payload []byte
+	ICRC    uint32 // invariant CRC or authentication tag
+	VCRC    uint16
+}
+
+// Errors returned by Unmarshal.
+var (
+	ErrTooShort  = errors.New("packet: buffer too short")
+	ErrBadLength = errors.New("packet: LRH PktLen inconsistent with buffer")
+	ErrPayload   = errors.New("packet: payload exceeds MTU")
+)
+
+// HeaderSize returns the number of bytes of headers (LRH through the last
+// extended transport header, including immediate data, excluding payload
+// and CRCs) for the packet's opcode and LNH.
+func (p *Packet) HeaderSize() int {
+	n := LRHSize + BTHSize
+	if p.GRH != nil {
+		n += GRHSize
+	}
+	op := p.BTH.OpCode
+	if op.HasDETH() {
+		n += DETHSize
+	}
+	if op.HasRETH() {
+		n += RETHSize
+	}
+	if op.HasAETH() {
+		n += AETHSize
+	}
+	if op.HasImm() {
+		n += ImmSize
+	}
+	return n
+}
+
+// WireSize returns the total on-the-wire size in bytes, including payload,
+// pad bytes, ICRC and VCRC.
+func (p *Packet) WireSize() int {
+	return p.HeaderSize() + len(p.Payload) + int(p.BTH.PadCnt) + ICRCSize + VCRCSize
+}
+
+// Finalize fills the length-dependent fields (LRH.PktLen, BTH.PadCnt,
+// GRH.PayLen if present, LRH.LNH) from the packet's structure. It must be
+// called before Marshal after any change to headers or payload.
+func (p *Packet) Finalize() error {
+	if len(p.Payload) > MTU {
+		return fmt.Errorf("%w: %d bytes", ErrPayload, len(p.Payload))
+	}
+	p.BTH.PadCnt = uint8((4 - len(p.Payload)%4) % 4)
+	if p.GRH != nil {
+		p.LRH.LNH = LNHIBAGlobal
+		p.GRH.IPVer = 6
+		p.GRH.NxtHdr = 0x1B
+		// GRH PayLen counts everything after the GRH, excluding VCRC.
+		after := p.HeaderSize() - LRHSize - GRHSize + len(p.Payload) + int(p.BTH.PadCnt) + ICRCSize
+		p.GRH.PayLen = uint16(after)
+	} else {
+		p.LRH.LNH = LNHIBALocal
+	}
+	// PktLen is in 4-byte words and covers LRH through ICRC (IBA 7.7.5).
+	words := (p.HeaderSize() + len(p.Payload) + int(p.BTH.PadCnt) + ICRCSize) / 4
+	if words > 0x7FF {
+		return fmt.Errorf("packet: PktLen %d words exceeds 11 bits", words)
+	}
+	p.LRH.PktLen = uint16(words)
+	return nil
+}
+
+// Marshal serializes the packet. Call Finalize first; Marshal panics if
+// the length fields are inconsistent with the structure.
+func (p *Packet) Marshal() []byte {
+	b := make([]byte, p.WireSize())
+	off := 0
+	p.LRH.marshal(b[off : off+LRHSize])
+	off += LRHSize
+	if p.GRH != nil {
+		p.GRH.marshal(b[off : off+GRHSize])
+		off += GRHSize
+	}
+	p.BTH.marshal(b[off : off+BTHSize])
+	off += BTHSize
+	op := p.BTH.OpCode
+	if op.HasDETH() {
+		if p.DETH == nil {
+			panic(fmt.Sprintf("packet: opcode %v requires DETH", op))
+		}
+		p.DETH.marshal(b[off : off+DETHSize])
+		off += DETHSize
+	}
+	if op.HasRETH() {
+		if p.RETH == nil {
+			panic(fmt.Sprintf("packet: opcode %v requires RETH", op))
+		}
+		p.RETH.marshal(b[off : off+RETHSize])
+		off += RETHSize
+	}
+	if op.HasAETH() {
+		if p.AETH == nil {
+			panic(fmt.Sprintf("packet: opcode %v requires AETH", op))
+		}
+		p.AETH.marshal(b[off : off+AETHSize])
+		off += AETHSize
+	}
+	if op.HasImm() {
+		b[off] = byte(p.Imm >> 24)
+		b[off+1] = byte(p.Imm >> 16)
+		b[off+2] = byte(p.Imm >> 8)
+		b[off+3] = byte(p.Imm)
+		off += ImmSize
+	}
+	copy(b[off:], p.Payload)
+	off += len(p.Payload) + int(p.BTH.PadCnt) // pad bytes are zero
+	b[off] = byte(p.ICRC >> 24)
+	b[off+1] = byte(p.ICRC >> 16)
+	b[off+2] = byte(p.ICRC >> 8)
+	b[off+3] = byte(p.ICRC)
+	off += ICRCSize
+	b[off] = byte(p.VCRC >> 8)
+	b[off+1] = byte(p.VCRC)
+	return b
+}
+
+// Unmarshal parses a wire buffer into p, replacing its contents.
+func (p *Packet) Unmarshal(b []byte) error {
+	*p = Packet{}
+	if len(b) < LRHSize+BTHSize+ICRCSize+VCRCSize {
+		return ErrTooShort
+	}
+	off := 0
+	p.LRH.unmarshal(b[off : off+LRHSize])
+	off += LRHSize
+	if int(p.LRH.PktLen)*4+VCRCSize != len(b) {
+		return fmt.Errorf("%w: PktLen %d words, buffer %d bytes", ErrBadLength, p.LRH.PktLen, len(b))
+	}
+	if p.LRH.LNH == LNHIBAGlobal {
+		if len(b) < off+GRHSize+BTHSize+ICRCSize+VCRCSize {
+			return ErrTooShort
+		}
+		p.GRH = new(GRH)
+		p.GRH.unmarshal(b[off : off+GRHSize])
+		off += GRHSize
+	}
+	p.BTH.unmarshal(b[off : off+BTHSize])
+	off += BTHSize
+	op := p.BTH.OpCode
+	if op.HasDETH() {
+		if len(b) < off+DETHSize {
+			return ErrTooShort
+		}
+		p.DETH = new(DETH)
+		p.DETH.unmarshal(b[off : off+DETHSize])
+		off += DETHSize
+	}
+	if op.HasRETH() {
+		if len(b) < off+RETHSize {
+			return ErrTooShort
+		}
+		p.RETH = new(RETH)
+		p.RETH.unmarshal(b[off : off+RETHSize])
+		off += RETHSize
+	}
+	if op.HasAETH() {
+		if len(b) < off+AETHSize {
+			return ErrTooShort
+		}
+		p.AETH = new(AETH)
+		p.AETH.unmarshal(b[off : off+AETHSize])
+		off += AETHSize
+	}
+	if op.HasImm() {
+		if len(b) < off+ImmSize {
+			return ErrTooShort
+		}
+		p.Imm = uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3])
+		off += ImmSize
+	}
+	payEnd := len(b) - VCRCSize - ICRCSize - int(p.BTH.PadCnt)
+	if payEnd < off {
+		return ErrTooShort
+	}
+	if payEnd > off {
+		p.Payload = append([]byte(nil), b[off:payEnd]...)
+	}
+	off = len(b) - VCRCSize - ICRCSize
+	p.ICRC = uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3])
+	off += ICRCSize
+	p.VCRC = uint16(b[off])<<8 | uint16(b[off+1])
+	return nil
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.GRH != nil {
+		g := *p.GRH
+		q.GRH = &g
+	}
+	if p.DETH != nil {
+		d := *p.DETH
+		q.DETH = &d
+	}
+	if p.RETH != nil {
+		r := *p.RETH
+		q.RETH = &r
+	}
+	if p.AETH != nil {
+		a := *p.AETH
+		q.AETH = &a
+	}
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}
+
+// String returns a one-line summary for logs and tests.
+func (p *Packet) String() string {
+	s := fmt.Sprintf("%v SLID=%d DLID=%d VL=%d PKey=%#04x QP=%d PSN=%d len=%dB",
+		p.BTH.OpCode, p.LRH.SLID, p.LRH.DLID, p.LRH.VL, uint16(p.BTH.PKey),
+		p.BTH.DestQP, p.BTH.PSN, p.WireSize())
+	if p.BTH.AuthID != 0 {
+		s += fmt.Sprintf(" auth=%d", p.BTH.AuthID)
+	}
+	return s
+}

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Nanosecond != 1000 {
+		t.Fatalf("Nanosecond = %d, want 1000", Nanosecond)
+	}
+	if Second != 1_000_000_000_000 {
+		t.Fatalf("Second = %d ps", Second)
+	}
+	if got := (2500 * Nanosecond).Microseconds(); got != 2.5 {
+		t.Fatalf("Microseconds = %v, want 2.5", got)
+	}
+	if got := (3 * Microsecond).Nanoseconds(); got != 3000 {
+		t.Fatalf("Nanoseconds = %v, want 3000", got)
+	}
+	if got := FromDuration(2 * time.Microsecond); got != 2*Microsecond {
+		t.Fatalf("FromDuration = %v", got)
+	}
+	if got := (5 * Microsecond).Duration(); got != 5*time.Microsecond {
+		t.Fatalf("Duration = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{Second, "1s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(30*Nanosecond, func() { order = append(order, 3) })
+	s.Schedule(10*Nanosecond, func() { order = append(order, 1) })
+	s.Schedule(20*Nanosecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30*Nanosecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		s.Schedule(5*Nanosecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events out of scheduling order: %v", order)
+	}
+}
+
+func TestScheduleInsideEvent(t *testing.T) {
+	s := New()
+	var hits []Time
+	s.Schedule(10, func() {
+		hits = append(hits, s.Now())
+		s.Schedule(5, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(10, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	// Cancelling twice and cancelling a fired event must be harmless.
+	s.Cancel(e)
+	e2 := s.Schedule(1, func() {})
+	s.Run()
+	s.Cancel(e2)
+	s.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.Schedule(Time(i+1)*Nanosecond, func() { got = append(got, i) }))
+	}
+	for i := 0; i < 20; i += 2 {
+		s.Cancel(events[i])
+	}
+	s.Run()
+	if len(got) != 10 {
+		t.Fatalf("fired %d events, want 10: %v", len(got), got)
+	}
+	for _, v := range got {
+		if v%2 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		s.Schedule(d*Nanosecond, func() { fired = append(fired, s.Now()) })
+	}
+	s.RunUntil(12 * Nanosecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 12*Nanosecond {
+		t.Fatalf("Now = %v, want 12ns", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	s.RunUntil(100 * Nanosecond)
+	if len(fired) != 4 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	s.Run() // resumes
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	var ticks []Time
+	cancel := s.Every(10*Nanosecond, func() {
+		ticks = append(ticks, s.Now())
+	})
+	s.RunUntil(35 * Nanosecond)
+	cancel()
+	s.RunUntil(100 * Nanosecond)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i, tk := range ticks {
+		if want := Time(i+1) * 10 * Nanosecond; tk != want {
+			t.Fatalf("tick %d at %v, want %v", i, tk, want)
+		}
+	}
+}
+
+func TestEveryCancelInsideCallback(t *testing.T) {
+	s := New()
+	n := 0
+	var cancel func()
+	cancel = s.Every(Nanosecond, func() {
+		n++
+		if n == 5 {
+			cancel()
+		}
+	})
+	s.Run()
+	if n != 5 {
+		t.Fatalf("n = %d, want 5", n)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative delay")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for schedule in the past")
+		}
+	}()
+	s.ScheduleAt(5, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nil fn")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock never goes backwards.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var fireTimes []Time
+		for _, d := range delays {
+			s.Schedule(Time(d)*Nanosecond, func() {
+				fireTimes = append(fireTimes, s.Now())
+			})
+		}
+		s.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleaving of schedules and cancels fires exactly the
+// non-cancelled events.
+func TestPropertyCancelExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		s := New()
+		fired := map[int]bool{}
+		var evs []*Event
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			i := i
+			evs = append(evs, s.Schedule(Time(rng.Intn(1000)), func() { fired[i] = true }))
+		}
+		cancelled := map[int]bool{}
+		for i := 0; i < n/3; i++ {
+			k := rng.Intn(n)
+			cancelled[k] = true
+			s.Cancel(evs[k])
+		}
+		s.Run()
+		for i := 0; i < n; i++ {
+			if cancelled[i] && fired[i] {
+				t.Fatalf("trial %d: cancelled event %d fired", trial, i)
+			}
+			if !cancelled[i] && !fired[i] {
+				t.Fatalf("trial %d: live event %d never fired", trial, i)
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 100; j++ {
+			s.Schedule(Time(j)*Nanosecond, func() {})
+		}
+		s.Run()
+	}
+}

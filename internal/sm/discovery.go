@@ -1,0 +1,612 @@
+package sm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/icrc"
+	"ibasec/internal/keys"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+	"ibasec/internal/topology"
+)
+
+// In-band subnet discovery (IBA 14): at power-on no LIDs are assigned and
+// no forwarding tables exist, so the Subnet Manager sweeps the fabric
+// with directed-route SMPs — management packets forwarded by an explicit
+// per-hop port path rather than by LID. The sweep discovers every switch
+// and channel adapter, assigns LIDs, and programs the switches' linear
+// forwarding tables, all through the same links the data traffic will
+// later use. Set operations are guarded by the M_Key, making Table 3's
+// M_Key threat ("controls almost everything in a subnet") concrete: with
+// the key an SMP can re-route the whole fabric; without it every Set is
+// rejected.
+//
+// SMP wire layout (carried in the packet payload, VL 15):
+//
+//	 0     madType (0xD2 = directed-route SMP)
+//	 1     method   (1 Get, 2 Set, 3 GetResp)
+//	 2     attribute (1 NodeInfo, 2 SetLID, 3 SetRoute)
+//	 3     status   (0 OK, 1 bad M_Key, 2 bad hop, 3 unsupported)
+//	 4     hopCount — number of switch-egress hops in the path
+//	 5     hopPointer
+//	 6     direction (0 outbound, 1 returning)
+//	 8-11  txID
+//	12-19  M_Key (checked on Set)
+//	20-35  initial path: egress port at each switch
+//	36-51  return path: ingress ports recorded hop by hop
+//	52-    attribute data
+const (
+	madTypeDRSMP = 0xD2
+
+	smpMethodGet     = 1
+	smpMethodSet     = 2
+	smpMethodGetResp = 3
+
+	smpAttrNodeInfo = 1
+	smpAttrSetLID   = 2
+	smpAttrSetRoute = 3
+
+	smpStatusOK          = 0
+	smpStatusBadMKey     = 1
+	smpStatusBadHop      = 2
+	smpStatusUnsupported = 3
+
+	smpOffMethod  = 1
+	smpOffAttr    = 2
+	smpOffStatus  = 3
+	smpOffHopCnt  = 4
+	smpOffHopPtr  = 5
+	smpOffDir     = 6
+	smpOffTxID    = 8
+	smpOffMKey    = 12
+	smpOffInit    = 20
+	smpOffRet     = 36
+	smpOffData    = 52
+	smpMaxHops    = 16
+	smpHeaderSize = smpOffData
+	smpDataSize   = 16
+)
+
+// nodeTypes in NodeInfo responses.
+const (
+	nodeTypeSwitch = 1
+	nodeTypeCA     = 2
+)
+
+// newSMP allocates a zeroed SMP payload.
+func newSMP(method, attr byte, txID uint32, mkey keys.MKey, path []byte) []byte {
+	pl := make([]byte, smpHeaderSize+smpDataSize)
+	pl[0] = madTypeDRSMP
+	pl[smpOffMethod] = method
+	pl[smpOffAttr] = attr
+	pl[smpOffHopCnt] = byte(len(path))
+	binary.BigEndian.PutUint32(pl[smpOffTxID:], txID)
+	binary.BigEndian.PutUint64(pl[smpOffMKey:], uint64(mkey))
+	copy(pl[smpOffInit:smpOffInit+smpMaxHops], path)
+	return pl
+}
+
+// smpDelivery wraps an SMP payload into a sealed management delivery.
+func smpDelivery(slid packet.LID, pl []byte) *fabric.Delivery {
+	p := &packet.Packet{
+		LRH:     packet.LRH{SLID: slid, DLID: packet.LIDPermissive, VL: fabric.VLManagement},
+		BTH:     packet.BTH{OpCode: packet.UDSendOnly, PKey: 0xFFFF, DestQP: 0},
+		DETH:    &packet.DETH{QKey: 0, SrcQP: 0},
+		Payload: pl,
+	}
+	if err := icrc.Seal(p); err != nil {
+		panic(fmt.Sprintf("sm: sealing SMP: %v", err))
+	}
+	return &fabric.Delivery{
+		Pkt: p, Class: fabric.ClassManagement, VL: fabric.VLManagement,
+	}
+}
+
+// reseal refreshes the packet CRCs after an in-flight payload mutation
+// (hop pointer / return path updates).
+func reseal(d *fabric.Delivery) {
+	if err := icrc.Seal(d.Pkt); err != nil {
+		panic(fmt.Sprintf("sm: resealing SMP: %v", err))
+	}
+}
+
+// isDRSMP reports whether a delivery carries a directed-route SMP.
+func isDRSMP(d *fabric.Delivery) bool {
+	return d.Class == fabric.ClassManagement &&
+		len(d.Pkt.Payload) >= smpHeaderSize && d.Pkt.Payload[0] == madTypeDRSMP
+}
+
+// SwitchAgent is the subnet management agent of one switch: it forwards
+// directed-route SMPs by path and executes Get/Set operations addressed
+// to the switch. Set operations require the agent's M_Key.
+type SwitchAgent struct {
+	MKey keys.MKey
+}
+
+// AttachSwitchAgents installs a SwitchAgent on every switch of a mesh.
+func AttachSwitchAgents(m *topology.Mesh, mkey keys.MKey) []*SwitchAgent {
+	agents := make([]*SwitchAgent, len(m.Switches))
+	for i, sw := range m.Switches {
+		agents[i] = &SwitchAgent{MKey: mkey}
+		sw.SetMADHandler(agents[i])
+	}
+	return agents
+}
+
+// HandleMAD implements fabric.MADHandler.
+func (a *SwitchAgent) HandleMAD(sw *fabric.Switch, inPort int, d *fabric.Delivery) bool {
+	if !isDRSMP(d) {
+		return false // not ours: fall through to LID routing
+	}
+	pl := d.Pkt.Payload
+	hopCnt, hopPtr := int(pl[smpOffHopCnt]), int(pl[smpOffHopPtr])
+	switch pl[smpOffDir] {
+	case 0: // outbound
+		if hopPtr < hopCnt {
+			// Transit hop: record the return port and forward along
+			// the initial path.
+			pl[smpOffRet+hopPtr] = byte(inPort)
+			pl[smpOffHopPtr] = byte(hopPtr + 1)
+			reseal(d)
+			sw.SendRaw(int(pl[smpOffInit+hopPtr]), d)
+			return true
+		}
+		// This switch is the target.
+		a.execute(sw, inPort, d)
+		return true
+	default: // returning
+		if hopPtr > 0 {
+			pl[smpOffHopPtr] = byte(hopPtr - 1)
+			out := int(pl[smpOffRet+hopPtr-1])
+			reseal(d)
+			sw.SendRaw(out, d)
+			return true
+		}
+		// A response with an exhausted pointer should already be at
+		// the requester's HCA; drop defensively.
+		sw.Counters.Inc("smp_misrouted", 1)
+		d.ReturnCredit()
+		return true
+	}
+}
+
+// execute runs a Get/Set against this switch and sends the response back
+// through the ingress port.
+func (a *SwitchAgent) execute(sw *fabric.Switch, inPort int, d *fabric.Delivery) {
+	pl := d.Pkt.Payload
+	resp := make([]byte, len(pl))
+	copy(resp, pl)
+	resp[smpOffMethod] = smpMethodGetResp
+	resp[smpOffDir] = 1
+	resp[smpOffStatus] = smpStatusOK
+	// Record the target's own ingress port in the return-path slot after
+	// the transit hops: the SM needs it to know which of this switch's
+	// ports points back toward it.
+	resp[smpOffRet+pl[smpOffHopCnt]] = byte(inPort)
+	data := resp[smpOffData:]
+	for i := range data {
+		data[i] = 0
+	}
+
+	switch {
+	case pl[smpOffMethod] == smpMethodGet && pl[smpOffAttr] == smpAttrNodeInfo:
+		data[0] = nodeTypeSwitch
+		data[1] = byte(sw.NumPorts())
+		binary.BigEndian.PutUint64(data[2:], sw.GUID())
+		sw.Counters.Inc("smp_nodeinfo", 1)
+
+	case pl[smpOffMethod] == smpMethodSet && pl[smpOffAttr] == smpAttrSetRoute:
+		if keys.MKey(binary.BigEndian.Uint64(pl[smpOffMKey:])) != a.MKey {
+			resp[smpOffStatus] = smpStatusBadMKey
+			sw.Counters.Inc("smp_mkey_violations", 1)
+			break
+		}
+		lid := packet.LID(binary.BigEndian.Uint16(pl[smpOffData:]))
+		port := int(pl[smpOffData+2])
+		if port < 0 || port >= sw.NumPorts() {
+			resp[smpOffStatus] = smpStatusBadHop
+			break
+		}
+		sw.SetRoute(lid, port)
+		sw.Counters.Inc("smp_routes_set", 1)
+
+	default:
+		resp[smpOffStatus] = smpStatusUnsupported
+	}
+
+	out := smpDelivery(d.Pkt.LRH.SLID, resp)
+	d.ReturnCredit()
+	sw.SendRaw(inPort, out)
+}
+
+// NodeAgent is the subnet management agent on a channel adapter: it
+// answers NodeInfo and accepts M_Key-guarded LID assignment. Deliveries
+// that are not directed-route SMPs fall through to next.
+type NodeAgent struct {
+	HCA  *fabric.HCA
+	MKey keys.MKey
+	next func(*fabric.Delivery)
+}
+
+// AttachNodeAgent wraps an HCA's delivery callback with an SMA.
+func AttachNodeAgent(hca *fabric.HCA, mkey keys.MKey) *NodeAgent {
+	a := &NodeAgent{HCA: hca, MKey: mkey, next: hca.OnDeliver}
+	hca.OnDeliver = a.deliver
+	return a
+}
+
+func (a *NodeAgent) deliver(d *fabric.Delivery) {
+	if !isDRSMP(d) || d.Pkt.Payload[smpOffDir] != 0 {
+		if a.next != nil {
+			a.next(d)
+		}
+		return
+	}
+	pl := d.Pkt.Payload
+	if int(pl[smpOffHopPtr]) != int(pl[smpOffHopCnt]) {
+		a.HCA.Counters.Inc("smp_misrouted", 1)
+		return
+	}
+	resp := make([]byte, len(pl))
+	copy(resp, pl)
+	resp[smpOffMethod] = smpMethodGetResp
+	resp[smpOffDir] = 1
+	resp[smpOffStatus] = smpStatusOK
+	data := resp[smpOffData:]
+	for i := range data {
+		data[i] = 0
+	}
+
+	switch {
+	case pl[smpOffMethod] == smpMethodGet && pl[smpOffAttr] == smpAttrNodeInfo:
+		data[0] = nodeTypeCA
+		data[1] = 1
+		binary.BigEndian.PutUint64(data[2:], a.HCA.GUID())
+		binary.BigEndian.PutUint16(data[10:], uint16(a.HCA.LID()))
+
+	case pl[smpOffMethod] == smpMethodSet && pl[smpOffAttr] == smpAttrSetLID:
+		if keys.MKey(binary.BigEndian.Uint64(pl[smpOffMKey:])) != a.MKey {
+			resp[smpOffStatus] = smpStatusBadMKey
+			a.HCA.Counters.Inc("smp_mkey_violations", 1)
+			break
+		}
+		a.HCA.SetLID(packet.LID(binary.BigEndian.Uint16(pl[smpOffData:])))
+		a.HCA.Counters.Inc("smp_lid_set", 1)
+
+	default:
+		resp[smpOffStatus] = smpStatusUnsupported
+	}
+	a.HCA.Send(smpDelivery(a.HCA.LID(), resp))
+}
+
+// DiscoveredNode is one fabric element found by the sweep.
+type DiscoveredNode struct {
+	GUID     uint64
+	IsSwitch bool
+	NumPorts int
+	Path     []byte // directed-route path from the SM
+	LID      packet.LID
+}
+
+// Topology is the result of a discovery sweep.
+type DiscoveredTopology struct {
+	Switches []*DiscoveredNode
+	CAs      []*DiscoveredNode
+	// Edges maps a switch GUID and egress port to the neighbour GUID.
+	Edges map[uint64]map[int]uint64
+	// Probes counts SMPs sent; Timeouts counts unanswered probes (dead
+	// ports).
+	Probes   int
+	Timeouts int
+}
+
+// Discoverer drives an in-band sweep from one HCA.
+type Discoverer struct {
+	sim     *sim.Simulator
+	hca     *fabric.HCA
+	mkey    keys.MKey
+	timeout sim.Time
+
+	pending map[uint32]*probe
+	txSeq   uint32
+	topo    *DiscoveredTopology
+	seen    map[uint64]*DiscoveredNode
+	next    func(*fabric.Delivery)
+}
+
+type probe struct {
+	cb    func(status byte, data []byte, retPath []byte)
+	timer *sim.Event
+}
+
+// NewDiscoverer prepares a sweep from hca, wrapping its delivery callback
+// to capture SMP responses. timeout bounds each unanswered probe (dead
+// port detection).
+func NewDiscoverer(s *sim.Simulator, hca *fabric.HCA, mkey keys.MKey, timeout sim.Time) *Discoverer {
+	d := &Discoverer{
+		sim:     s,
+		hca:     hca,
+		mkey:    mkey,
+		timeout: timeout,
+		pending: make(map[uint32]*probe),
+		seen:    make(map[uint64]*DiscoveredNode),
+		topo: &DiscoveredTopology{
+			Edges: make(map[uint64]map[int]uint64),
+		},
+		next: hca.OnDeliver,
+	}
+	hca.OnDeliver = d.deliver
+	return d
+}
+
+func (d *Discoverer) deliver(dv *fabric.Delivery) {
+	if !isDRSMP(dv) || dv.Pkt.Payload[smpOffDir] != 1 {
+		if d.next != nil {
+			d.next(dv)
+		}
+		return
+	}
+	pl := dv.Pkt.Payload
+	txID := binary.BigEndian.Uint32(pl[smpOffTxID:])
+	pr, ok := d.pending[txID]
+	if !ok {
+		return // late response after timeout
+	}
+	delete(d.pending, txID)
+	d.sim.Cancel(pr.timer)
+	retPath := append([]byte(nil), pl[smpOffRet:smpOffRet+smpMaxHops]...)
+	pr.cb(pl[smpOffStatus], pl[smpOffData:], retPath)
+}
+
+// send issues one SMP and registers its callback; cb receives status
+// 0xFF on timeout. Discovery probes use the short dead-port timeout;
+// configuration Sets — hundreds of which are issued back to back and
+// queue behind one another on the SM's uplink — use a generous deadline
+// so a slow acknowledgement is not misread as a dead port.
+func (d *Discoverer) send(method, attr byte, path []byte, data []byte, cb func(status byte, data, retPath []byte)) {
+	if len(path) > smpMaxHops {
+		panic("sm: directed route exceeds max hops")
+	}
+	timeout := d.timeout
+	if method == smpMethodSet {
+		timeout = d.timeout * 100
+	}
+	d.txSeq++
+	txID := d.txSeq
+	pl := newSMP(method, attr, txID, d.mkey, path)
+	copy(pl[smpOffData:], data)
+	pr := &probe{cb: cb}
+	pr.timer = d.sim.Schedule(timeout, func() {
+		if _, still := d.pending[txID]; still {
+			delete(d.pending, txID)
+			d.topo.Timeouts++
+			cb(0xFF, nil, nil)
+		}
+	})
+	d.pending[txID] = pr
+	d.topo.Probes++
+	d.hca.Send(smpDelivery(d.hca.LID(), pl))
+}
+
+// Discover sweeps the fabric, assigns sequential LIDs to every CA,
+// programs shortest-path forwarding tables on every switch, and finally
+// invokes done with the discovered topology. It must be called before
+// running the simulator; the whole protocol executes in simulated time.
+//
+// The programmed routes are BFS shortest paths over the discovered graph;
+// unlike the dimension-ordered tables topology.NewMesh installs they are
+// not guaranteed deadlock-free under sustained saturation, so the
+// measured experiments all run on the static DOR configuration.
+func (d *Discoverer) Discover(done func(*DiscoveredTopology)) {
+	// Start with the switch the SM's HCA is attached to (empty path).
+	d.probeNode(nil, 0, 0, func() { d.configure(done) })
+}
+
+// probeNode probes the element at path; fromGUID/fromPort identify the
+// switch edge that led here (0 for the root). onQuiesce fires when no
+// probes remain outstanding.
+func (d *Discoverer) probeNode(path []byte, fromGUID uint64, fromPort int, onQuiesce func()) {
+	d.send(smpMethodGet, smpAttrNodeInfo, path, nil, func(status byte, data, retPath []byte) {
+		defer func() {
+			if len(d.pending) == 0 {
+				onQuiesce()
+			}
+		}()
+		if status != smpStatusOK {
+			return // dead port or refused
+		}
+		guid := binary.BigEndian.Uint64(data[2:])
+		if fromGUID != 0 {
+			if d.topo.Edges[fromGUID] == nil {
+				d.topo.Edges[fromGUID] = make(map[int]uint64)
+			}
+			d.topo.Edges[fromGUID][fromPort] = guid
+			// Switch targets report their own ingress port, giving the
+			// reverse edge without probing it: the graph must contain
+			// back-edges toward the SM or route computation from remote
+			// switches would see a one-way tree.
+			if data[0] == nodeTypeSwitch {
+				if d.topo.Edges[guid] == nil {
+					d.topo.Edges[guid] = make(map[int]uint64)
+				}
+				d.topo.Edges[guid][int(retPath[len(path)])] = fromGUID
+			}
+		}
+		if _, dup := d.seen[guid]; dup {
+			return
+		}
+		node := &DiscoveredNode{
+			GUID:     guid,
+			IsSwitch: data[0] == nodeTypeSwitch,
+			NumPorts: int(data[1]),
+			Path:     append([]byte(nil), path...),
+		}
+		d.seen[guid] = node
+		if !node.IsSwitch {
+			d.topo.CAs = append(d.topo.CAs, node)
+			return
+		}
+		d.topo.Switches = append(d.topo.Switches, node)
+		// The target switch recorded its own ingress port (the port
+		// leading back toward the SM) in return-path slot len(path).
+		// Skip it on transit switches — probing it would only re-find
+		// the previous switch — but NOT on the root switch, where the
+		// ingress leads to the SM's own CA, which must be discovered
+		// like any other.
+		ingress := -1
+		if len(path) > 0 {
+			ingress = int(retPath[len(path)])
+		}
+		for p := 0; p < node.NumPorts; p++ {
+			if p == ingress {
+				continue
+			}
+			sub := make([]byte, len(path)+1)
+			copy(sub, path)
+			sub[len(path)] = byte(p)
+			d.probeNode(sub, guid, p, onQuiesce)
+		}
+	})
+}
+
+// configure assigns LIDs and programs routes, then reports.
+func (d *Discoverer) configure(done func(*DiscoveredTopology)) {
+	topo := d.topo
+	// Deterministic ordering: CAs in discovery order get LIDs 1, 2, ...
+	for i, ca := range topo.CAs {
+		ca.LID = packet.LID(i + 1)
+	}
+	// Locate each CA's attachment: the switch+port whose edge points at
+	// the CA's GUID.
+	attach := make(map[uint64]struct {
+		sw   uint64
+		port int
+	})
+	for swGUID, edges := range topo.Edges {
+		for port, nbr := range edges {
+			if n := d.seen[nbr]; n != nil && !n.IsSwitch {
+				attach[nbr] = struct {
+					sw   uint64
+					port int
+				}{swGUID, port}
+			}
+		}
+	}
+	// Shortest paths between switches over the discovered graph.
+	nextHop := d.computeNextHops()
+
+	remaining := 0
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			done(topo)
+		}
+	}
+
+	// Assign LIDs in-band.
+	for _, ca := range topo.CAs {
+		if len(ca.Path) == 0 {
+			// The SM's own CA: assign locally (it cannot SMP itself).
+			d.hca.SetLID(ca.LID)
+			continue
+		}
+		remaining++
+		var lidData [2]byte
+		binary.BigEndian.PutUint16(lidData[:], uint16(ca.LID))
+		d.send(smpMethodSet, smpAttrSetLID, ca.Path, lidData[:], func(status byte, _, _ []byte) {
+			if status != smpStatusOK {
+				topo.Timeouts++ // counted as a failure
+			}
+			finish()
+		})
+	}
+	// Hold the completion until all sets below are also issued.
+	remaining++
+
+	// Program every switch's route for every CA LID.
+	for _, sw := range topo.Switches {
+		for _, ca := range topo.CAs {
+			at := attach[ca.GUID]
+			var port int
+			if at.sw == sw.GUID {
+				port = at.port
+			} else {
+				p, ok := nextHop[sw.GUID][at.sw]
+				if !ok {
+					continue // disconnected (should not happen)
+				}
+				port = p
+			}
+			remaining++
+			var data [3]byte
+			binary.BigEndian.PutUint16(data[:2], uint16(ca.LID))
+			data[2] = byte(port)
+			d.send(smpMethodSet, smpAttrSetRoute, sw.Path, data[:], func(status byte, _, _ []byte) {
+				if status != smpStatusOK {
+					topo.Timeouts++
+				}
+				finish()
+			})
+		}
+	}
+	finish() // release the hold
+}
+
+// computeNextHops runs BFS over the switch graph: nextHop[src][dst] is
+// the egress port at src on a shortest path to dst.
+func (d *Discoverer) computeNextHops() map[uint64]map[uint64]int {
+	// Adjacency between switches only, in ascending port order so route
+	// computation (and therefore the whole sweep) is deterministic.
+	adj := make(map[uint64][]struct {
+		port int
+		nbr  uint64
+	})
+	for _, sw := range d.topo.Switches {
+		edges := d.topo.Edges[sw.GUID]
+		for port := 0; port < sw.NumPorts; port++ {
+			nbr, ok := edges[port]
+			if !ok {
+				continue
+			}
+			if n := d.seen[nbr]; n != nil && n.IsSwitch {
+				adj[sw.GUID] = append(adj[sw.GUID], struct {
+					port int
+					nbr  uint64
+				}{port, nbr})
+			}
+		}
+	}
+	next := make(map[uint64]map[uint64]int)
+	for _, src := range d.topo.Switches {
+		next[src.GUID] = make(map[uint64]int)
+		// BFS from src; firstPort[g] = egress port at src on the path
+		// to g.
+		visited := map[uint64]bool{src.GUID: true}
+		type qe struct {
+			guid      uint64
+			firstPort int
+		}
+		var queue []qe
+		for _, e := range adj[src.GUID] {
+			if !visited[e.nbr] {
+				visited[e.nbr] = true
+				next[src.GUID][e.nbr] = e.port
+				queue = append(queue, qe{e.nbr, e.port})
+			}
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[cur.guid] {
+				if !visited[e.nbr] {
+					visited[e.nbr] = true
+					next[src.GUID][e.nbr] = cur.firstPort
+					queue = append(queue, qe{e.nbr, cur.firstPort})
+				}
+			}
+		}
+	}
+	return next
+}

@@ -1,0 +1,209 @@
+package sm
+
+import (
+	"testing"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/icrc"
+	"ibasec/internal/keys"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+	"ibasec/internal/topology"
+)
+
+const discMKey = keys.MKey(0x00D15C0FEE)
+
+// bringUp builds a blank WxH mesh, attaches agents, runs the in-band
+// sweep from node 0, and returns everything once the fabric is
+// configured.
+func bringUp(t *testing.T, w, h int) (*sim.Simulator, *topology.Mesh, *DiscoveredTopology) {
+	t.Helper()
+	s := sim.New()
+	mesh := topology.NewBlankMesh(s, fabric.DefaultParams(), w, h)
+	AttachSwitchAgents(mesh, discMKey)
+	for _, hca := range mesh.HCAs {
+		AttachNodeAgent(hca, discMKey)
+	}
+	disc := NewDiscoverer(s, mesh.HCA(0), discMKey, 50*sim.Microsecond)
+	var topo *DiscoveredTopology
+	disc.Discover(func(tp *DiscoveredTopology) { topo = tp })
+	s.Run()
+	if topo == nil {
+		t.Fatal("discovery never completed")
+	}
+	return s, mesh, topo
+}
+
+func TestDiscoveryFindsEverything(t *testing.T) {
+	_, mesh, topo := bringUp(t, 4, 4)
+	if len(topo.Switches) != 16 {
+		t.Fatalf("discovered %d switches, want 16", len(topo.Switches))
+	}
+	if len(topo.CAs) != 16 {
+		t.Fatalf("discovered %d CAs, want 16", len(topo.CAs))
+	}
+	// Every mesh GUID must appear exactly once.
+	seen := map[uint64]bool{}
+	for _, n := range append(append([]*DiscoveredNode{}, topo.Switches...), topo.CAs...) {
+		if seen[n.GUID] {
+			t.Fatalf("GUID %#x discovered twice", n.GUID)
+		}
+		seen[n.GUID] = true
+	}
+	for _, sw := range mesh.Switches {
+		if !seen[sw.GUID()] {
+			t.Fatalf("switch %s not discovered", sw.Name())
+		}
+	}
+	for _, hca := range mesh.HCAs {
+		if !seen[hca.GUID()] {
+			t.Fatalf("%s not discovered", hca.Name())
+		}
+	}
+	// Dead-port probes time out (edge switches have unconnected ports).
+	if topo.Timeouts == 0 {
+		t.Fatal("no timeouts: dead-port detection untested")
+	}
+	if topo.Probes < 32 {
+		t.Fatalf("only %d probes", topo.Probes)
+	}
+}
+
+func TestDiscoveryAssignsUniqueLIDs(t *testing.T) {
+	_, mesh, topo := bringUp(t, 3, 3)
+	lids := map[packet.LID]bool{}
+	for _, hca := range mesh.HCAs {
+		lid := hca.LID()
+		if lid == 0 {
+			t.Fatalf("%s still has no LID", hca.Name())
+		}
+		if lids[lid] {
+			t.Fatalf("duplicate LID %d", lid)
+		}
+		lids[lid] = true
+	}
+	if len(topo.CAs) != 9 {
+		t.Fatalf("CAs = %d", len(topo.CAs))
+	}
+}
+
+// The decisive test: after in-band bring-up, ordinary LID-routed data
+// traffic flows between every pair of nodes.
+func TestDiscoveredFabricCarriesData(t *testing.T) {
+	s, mesh, _ := bringUp(t, 4, 4)
+	pk := packet.PKey(0x8001)
+	for _, hca := range mesh.HCAs {
+		hca.PKeyTable.Add(pk)
+	}
+	type key struct{ src, dst packet.LID }
+	got := map[key]bool{}
+	for i, hca := range mesh.HCAs {
+		hca := hca
+		_ = i
+		prev := hca.OnDeliver // the node agent chain
+		hca.OnDeliver = func(d *fabric.Delivery) {
+			if d.Class == fabric.ClassManagement {
+				if prev != nil {
+					prev(d)
+				}
+				return
+			}
+			got[key{d.Pkt.LRH.SLID, d.Pkt.LRH.DLID}] = true
+		}
+	}
+	sent := 0
+	for _, src := range mesh.HCAs {
+		for _, dst := range mesh.HCAs {
+			if src == dst {
+				continue
+			}
+			p := &packet.Packet{
+				LRH:     packet.LRH{SLID: src.LID(), DLID: dst.LID()},
+				BTH:     packet.BTH{OpCode: packet.UDSendOnly, PKey: pk, DestQP: 1},
+				DETH:    &packet.DETH{QKey: 1, SrcQP: 1},
+				Payload: make([]byte, 64),
+			}
+			if err := icrc.Seal(p); err != nil {
+				t.Fatal(err)
+			}
+			src.Send(&fabric.Delivery{Pkt: p, Class: fabric.ClassBestEffort, VL: fabric.VLBestEffort})
+			sent++
+		}
+	}
+	s.Run()
+	if len(got) != sent {
+		t.Fatalf("delivered %d/%d pairs over the discovered fabric", len(got), sent)
+	}
+}
+
+// A sweep without the correct M_Key discovers the topology (Gets are
+// open) but cannot configure anything — the Table 3 M_Key threat seen
+// from the defender's side.
+func TestDiscoveryRejectedWithoutMKey(t *testing.T) {
+	s := sim.New()
+	mesh := topology.NewBlankMesh(s, fabric.DefaultParams(), 2, 2)
+	AttachSwitchAgents(mesh, discMKey)
+	for _, hca := range mesh.HCAs {
+		AttachNodeAgent(hca, discMKey)
+	}
+	rogue := NewDiscoverer(s, mesh.HCA(0), keys.MKey(0xBAD), 50*sim.Microsecond)
+	var topo *DiscoveredTopology
+	rogue.Discover(func(tp *DiscoveredTopology) { topo = tp })
+	s.Run()
+	if topo == nil {
+		t.Fatal("sweep incomplete")
+	}
+	if len(topo.Switches) != 4 || len(topo.CAs) != 4 {
+		t.Fatalf("rogue discovery found %d/%d", len(topo.Switches), len(topo.CAs))
+	}
+	// But no LIDs assigned, no routes programmed.
+	for _, hca := range mesh.HCAs {
+		if hca.LID() != 0 && hca != mesh.HCA(0) {
+			t.Fatalf("%s got a LID from a rogue SM", hca.Name())
+		}
+	}
+	for _, sw := range mesh.Switches {
+		if sw.Counters.Get("smp_routes_set") != 0 {
+			t.Fatal("rogue SM programmed a route")
+		}
+		if sw.Counters.Get("smp_mkey_violations") == 0 {
+			t.Fatal("M_Key violations not counted")
+		}
+	}
+}
+
+// Discovery is deterministic: two sweeps of identical fabrics assign
+// identical LIDs.
+func TestDiscoveryDeterministic(t *testing.T) {
+	_, meshA, _ := bringUp(t, 3, 3)
+	_, meshB, _ := bringUp(t, 3, 3)
+	for i := range meshA.HCAs {
+		if meshA.HCA(i).LID() != meshB.HCA(i).LID() {
+			t.Fatalf("node %d: LID %d vs %d across identical sweeps",
+				i, meshA.HCA(i).LID(), meshB.HCA(i).LID())
+		}
+	}
+}
+
+func TestDiscoveredEdgesMatchMesh(t *testing.T) {
+	_, mesh, topo := bringUp(t, 2, 3)
+	// Each switch's discovered east neighbour must be the actual mesh
+	// neighbour.
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 2; x++ {
+			i := y*2 + x
+			sw := mesh.Switches[i]
+			edges := topo.Edges[sw.GUID()]
+			if x+1 < 2 {
+				want := mesh.Switches[y*2+x+1].GUID()
+				if edges[topology.PortEast] != want {
+					t.Fatalf("switch %d east edge = %#x, want %#x", i, edges[topology.PortEast], want)
+				}
+			}
+			// Port 0 must point at the local HCA.
+			if edges[topology.PortHCA] != mesh.HCA(i).GUID() {
+				t.Fatalf("switch %d HCA edge wrong", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Package sm implements the Subnet Manager: partition administration,
+// P_Key-violation trap handling, and the SIF control loop of the paper's
+// section 3.3 — on a trap, the SM identifies the offending node, locates
+// its ingress switch, registers the invalid P_Key in that switch's
+// Invalid_P_Key_Table and enables its filtering function.
+//
+// Traps are real management-class packets that traverse the simulated
+// fabric on VL 15, so the paper's observation that "SIF allows a DoS
+// attack in the IBA network for a subnet manager to register the invalid
+// P_Key" (section 6) emerges naturally from trap transit plus SM
+// processing time.
+package sm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ibasec/internal/enforce"
+	"ibasec/internal/fabric"
+	"ibasec/internal/icrc"
+	"ibasec/internal/keys"
+	"ibasec/internal/metrics"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+	"ibasec/internal/topology"
+)
+
+// Trap payload layout (a simplified MAD): type byte, offender LID,
+// offending P_Key.
+const (
+	trapTypePKeyViolation = 1
+	trapPayloadSize       = 5
+)
+
+// Config holds SM tuning knobs.
+type Config struct {
+	// Node is the mesh node index the SM runs on.
+	Node int
+	// MKey guards configuration operations (IBA 14.2.4).
+	MKey keys.MKey
+	// ProcessingDelay is the SM's per-trap handling time (parse,
+	// locate switch, build the config MAD).
+	ProcessingDelay sim.Time
+	// RegistrationDelay is the additional time for the configuration
+	// MAD to reach the ingress switch and take effect.
+	RegistrationDelay sim.Time
+	// TrapInterval rate-limits identical traps from one victim: a
+	// second trap for the same (offender, P_Key) is suppressed within
+	// the interval.
+	TrapInterval sim.Time
+	// AutoDisablePeriod is how often SIF switches check their Ingress
+	// P_Key Violation Counter to self-disable. Zero disables the timer
+	// (callers manage it themselves).
+	AutoDisablePeriod sim.Time
+}
+
+// DefaultConfig returns production-like defaults.
+func DefaultConfig() Config {
+	return Config{
+		Node:              0,
+		MKey:              0x5EC0DE0FDEADBEEF,
+		ProcessingDelay:   2 * sim.Microsecond,
+		RegistrationDelay: 2 * sim.Microsecond,
+		TrapInterval:      50 * sim.Microsecond,
+		AutoDisablePeriod: 500 * sim.Microsecond,
+	}
+}
+
+// SubnetManager administers partitions and drives SIF.
+type SubnetManager struct {
+	cfg    Config
+	sim    *sim.Simulator
+	mesh   *topology.Mesh
+	filter *enforce.Filter // nil unless SIF (or tests)
+
+	// Authority is non-nil when partition-level key management is on:
+	// partition secrets are generated and distributed at partition
+	// creation (paper section 4.2).
+	Authority *keys.PartitionAuthority
+	// InstallSecret delivers a partition secret to a member node's key
+	// store; wired by the core layer.
+	InstallSecret func(node int, pk packet.PKey, k keys.SecretKey)
+
+	partitions map[uint16][]int
+	busyUntil  sim.Time
+	trapSeen   map[trapKey]sim.Time
+	stopTimer  func()
+
+	Counters *metrics.Counters
+	// RegLatency tracks microseconds from trap arrival at the SM to the
+	// switch registration taking effect — the quantity degraded by the
+	// section-7 management-DoS attack (flooding the SM with MADs).
+	RegLatency metrics.Welford
+}
+
+type trapKey struct {
+	offender packet.LID
+	pkey     uint16
+}
+
+// New creates a Subnet Manager for the mesh. filter may be nil when no
+// switch enforcement is in use.
+func New(s *sim.Simulator, mesh *topology.Mesh, filter *enforce.Filter, cfg Config) *SubnetManager {
+	m := &SubnetManager{
+		cfg:        cfg,
+		sim:        s,
+		mesh:       mesh,
+		filter:     filter,
+		partitions: make(map[uint16][]int),
+		trapSeen:   make(map[trapKey]sim.Time),
+		Counters:   metrics.NewCounters(),
+	}
+	if filter != nil && filter.Mode() == enforce.SIF && cfg.AutoDisablePeriod > 0 {
+		m.stopTimer = filter.StartAutoDisable(s, cfg.AutoDisablePeriod)
+	}
+	return m
+}
+
+// Stop cancels the SM's periodic timers so a simulation can drain.
+func (m *SubnetManager) Stop() {
+	if m.stopTimer != nil {
+		m.stopTimer()
+		m.stopTimer = nil
+	}
+}
+
+// CheckMKey validates a management key for configuration operations.
+func (m *SubnetManager) CheckMKey(k keys.MKey) error {
+	if k != m.cfg.MKey {
+		m.Counters.Inc("mkey_violations", 1)
+		return fmt.Errorf("sm: M_Key mismatch")
+	}
+	return nil
+}
+
+// CreatePartition registers a partition and programs the member HCAs'
+// partition tables. With an Authority present it also generates the
+// partition secret and pushes it to every member through InstallSecret
+// (sealed distribution is exercised in the keys package; the simulator
+// shortcut here keeps setup out of the measured window, matching the
+// paper: "Key distribution overhead is virtually zero because the SM
+// distributes P_Keys and their secret keys first").
+func (m *SubnetManager) CreatePartition(mkey keys.MKey, pk packet.PKey, members []int) error {
+	if err := m.CheckMKey(mkey); err != nil {
+		return err
+	}
+	for _, n := range members {
+		if n < 0 || n >= m.mesh.NumNodes() {
+			return fmt.Errorf("sm: member %d out of range", n)
+		}
+	}
+	m.partitions[pk.Base()] = append([]int(nil), members...)
+	var secret keys.SecretKey
+	haveSecret := false
+	if m.Authority != nil {
+		k, err := m.Authority.EnsureSecret(pk)
+		if err != nil {
+			return err
+		}
+		secret, haveSecret = k, true
+	}
+	for _, n := range members {
+		if err := m.mesh.HCA(n).PKeyTable.Add(pk); err != nil {
+			return err
+		}
+		if haveSecret && m.InstallSecret != nil {
+			m.InstallSecret(n, pk, secret)
+		}
+	}
+	m.Counters.Inc("partitions_created", 1)
+	return nil
+}
+
+// Members returns the nodes in pk's partition.
+func (m *SubnetManager) Members(pk packet.PKey) []int {
+	return append([]int(nil), m.partitions[pk.Base()]...)
+}
+
+// RemoveFromPartition evicts a node: its HCA loses the P_Key and, when
+// partition-level key management is active, the partition secret is
+// rotated and redistributed to the remaining members so the evicted node
+// cannot keep authenticating with the old secret (the revocation step
+// the paper's section 4.2 scheme implies but does not spell out).
+func (m *SubnetManager) RemoveFromPartition(mkey keys.MKey, pk packet.PKey, node int) error {
+	if err := m.CheckMKey(mkey); err != nil {
+		return err
+	}
+	members := m.partitions[pk.Base()]
+	idx := -1
+	for i, n := range members {
+		if n == node {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("sm: node %d not in partition %#x", node, pk.Base())
+	}
+	m.partitions[pk.Base()] = append(members[:idx], members[idx+1:]...)
+	m.mesh.HCA(node).PKeyTable.Remove(pk)
+	m.Counters.Inc("members_removed", 1)
+
+	if m.Authority != nil {
+		fresh, err := m.Authority.Rotate(pk)
+		if err != nil {
+			return err
+		}
+		if m.InstallSecret != nil {
+			for _, n := range m.partitions[pk.Base()] {
+				m.InstallSecret(n, pk, fresh)
+			}
+		}
+		m.Counters.Inc("secrets_rotated", 1)
+	}
+	return nil
+}
+
+// ProgramSwitchTables installs the per-switch valid-P_Key tables the
+// filter needs: for DPT every switch gets the union of all partitions;
+// for IF/SIF each switch gets the partitions of its attached node.
+func (m *SubnetManager) ProgramSwitchTables() {
+	if m.filter == nil {
+		return
+	}
+	switch m.filter.Mode() {
+	case enforce.DPT:
+		global := keys.NewPartitionTable(0)
+		memberships := 0 // Table 2's n×p: one entry per (node, partition)
+		for base, members := range m.partitions {
+			memberships += len(members)
+			if err := global.Add(packet.PKey(0x8000 | base)); err != nil {
+				panic(err)
+			}
+		}
+		for _, sw := range m.mesh.Switches {
+			m.filter.SetSwitchTable(sw, global, memberships)
+		}
+	case enforce.IF, enforce.SIF:
+		for i := range m.mesh.HCAs {
+			tbl := keys.NewPartitionTable(0)
+			for base, members := range m.partitions {
+				for _, n := range members {
+					if n == i {
+						if err := tbl.Add(packet.PKey(0x8000 | base)); err != nil {
+							panic(err)
+						}
+						break
+					}
+				}
+			}
+			// Table 2's p: the attached node's own partition count.
+			m.filter.SetSwitchTable(m.mesh.SwitchOf(i), tbl, tbl.Len())
+		}
+	}
+}
+
+// AttachTraps hooks every HCA's P_Key-violation callback to send a trap
+// MAD to the SM over the fabric's management VL.
+func (m *SubnetManager) AttachTraps() {
+	for i, hca := range m.mesh.HCAs {
+		i, hca := i, hca
+		hca.OnPKeyViolation = func(d *fabric.Delivery) {
+			m.sendTrap(i, hca, d)
+		}
+	}
+}
+
+// sendTrap emits (or suppresses) a trap for an observed violation.
+func (m *SubnetManager) sendTrap(victim int, victimHCA *fabric.HCA, d *fabric.Delivery) {
+	k := trapKey{offender: d.Pkt.LRH.SLID, pkey: uint16(d.Pkt.BTH.PKey)}
+	if last, ok := m.trapSeen[k]; ok && m.sim.Now()-last < m.cfg.TrapInterval {
+		m.Counters.Inc("traps_suppressed", 1)
+		return
+	}
+	m.trapSeen[k] = m.sim.Now()
+	m.Counters.Inc("traps_sent", 1)
+
+	payload := make([]byte, trapPayloadSize)
+	payload[0] = trapTypePKeyViolation
+	binary.BigEndian.PutUint16(payload[1:3], uint16(d.Pkt.LRH.SLID))
+	binary.BigEndian.PutUint16(payload[3:5], uint16(d.Pkt.BTH.PKey))
+
+	if victim == m.cfg.Node {
+		// Local violation: no fabric transit.
+		arrived := m.sim.Now()
+		m.sim.Schedule(0, func() { m.processTrap(payload, arrived) })
+		return
+	}
+	p := &packet.Packet{
+		LRH:  packet.LRH{SLID: victimHCA.LID(), DLID: topology.LIDOf(m.cfg.Node), VL: fabric.VLManagement},
+		BTH:  packet.BTH{OpCode: packet.UDSendOnly, PKey: 0xFFFF, DestQP: 0},
+		DETH: &packet.DETH{QKey: 0, SrcQP: 0},
+	}
+	p.Payload = payload
+	if err := icrc.Seal(p); err != nil {
+		panic(err)
+	}
+	victimHCA.Send(&fabric.Delivery{
+		Pkt:    p,
+		Class:  fabric.ClassManagement,
+		VL:     fabric.VLManagement,
+		Source: victimHCA.Name(),
+	})
+}
+
+// HandleManagement processes a management packet addressed to the SM
+// (DestQP 0). It returns true if the packet was consumed. The core layer
+// calls this from the SM node's delivery dispatch.
+func (m *SubnetManager) HandleManagement(d *fabric.Delivery) bool {
+	if d.Pkt.BTH.DestQP != 0 || len(d.Pkt.Payload) < trapPayloadSize {
+		return false
+	}
+	if d.Pkt.Payload[0] != trapTypePKeyViolation {
+		return false
+	}
+	m.Counters.Inc("traps_received", 1)
+	payload := append([]byte(nil), d.Pkt.Payload[:trapPayloadSize]...)
+	// The SM is a serial processor: a flood of management packets
+	// queues up (the management-DoS vector of section 7).
+	arrived := m.sim.Now()
+	start := arrived
+	if m.busyUntil > start {
+		start = m.busyUntil
+	}
+	m.busyUntil = start + m.cfg.ProcessingDelay
+	m.sim.ScheduleAt(m.busyUntil, func() { m.processTrap(payload, arrived) })
+	return true
+}
+
+// processTrap applies the SIF registration after the configuration MAD
+// reaches the offender's ingress switch. arrived is when the trap reached
+// the SM, for registration-latency accounting.
+func (m *SubnetManager) processTrap(payload []byte, arrived sim.Time) {
+	offender := packet.LID(binary.BigEndian.Uint16(payload[1:3]))
+	pk := packet.PKey(binary.BigEndian.Uint16(payload[3:5]))
+	node := m.mesh.NodeByLID(offender)
+	if node < 0 {
+		m.Counters.Inc("traps_unlocatable", 1)
+		return
+	}
+	if m.filter == nil || m.filter.Mode() != enforce.SIF {
+		return
+	}
+	sw := m.mesh.SwitchOf(node)
+	m.sim.Schedule(m.cfg.RegistrationDelay, func() {
+		m.filter.RegisterInvalid(sw, pk)
+		m.Counters.Inc("sif_registrations", 1)
+		m.RegLatency.Add((m.sim.Now() - arrived).Microseconds())
+	})
+}
+
+// DistributeEnvelopes exercises the full sealed distribution path for a
+// partition: for each member it produces an envelope encrypted to that
+// node's public key (paper section 4.2). Returns node->envelope.
+func (m *SubnetManager) DistributeEnvelopes(pk packet.PKey, dir *keys.Directory, rng io.Reader, names func(int) string) (map[int]keys.Envelope, error) {
+	if m.Authority == nil {
+		return nil, fmt.Errorf("sm: no partition authority configured")
+	}
+	out := make(map[int]keys.Envelope)
+	for _, n := range m.partitions[pk.Base()] {
+		env, err := m.Authority.EnvelopeFor(pk, names(n))
+		if err != nil {
+			return nil, err
+		}
+		out[n] = env
+	}
+	return out, nil
+}

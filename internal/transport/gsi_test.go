@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/icrc"
+	"ibasec/internal/packet"
+	"ibasec/internal/topology"
+)
+
+// GSI input is attacker-reachable (any node can address QP 1), so the
+// handlers must survive arbitrary payloads without panicking and without
+// corrupting endpoint state.
+func TestGSIMalformedInputs(t *testing.T) {
+	w := newWorld(t, 0, QPLevel, false)
+	rng := rand.New(rand.NewSource(7))
+
+	send := func(payload []byte) {
+		p := &packet.Packet{
+			LRH:     packet.LRH{SLID: topology.LIDOf(1), DLID: topology.LIDOf(3)},
+			BTH:     packet.BTH{OpCode: packet.UDSendOnly, PKey: pkeyAB, DestQP: 1},
+			DETH:    &packet.DETH{QKey: 0, SrcQP: 1},
+			Payload: payload,
+		}
+		if err := icrc.Seal(p); err != nil {
+			t.Fatal(err)
+		}
+		w.mesh.HCA(1).Send(&fabric.Delivery{Pkt: p, Class: fabric.ClassBestEffort, VL: fabric.VLBestEffort})
+	}
+
+	// Pure fuzz: random bytes of random lengths.
+	for i := 0; i < 300; i++ {
+		pl := make([]byte, rng.Intn(64))
+		rng.Read(pl)
+		send(pl)
+	}
+	// Structured abuse: valid headers with garbage bodies.
+	for _, msgType := range []byte{1, 2, 3, 4, 99} {
+		hdr := gsiHeader(msgType, packet.QPN(rng.Intn(1<<24)), packet.QPN(rng.Intn(1<<24)))
+		send(hdr)
+		send(append(hdr, 0xFF))                     // truncated extras
+		send(append(hdr, 0, 200))                   // envelope length > body
+		send(append(append(hdr, 0, 4), 1, 2, 3, 4)) // bogus 4-byte envelope
+	}
+	w.s.Run()
+
+	if w.eps[3].Counters.Get("gsi_received") == 0 {
+		t.Fatal("no GSI messages processed")
+	}
+	// Malformed traffic must not fabricate state.
+	if w.eps[3].Counters.Get("rc_accepted") != 0 || w.eps[3].Counters.Get("qkey_established") != 0 {
+		t.Fatal("malformed GSI traffic established state")
+	}
+	// The endpoint still works afterwards.
+	src := w.eps[1].CreateUDQP(pkeyAB, 0)
+	dst := w.eps[3].CreateUDQP(pkeyAB, 0x42)
+	ok := false
+	w.eps[1].RequestQKey(src, topology.LIDOf(3), dst.N, func(k packet.QKey, err error) {
+		ok = err == nil && k == dst.QKey
+	})
+	w.s.Run()
+	if !ok {
+		t.Fatal("endpoint broken after fuzzing")
+	}
+}
+
+// A QKey response for a request that was never made must be ignored.
+func TestGSIUnsolicitedResponse(t *testing.T) {
+	w := newWorld(t, 0, QPLevel, false)
+	payload := gsiHeader(gsiQKeyResponse, 2, 2)
+	payload = append(payload, 0, 0, 0, 0x42, 0, 0)
+	p := &packet.Packet{
+		LRH:     packet.LRH{SLID: topology.LIDOf(1), DLID: topology.LIDOf(0)},
+		BTH:     packet.BTH{OpCode: packet.UDSendOnly, PKey: pkeyAB, DestQP: 1},
+		DETH:    &packet.DETH{QKey: 0, SrcQP: 1},
+		Payload: payload,
+	}
+	if err := icrc.Seal(p); err != nil {
+		t.Fatal(err)
+	}
+	w.mesh.HCA(1).Send(&fabric.Delivery{Pkt: p, Class: fabric.ClassBestEffort, VL: fabric.VLBestEffort})
+	w.s.Run()
+	if w.eps[0].Counters.Get("gsi_unexpected") != 1 {
+		t.Fatalf("unsolicited response not flagged: %v", w.eps[0].Counters)
+	}
+}
+
+// An RC connect aimed at a UD QP must be refused.
+func TestGSIConnectWrongServiceRefused(t *testing.T) {
+	w := newWorld(t, 0, PartitionLevel, false)
+	udTarget := w.eps[3].CreateUDQP(pkeyAB, 0x11)
+	a := w.eps[0].CreateRCQP(pkeyAB)
+	done := false
+	w.eps[0].ConnectRC(a, topology.LIDOf(3), udTarget.N, func(err error) { done = true })
+	w.s.Run()
+	if done {
+		t.Fatal("connect to a UD QP completed")
+	}
+	if w.eps[3].Counters.Get("gsi_no_target") != 1 {
+		t.Fatal("wrong-service connect not counted")
+	}
+}

@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"ibasec/internal/fabric"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+)
+
+// Reliable Connection delivery (IBA 9.7): every RC request carries a PSN;
+// the responder delivers strictly in PSN order and returns cumulative
+// acknowledgements. On timeout the requester retransmits the head of the
+// unacknowledged window; once an acknowledgement shows the head advanced,
+// recovery continues ACK-paced (each cumulative ACK releases the next
+// head) until the window drains. Retransmitting only the head — rather
+// than the whole window — keeps a long in-flight window from feeding a
+// retransmission storm when the retry timeout is shorter than the
+// window's serialization time. MaxRetries quiet periods with no progress
+// mark the connection broken.
+//
+// The fabric itself is lossless (credit flow control), so retransmission
+// matters exactly when something *discards* packets: partition
+// enforcement, authentication failures, or injected corruption — which is
+// how an attacker forging traffic against an authenticated QP shows up as
+// a stalled, not corrupted, connection.
+
+// Reliability tuning, part of Config.
+const (
+	defaultRetryTimeout = 100 * sim.Microsecond
+	defaultMaxRetries   = 7
+)
+
+// rcState tracks one RC QP's requester and responder progress.
+type rcState struct {
+	// Requester side.
+	unacked    []*pendingSend // PSN order
+	retryTimer *sim.Event
+	retries    int
+	broken     bool
+	// lastProgress is when the window last advanced (send or ACK); a
+	// timeout only retransmits when a full retry period elapsed with no
+	// progress, so a long in-flight window does not trigger spurious
+	// retransmissions.
+	lastProgress sim.Time
+	// recovering is set between a timeout retransmission and the window
+	// draining; in this mode each cumulative ACK releases the next head
+	// (the original copies behind a loss were dropped out-of-order at
+	// the responder and must all be resent).
+	recovering bool
+	// Responder side.
+	ePSN uint32 // next expected PSN
+}
+
+type pendingSend struct {
+	pkt   *packet.Packet
+	class fabric.Class
+}
+
+// rc returns the QP's reliability state, allocating on first use.
+func (q *QP) rc() *rcState {
+	if q.rcs == nil {
+		q.rcs = &rcState{}
+	}
+	return q.rcs
+}
+
+// Broken reports whether the RC connection gave up after exhausting
+// retries.
+func (q *QP) Broken() bool { return q.rcs != nil && q.rcs.broken }
+
+// trackReliable registers an outgoing RC request for retransmission.
+func (e *Endpoint) trackReliable(q *QP, p *packet.Packet, class fabric.Class) {
+	st := q.rc()
+	st.unacked = append(st.unacked, &pendingSend{pkt: p.Clone(), class: class})
+	if len(st.unacked) == 1 {
+		// Window (re)opens: the clock measures time since the oldest
+		// unacked request could first have been answered. Later sends
+		// must not push the deadline, or a black-holed path with a
+		// steady source would never time out.
+		st.lastProgress = e.hca.Sim().Now()
+	}
+	e.armRetry(q)
+}
+
+// retryTimeout returns the configured or default retry period.
+func (e *Endpoint) retryTimeout() sim.Time {
+	if e.cfg.RetryTimeout > 0 {
+		return e.cfg.RetryTimeout
+	}
+	return defaultRetryTimeout
+}
+
+// armRetry starts the retransmission timer if it is not running.
+func (e *Endpoint) armRetry(q *QP) {
+	st := q.rc()
+	if st.retryTimer != nil && !st.retryTimer.Cancelled() {
+		return
+	}
+	st.retryTimer = e.hca.Sim().Schedule(e.retryTimeout(), func() { e.onRetryTimeout(q) })
+}
+
+// onRetryTimeout retransmits every unacknowledged request (go-back-N)
+// if a full retry period passed with no window progress.
+func (e *Endpoint) onRetryTimeout(q *QP) {
+	st := q.rc()
+	st.retryTimer = nil
+	if len(st.unacked) == 0 || st.broken {
+		return
+	}
+	now := e.hca.Sim().Now()
+	if since := now - st.lastProgress; since < e.retryTimeout() {
+		// Progress happened recently: push the deadline out instead of
+		// retransmitting a window that is still draining.
+		st.retryTimer = e.hca.Sim().Schedule(e.retryTimeout()-since, func() { e.onRetryTimeout(q) })
+		return
+	}
+	maxRetries := e.cfg.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = defaultMaxRetries
+	}
+	st.retries++
+	if st.retries > maxRetries {
+		st.broken = true
+		e.Counters.Inc("rc_broken", 1)
+		return
+	}
+	st.recovering = true
+	e.resendHead(q)
+	e.armRetry(q)
+}
+
+// resendHead retransmits the oldest unacknowledged request.
+func (e *Endpoint) resendHead(q *QP) {
+	st := q.rc()
+	if len(st.unacked) == 0 {
+		return
+	}
+	ps := st.unacked[0]
+	e.Counters.Inc("rc_retransmissions", 1)
+	e.hca.Send(&fabric.Delivery{
+		Pkt:    ps.pkt.Clone(),
+		Class:  ps.class,
+		VL:     ps.class.VL(),
+		Source: e.hca.Name(),
+	})
+}
+
+// handleRCRequest runs the responder-side ordering check. It returns
+// true when the packet is the next expected one and should be delivered;
+// in every case it emits the appropriate cumulative acknowledgement.
+func (e *Endpoint) handleRCRequest(q *QP, p *packet.Packet, d *fabric.Delivery) bool {
+	st := q.rc()
+	switch {
+	case p.BTH.PSN == st.ePSN:
+		st.ePSN = (st.ePSN + 1) & 0xFFFFFF
+		// An RDMA read is acknowledged by its response (IBA 9.7.5.1.5);
+		// everything else gets an explicit cumulative ACK.
+		if p.BTH.OpCode != packet.RCRDMAReadReq {
+			e.sendAck(q, p.BTH.PSN)
+		}
+		return true
+	case psnBefore(p.BTH.PSN, st.ePSN):
+		// Duplicate of an already-delivered request: re-acknowledge,
+		// do not re-deliver.
+		e.Counters.Inc("rc_duplicates", 1)
+		e.sendAck(q, (st.ePSN-1)&0xFFFFFF)
+		return false
+	default:
+		// Gap (an earlier request was discarded en route): drop and
+		// re-acknowledge the last in-order PSN so the requester goes
+		// back.
+		e.Counters.Inc("rc_out_of_order", 1)
+		if st.ePSN != 0 {
+			e.sendAck(q, (st.ePSN-1)&0xFFFFFF)
+		}
+		return false
+	}
+}
+
+// psnBefore reports whether a precedes b in 24-bit sequence space.
+func psnBefore(a, b uint32) bool {
+	return (b-a)&0xFFFFFF < 1<<23 && a != b
+}
+
+// sendAck emits a (possibly authenticated) cumulative acknowledgement
+// for PSN psn.
+func (e *Endpoint) sendAck(q *QP, psn uint32) {
+	if q.RemoteLID == 0 {
+		return
+	}
+	p := &packet.Packet{
+		LRH:  packet.LRH{SLID: e.hca.LID(), DLID: q.RemoteLID},
+		BTH:  packet.BTH{OpCode: packet.RCAck, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: psn},
+		AETH: &packet.AETH{Syndrome: 0, MSN: psn},
+	}
+	if err := e.seal(p, q, q.RemoteLID, q.RemoteQPN, q.N); err != nil {
+		e.Counters.Inc("rc_ack_seal_failed", 1)
+		return
+	}
+	e.Counters.Inc("rc_acks_sent", 1)
+	e.hca.Send(&fabric.Delivery{
+		Pkt: p, Class: fabric.ClassBestEffort, VL: fabric.VLBestEffort, Source: e.hca.Name(),
+	})
+}
+
+// handleRCAck processes a cumulative acknowledgement at the requester.
+func (e *Endpoint) handleRCAck(q *QP, p *packet.Packet) {
+	st := q.rc()
+	acked := p.AETH.MSN
+	kept := st.unacked[:0]
+	for _, ps := range st.unacked {
+		if !psnBefore(ps.pkt.BTH.PSN, (acked+1)&0xFFFFFF) {
+			kept = append(kept, ps)
+		}
+	}
+	progressed := len(kept) < len(st.unacked)
+	if progressed {
+		st.retries = 0 // forward progress
+		st.lastProgress = e.hca.Sim().Now()
+	}
+	st.unacked = kept
+	e.Counters.Inc("rc_acks_received", 1)
+	if len(st.unacked) == 0 {
+		st.recovering = false
+		if st.retryTimer != nil {
+			e.hca.Sim().Cancel(st.retryTimer)
+			st.retryTimer = nil
+		}
+		return
+	}
+	// ACK-paced recovery: the responder discarded everything behind the
+	// loss, so each advance releases the next head immediately instead
+	// of waiting out another timeout.
+	if progressed && st.recovering {
+		e.resendHead(q)
+	}
+}

@@ -1,0 +1,522 @@
+// Package transport implements the IBA transport layer over the fabric
+// model: queue pairs with Unreliable Datagram and Reliable Connection
+// services, R_Key-checked RDMA writes into registered memory regions, and
+// the paper's receive-side verification pipeline:
+//
+//	P_Key check (in the HCA) → Q_Key check (UD) → authentication-tag
+//	check (when BTH.Resv8a names a MAC function) → optional PSN replay
+//	check → delivery.
+//
+// Authentication tags are computed over the packet's ICRC-invariant
+// region and stored in the ICRC field (paper section 5.1); secret keys
+// are resolved through the partition-level or QP-level stores of the
+// keys package (sections 4.2-4.3). QP-level keys are established in-band
+// with a Q_Key request/response exchange on the General Service Interface
+// (QP 1), which is what gives Figure 6 its one-round-trip key
+// initialization cost.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/icrc"
+	"ibasec/internal/keys"
+	"ibasec/internal/mac"
+	"ibasec/internal/metrics"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+)
+
+// KeyLevel selects the authentication-key management scheme.
+type KeyLevel int
+
+// Key management levels (paper sections 4.2 and 4.3).
+const (
+	PartitionLevel KeyLevel = iota
+	QPLevel
+)
+
+func (l KeyLevel) String() string {
+	if l == QPLevel {
+		return "QP-level"
+	}
+	return "partition-level"
+}
+
+// Reserved queue pair numbers.
+const (
+	qpnSMI packet.QPN = 0 // subnet management interface
+	qpnGSI packet.QPN = 1 // general services (key exchange lives here)
+)
+
+// Config parameterizes an Endpoint.
+type Config struct {
+	// Registry resolves authentication-function IDs; nil means no
+	// authentication support.
+	Registry *mac.Registry
+	// AuthID is the function used to sign outgoing packets on QPs with
+	// AuthRequired (0 = sign nothing).
+	AuthID uint8
+	// KeyLevel selects partition-level or QP-level secrets.
+	KeyLevel KeyLevel
+	// ReplayProtect enables the PSN-based replay check (the paper's
+	// section-7 nonce extension).
+	ReplayProtect bool
+	// RNG supplies key-generation randomness.
+	RNG io.Reader
+	// Directory is the shared public-key directory; KeyPair is this
+	// node's pair. Both are required for QP-level management.
+	Directory *keys.Directory
+	KeyPair   *keys.NodeKeyPair
+	// NameOf maps a LID to the node name used in the Directory.
+	NameOf func(packet.LID) string
+	// RetryTimeout and MaxRetries tune RC retransmission; zero values
+	// select the defaults (100 µs, 7 rounds).
+	RetryTimeout sim.Time
+	MaxRetries   int
+}
+
+// QP is one queue pair.
+type QP struct {
+	N       packet.QPN
+	Service packet.Service
+	PKey    packet.PKey
+	QKey    packet.QKey // UD only
+
+	// RC peer, set by ConnectRC.
+	RemoteLID packet.LID
+	RemoteQPN packet.QPN
+
+	// AuthRequired turns the paper's on-demand authentication on for
+	// this QP: outgoing packets are signed and unsigned arrivals are
+	// rejected.
+	AuthRequired bool
+
+	// OnRecv delivers verified payloads.
+	OnRecv func(payload []byte, src packet.LID, srcQP packet.QPN)
+
+	psn     uint32
+	lastPSN map[uint64]uint32 // replay floor per remote (lid, qp)
+	rcs     *rcState          // RC reliability state
+}
+
+// nextPSN returns and advances the send PSN (24-bit wraparound).
+func (q *QP) nextPSN() uint32 {
+	p := q.psn
+	q.psn = (q.psn + 1) & 0xFFFFFF
+	return p
+}
+
+// MemoryRegion is a registered buffer remotely writable via its R_Key.
+type MemoryRegion struct {
+	VA   uint64
+	Data []byte
+	LKey keys.LKey
+	RKey packet.RKey
+}
+
+// Endpoint is the per-node transport layer bound to one HCA.
+type Endpoint struct {
+	hca  *fabric.HCA
+	cfg  Config
+	qps  map[packet.QPN]*QP
+	next packet.QPN
+
+	Store   *keys.Store
+	regions map[packet.RKey]*MemoryRegion
+	nextVA  uint64
+
+	pendingQKey map[pendKey]*qkeyRequest // keyed by (requester QP, peer LID)
+	pendingRC   map[pendKey]*rcRequest
+	// pendingReads holds outstanding RDMA read callbacks by request PSN.
+	pendingReads map[uint32]func([]byte)
+
+	Counters *metrics.Counters
+}
+
+// Errors returned by transport operations.
+var (
+	ErrNoQP        = errors.New("transport: unknown queue pair")
+	ErrNotUD       = errors.New("transport: operation requires a UD QP")
+	ErrNotRC       = errors.New("transport: operation requires a connected RC QP")
+	ErrPayloadSize = errors.New("transport: payload exceeds MTU")
+	ErrNoKey       = errors.New("transport: no secret key installed for destination")
+	ErrNoAuthFn    = errors.New("transport: auth function not in registry")
+)
+
+// NewEndpoint builds the transport layer for an HCA and wires its
+// delivery callback. The SM's management dispatch can be layered on top
+// by replacing hca.OnDeliver with a mux that falls through to
+// (*Endpoint).Deliver.
+func NewEndpoint(hca *fabric.HCA, cfg Config) *Endpoint {
+	if cfg.NameOf == nil {
+		cfg.NameOf = func(lid packet.LID) string { return fmt.Sprintf("hca%d", int(lid)-1) }
+	}
+	e := &Endpoint{
+		hca:         hca,
+		cfg:         cfg,
+		qps:         make(map[packet.QPN]*QP),
+		next:        2, // 0 and 1 are reserved
+		Store:       keys.NewStore(),
+		regions:     make(map[packet.RKey]*MemoryRegion),
+		nextVA:      0x1000,
+		pendingQKey: make(map[pendKey]*qkeyRequest),
+		pendingRC:   make(map[pendKey]*rcRequest),
+		Counters:    metrics.NewCounters(),
+	}
+	hca.OnDeliver = e.Deliver
+	return e
+}
+
+// HCA returns the endpoint's channel adapter.
+func (e *Endpoint) HCA() *fabric.HCA { return e.hca }
+
+// Config returns the endpoint's configuration.
+func (e *Endpoint) Config() Config { return e.cfg }
+
+// CreateUDQP allocates an Unreliable Datagram QP in the given partition
+// with the given Q_Key.
+func (e *Endpoint) CreateUDQP(pkey packet.PKey, qkey packet.QKey) *QP {
+	q := &QP{
+		N:       e.next,
+		Service: packet.ServiceUD,
+		PKey:    pkey,
+		QKey:    qkey,
+		lastPSN: make(map[uint64]uint32),
+	}
+	e.next++
+	e.qps[q.N] = q
+	return q
+}
+
+// CreateRCQP allocates a Reliable Connection QP in the given partition.
+// It must be connected with ConnectRC before use.
+func (e *Endpoint) CreateRCQP(pkey packet.PKey) *QP {
+	q := &QP{
+		N:       e.next,
+		Service: packet.ServiceRC,
+		PKey:    pkey,
+		lastPSN: make(map[uint64]uint32),
+	}
+	e.next++
+	e.qps[q.N] = q
+	return q
+}
+
+// QPByNumber returns a QP by number.
+func (e *Endpoint) QPByNumber(n packet.QPN) (*QP, bool) {
+	q, ok := e.qps[n]
+	return q, ok
+}
+
+// RegisterMemory registers size bytes and returns the region with fresh
+// L_Key/R_Key values (IBA 10.6). The VA space is per-endpoint.
+func (e *Endpoint) RegisterMemory(size int) *MemoryRegion {
+	r := &MemoryRegion{
+		VA:   e.nextVA,
+		Data: make([]byte, size),
+		LKey: keys.LKey(0x10000 + uint32(len(e.regions))),
+		RKey: packet.RKey(0x20000 + uint32(len(e.regions))),
+	}
+	e.nextVA += uint64(size) + 0x1000
+	e.regions[r.RKey] = r
+	return r
+}
+
+// signingKey resolves the secret for an outgoing packet.
+func (e *Endpoint) signingKey(q *QP, dstLID packet.LID, dstQPN packet.QPN) (keys.SecretKey, error) {
+	if e.cfg.KeyLevel == PartitionLevel {
+		if k, ok := e.Store.PartitionSecret(q.PKey); ok {
+			return k, nil
+		}
+		return keys.SecretKey{}, fmt.Errorf("%w: partition %#x", ErrNoKey, q.PKey.Base())
+	}
+	if k, ok := e.Store.SendQPSecret(q.N, dstLID, dstQPN); ok {
+		return k, nil
+	}
+	return keys.SecretKey{}, fmt.Errorf("%w: QP pair %d->%d", ErrNoKey, q.N, dstQPN)
+}
+
+// verifyKey resolves the secret for an arriving packet.
+func (e *Endpoint) verifyKey(q *QP, p *packet.Packet) (keys.SecretKey, bool) {
+	if e.cfg.KeyLevel == PartitionLevel {
+		return e.Store.PartitionSecret(p.BTH.PKey)
+	}
+	if q.Service == packet.ServiceUD && p.DETH != nil {
+		return e.Store.RecvQPSecret(p.DETH.QKey, p.LRH.SLID, p.DETH.SrcQP)
+	}
+	// RC: the pair secret is symmetric, stored under (local, remote).
+	return e.Store.SendQPSecret(q.N, q.RemoteLID, q.RemoteQPN)
+}
+
+// seal finalizes, optionally signs, and CRC-protects a packet.
+func (e *Endpoint) seal(p *packet.Packet, q *QP, dstLID packet.LID, dstQPN packet.QPN, srcQP packet.QPN) error {
+	sign := q.AuthRequired && e.cfg.AuthID != 0
+	if !sign {
+		p.BTH.AuthID = 0
+		return icrc.Seal(p)
+	}
+	a, ok := e.cfg.Registry.Lookup(e.cfg.AuthID)
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNoAuthFn, e.cfg.AuthID)
+	}
+	key, err := e.signingKey(q, dstLID, dstQPN)
+	if err != nil {
+		return err
+	}
+	p.BTH.AuthID = a.ID()
+	if err := p.Finalize(); err != nil {
+		return err
+	}
+	region, err := icrc.InvariantRegion(p.Marshal())
+	if err != nil {
+		return err
+	}
+	nonce := nonceFor(p.BTH.OpCode, srcQP, dstQPN, p.BTH.PSN)
+	tag, err := a.Tag(key[:], region, nonce)
+	if err != nil {
+		return err
+	}
+	p.ICRC = tag
+	e.Counters.Inc("packets_signed", 1)
+	return icrc.Seal(p) // AuthID != 0: only the VCRC is recomputed
+}
+
+// SendUD sends payload from a UD QP to (dstLID, dstQPN), writing the
+// destination's Q_Key into the DETH (the sender must have obtained it,
+// e.g. via RequestQKey).
+func (e *Endpoint) SendUD(q *QP, dstLID packet.LID, dstQPN packet.QPN, dstQKey packet.QKey, payload []byte, class fabric.Class) error {
+	if q.Service != packet.ServiceUD {
+		return ErrNotUD
+	}
+	if len(payload) > packet.MTU {
+		return ErrPayloadSize
+	}
+	p := &packet.Packet{
+		LRH:     packet.LRH{SLID: e.hca.LID(), DLID: dstLID},
+		BTH:     packet.BTH{OpCode: packet.UDSendOnly, PKey: q.PKey, DestQP: dstQPN, PSN: q.nextPSN()},
+		DETH:    &packet.DETH{QKey: dstQKey, SrcQP: q.N},
+		Payload: append([]byte(nil), payload...),
+	}
+	if err := e.seal(p, q, dstLID, dstQPN, q.N); err != nil {
+		return err
+	}
+	e.Counters.Inc("ud_sent", 1)
+	e.hca.Send(&fabric.Delivery{
+		Pkt: p, Class: class, VL: class.VL(), Source: e.hca.Name(),
+	})
+	return nil
+}
+
+// SendRC sends payload over a connected RC QP.
+func (e *Endpoint) SendRC(q *QP, payload []byte, class fabric.Class) error {
+	if q.Service != packet.ServiceRC || q.RemoteLID == 0 {
+		return ErrNotRC
+	}
+	if len(payload) > packet.MTU {
+		return ErrPayloadSize
+	}
+	p := &packet.Packet{
+		LRH:     packet.LRH{SLID: e.hca.LID(), DLID: q.RemoteLID},
+		BTH:     packet.BTH{OpCode: packet.RCSendOnly, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: q.nextPSN()},
+		Payload: append([]byte(nil), payload...),
+	}
+	if err := e.seal(p, q, q.RemoteLID, q.RemoteQPN, q.N); err != nil {
+		return err
+	}
+	e.trackReliable(q, p, class)
+	e.Counters.Inc("rc_sent", 1)
+	e.hca.Send(&fabric.Delivery{Pkt: p, Class: class, VL: class.VL(), Source: e.hca.Name()})
+	return nil
+}
+
+// RDMAWrite issues an RDMA write over a connected RC QP into the remote
+// region identified by (va, rkey). The destination QP's consumer is not
+// involved — which is exactly the paper's R_Key threat surface.
+func (e *Endpoint) RDMAWrite(q *QP, va uint64, rkey packet.RKey, payload []byte, class fabric.Class) error {
+	if q.Service != packet.ServiceRC || q.RemoteLID == 0 {
+		return ErrNotRC
+	}
+	if len(payload) > packet.MTU {
+		return ErrPayloadSize
+	}
+	p := &packet.Packet{
+		LRH:     packet.LRH{SLID: e.hca.LID(), DLID: q.RemoteLID},
+		BTH:     packet.BTH{OpCode: packet.RCRDMAWriteOnly, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: q.nextPSN()},
+		RETH:    &packet.RETH{VA: va, RKey: rkey, DMALen: uint32(len(payload))},
+		Payload: append([]byte(nil), payload...),
+	}
+	if err := e.seal(p, q, q.RemoteLID, q.RemoteQPN, q.N); err != nil {
+		return err
+	}
+	e.trackReliable(q, p, class)
+	e.Counters.Inc("rdma_sent", 1)
+	e.hca.Send(&fabric.Delivery{Pkt: p, Class: class, VL: class.VL(), Source: e.hca.Name()})
+	return nil
+}
+
+// Deliver is the HCA delivery upcall: the receive verification pipeline.
+func (e *Endpoint) Deliver(d *fabric.Delivery) {
+	p := d.Pkt
+	if p.BTH.DestQP == qpnGSI {
+		e.handleGSI(d)
+		return
+	}
+	q, ok := e.qps[p.BTH.DestQP]
+	if !ok {
+		e.Counters.Inc("drop_no_qp", 1)
+		return
+	}
+
+	// Q_Key check (UD only): "A datagram QP only accepts packets that
+	// have a legitimate Q_Key" (section 4.3).
+	if q.Service == packet.ServiceUD {
+		if p.DETH == nil || p.DETH.QKey != q.QKey {
+			e.Counters.Inc("qkey_violations", 1)
+			return
+		}
+	}
+
+	// Authentication-tag check.
+	if !e.verifyAuth(q, d) {
+		return
+	}
+
+	// Replay check (optional extension; RC duplicates are handled by
+	// the reliability protocol's PSN ordering instead).
+	if e.cfg.ReplayProtect && q.Service == packet.ServiceUD && !e.replayOK(q, p) {
+		e.Counters.Inc("replay_drops", 1)
+		return
+	}
+
+	// RC reliability: acknowledgements complete requester state; data
+	// packets pass the responder's in-order check before delivery.
+	if p.BTH.OpCode == packet.RCAck {
+		if p.AETH != nil {
+			e.handleRCAck(q, p)
+		}
+		return
+	}
+	if p.BTH.OpCode == packet.RCRDMAReadRespO {
+		if p.AETH != nil {
+			e.handleRDMAReadResp(q, p)
+		}
+		return
+	}
+	if q.Service == packet.ServiceRC {
+		if !e.handleRCRequest(q, p, d) {
+			return
+		}
+	}
+
+	switch p.BTH.OpCode {
+	case packet.RCRDMAWriteOnly:
+		e.applyRDMAWrite(p)
+	case packet.RCRDMAReadReq:
+		e.handleRDMAReadReq(q, p)
+	case packet.UDSendOnly, packet.UDSendOnlyImm, packet.RCSendOnly, packet.UCSendOnly:
+		e.Counters.Inc("delivered", 1)
+		if q.OnRecv != nil {
+			src, srcQP := p.LRH.SLID, packet.QPN(0)
+			if p.DETH != nil {
+				srcQP = p.DETH.SrcQP
+			} else if q.Service == packet.ServiceRC || q.Service == packet.ServiceUC {
+				srcQP = q.RemoteQPN
+			}
+			q.OnRecv(p.Payload, src, srcQP)
+		}
+	default:
+		e.Counters.Inc("drop_unhandled_opcode", 1)
+	}
+}
+
+// nonceFor builds the per-packet MAC nonce. The opcode is folded into
+// the top byte so that a data packet and its acknowledgement — which can
+// share (srcQP, dstQP, PSN) when both endpoints allocated the same QP
+// number — never authenticate under the same nonce.
+func nonceFor(op packet.OpCode, srcQP, dstQP packet.QPN, psn uint32) uint64 {
+	return keys.Nonce(srcQP, dstQP, psn) ^ uint64(op)<<56
+}
+
+// verifyAuth enforces the on-demand authentication policy and checks the
+// tag in the ICRC field.
+func (e *Endpoint) verifyAuth(q *QP, d *fabric.Delivery) bool {
+	p := d.Pkt
+	if p.BTH.AuthID == 0 {
+		if q.AuthRequired {
+			// Policy: this QP only accepts authenticated traffic.
+			e.Counters.Inc("auth_missing", 1)
+			return false
+		}
+		return true // legacy ICRC packet, nothing to verify here
+	}
+	if e.cfg.Registry == nil {
+		e.Counters.Inc("auth_unsupported", 1)
+		return false
+	}
+	a, ok := e.cfg.Registry.Lookup(p.BTH.AuthID)
+	if !ok {
+		e.Counters.Inc("auth_unsupported", 1)
+		return false
+	}
+	key, ok := e.verifyKey(q, p)
+	if !ok {
+		e.Counters.Inc("auth_no_key", 1)
+		return false
+	}
+	region, err := icrc.InvariantRegion(p.Marshal())
+	if err != nil {
+		e.Counters.Inc("auth_fail", 1)
+		return false
+	}
+	srcQP := packet.QPN(0)
+	if p.DETH != nil {
+		srcQP = p.DETH.SrcQP
+	} else if q.Service == packet.ServiceRC || q.Service == packet.ServiceUC {
+		srcQP = q.RemoteQPN
+	}
+	nonce := nonceFor(p.BTH.OpCode, srcQP, q.N, p.BTH.PSN)
+	valid, err := mac.Verify(a, key[:], region, nonce, p.ICRC)
+	if err != nil || !valid {
+		e.Counters.Inc("auth_fail", 1)
+		return false
+	}
+	e.Counters.Inc("auth_ok", 1)
+	return true
+}
+
+// replayOK updates the per-source PSN floor and rejects non-advancing
+// PSNs.
+func (e *Endpoint) replayOK(q *QP, p *packet.Packet) bool {
+	srcQP := packet.QPN(0)
+	if p.DETH != nil {
+		srcQP = p.DETH.SrcQP
+	}
+	key := uint64(p.LRH.SLID)<<24 | uint64(srcQP)
+	last, seen := q.lastPSN[key]
+	if seen && p.BTH.PSN <= last {
+		return false
+	}
+	q.lastPSN[key] = p.BTH.PSN
+	return true
+}
+
+// applyRDMAWrite validates the R_Key and bounds, then writes payload into
+// the registered region.
+func (e *Endpoint) applyRDMAWrite(p *packet.Packet) {
+	r, ok := e.regions[p.RETH.RKey]
+	if !ok {
+		e.Counters.Inc("rkey_violations", 1)
+		return
+	}
+	off := p.RETH.VA - r.VA
+	if p.RETH.VA < r.VA || off+uint64(len(p.Payload)) > uint64(len(r.Data)) {
+		e.Counters.Inc("rdma_bounds_violations", 1)
+		return
+	}
+	copy(r.Data[off:], p.Payload)
+	e.Counters.Inc("rdma_writes", 1)
+}

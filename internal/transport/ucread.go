@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"errors"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/packet"
+)
+
+// This file adds the remaining transport services: the Unreliable
+// Connection (UC) — connection-oriented like RC, so packets carry only a
+// P_Key and no Q_Key (the property the paper's Table 3 notes:
+// "connection-oriented service does not have Q_Key") — and RC RDMA Read,
+// the second half of the paper's R_Key threat surface ("the memory can
+// be read or written without any intervention of destination QP").
+
+// ErrReadPending is returned when an RDMA read with the same PSN is
+// already outstanding.
+var ErrReadPending = errors.New("transport: RDMA read already pending for PSN")
+
+// CreateUCQP allocates an Unreliable Connection QP in the given
+// partition. It must be connected with ConnectUC before use.
+func (e *Endpoint) CreateUCQP(pkey packet.PKey) *QP {
+	q := &QP{
+		N:       e.next,
+		Service: packet.ServiceUC,
+		PKey:    pkey,
+		lastPSN: make(map[uint64]uint32),
+	}
+	e.next++
+	e.qps[q.N] = q
+	return q
+}
+
+// ConnectUC performs the UC connection handshake; it reuses the RC
+// connect GSI exchange (including QP-level secret establishment) but the
+// resulting connection is unacknowledged.
+func (e *Endpoint) ConnectUC(q *QP, dstLID packet.LID, targetQPN packet.QPN, cb func(err error)) error {
+	if q.Service != packet.ServiceUC {
+		return ErrNotRC
+	}
+	// The GSI handshake only checks that the target is connectable;
+	// temporarily treat the QP as RC-shaped for the exchange.
+	req := &rcRequest{q: q, dstLID: dstLID, target: targetQPN, cb: cb}
+	payload := gsiHeader(gsiRCConnectReq, q.N, targetQPN)
+	if e.cfg.KeyLevel == QPLevel {
+		secret, env, err := e.issueFor(dstLID)
+		if err != nil {
+			return err
+		}
+		req.secret = secret
+		payload = appendEnvelope(payload, env)
+	} else {
+		payload = append(payload, 0, 0)
+	}
+	e.pendingRC[pendKey{q.N, dstLID}] = req
+	e.Counters.Inc("uc_connects", 1)
+	e.sendGSI(dstLID, q.PKey, payload)
+	return nil
+}
+
+// SendUC sends payload over a connected UC QP: no acknowledgement, no
+// retransmission — loss is the consumer's problem, like UD but with
+// connection state instead of a Q_Key.
+func (e *Endpoint) SendUC(q *QP, payload []byte, class fabric.Class) error {
+	if q.Service != packet.ServiceUC || q.RemoteLID == 0 {
+		return ErrNotRC
+	}
+	if len(payload) > packet.MTU {
+		return ErrPayloadSize
+	}
+	p := &packet.Packet{
+		LRH:     packet.LRH{SLID: e.hca.LID(), DLID: q.RemoteLID},
+		BTH:     packet.BTH{OpCode: packet.UCSendOnly, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: q.nextPSN()},
+		Payload: append([]byte(nil), payload...),
+	}
+	if err := e.seal(p, q, q.RemoteLID, q.RemoteQPN, q.N); err != nil {
+		return err
+	}
+	e.Counters.Inc("uc_sent", 1)
+	e.hca.Send(&fabric.Delivery{Pkt: p, Class: class, VL: class.VL(), Source: e.hca.Name()})
+	return nil
+}
+
+// RDMARead requests length bytes from the remote region at (va, rkey)
+// over a connected RC QP. cb receives the data (or nil if the read is
+// never answered; the reliability layer retries the request like any
+// other RC packet).
+func (e *Endpoint) RDMARead(q *QP, va uint64, rkey packet.RKey, length uint32, class fabric.Class, cb func(data []byte)) error {
+	if q.Service != packet.ServiceRC || q.RemoteLID == 0 {
+		return ErrNotRC
+	}
+	if int(length) > packet.MTU {
+		return ErrPayloadSize
+	}
+	psn := q.nextPSN()
+	p := &packet.Packet{
+		LRH:  packet.LRH{SLID: e.hca.LID(), DLID: q.RemoteLID},
+		BTH:  packet.BTH{OpCode: packet.RCRDMAReadReq, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: psn},
+		RETH: &packet.RETH{VA: va, RKey: rkey, DMALen: length},
+	}
+	if err := e.seal(p, q, q.RemoteLID, q.RemoteQPN, q.N); err != nil {
+		return err
+	}
+	if e.pendingReads == nil {
+		e.pendingReads = make(map[uint32]func([]byte))
+	}
+	if _, dup := e.pendingReads[psn]; dup {
+		return ErrReadPending
+	}
+	e.pendingReads[psn] = cb
+	e.trackReliable(q, p, class)
+	e.Counters.Inc("rdma_read_sent", 1)
+	e.hca.Send(&fabric.Delivery{Pkt: p, Class: class, VL: class.VL(), Source: e.hca.Name()})
+	return nil
+}
+
+// handleRDMAReadReq executes a verified read request at the responder:
+// R_Key and bounds are checked exactly as for writes, then the data
+// travels back in an RDMA read response carrying the request's PSN.
+func (e *Endpoint) handleRDMAReadReq(q *QP, p *packet.Packet) {
+	r, ok := e.regions[p.RETH.RKey]
+	if !ok {
+		e.Counters.Inc("rkey_violations", 1)
+		return
+	}
+	off := p.RETH.VA - r.VA
+	if p.RETH.VA < r.VA || off+uint64(p.RETH.DMALen) > uint64(len(r.Data)) {
+		e.Counters.Inc("rdma_bounds_violations", 1)
+		return
+	}
+	e.Counters.Inc("rdma_reads", 1)
+	resp := &packet.Packet{
+		LRH:     packet.LRH{SLID: e.hca.LID(), DLID: q.RemoteLID},
+		BTH:     packet.BTH{OpCode: packet.RCRDMAReadRespO, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: p.BTH.PSN},
+		AETH:    &packet.AETH{Syndrome: 0, MSN: p.BTH.PSN},
+		Payload: append([]byte(nil), r.Data[off:off+uint64(p.RETH.DMALen)]...),
+	}
+	if err := e.seal(resp, q, q.RemoteLID, q.RemoteQPN, q.N); err != nil {
+		e.Counters.Inc("rdma_read_seal_failed", 1)
+		return
+	}
+	e.hca.Send(&fabric.Delivery{
+		Pkt: resp, Class: fabric.ClassBestEffort, VL: fabric.VLBestEffort, Source: e.hca.Name(),
+	})
+}
+
+// handleRDMAReadResp completes a pending read at the requester. The
+// response's AETH also acknowledges the request PSN.
+func (e *Endpoint) handleRDMAReadResp(q *QP, p *packet.Packet) {
+	e.handleRCAck(q, p) // implicit acknowledgement
+	cb, ok := e.pendingReads[p.BTH.PSN]
+	if !ok {
+		e.Counters.Inc("rdma_read_unexpected", 1)
+		return
+	}
+	delete(e.pendingReads, p.BTH.PSN)
+	e.Counters.Inc("rdma_read_completed", 1)
+	if cb != nil {
+		cb(p.Payload)
+	}
+}

@@ -1,0 +1,113 @@
+package umac
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// POLY-128: polynomial evaluation hash over the prime 2^128 - 159, used
+// by the L2 layer once the L1 output outgrows POLY-64's word-range
+// budget (RFC 4418 section 5.4). Arithmetic is done on 128-bit values
+// split into two uint64 halves, with 256-bit intermediates reduced via
+// hi·2^128 ≡ hi·159 (mod p128).
+
+// u128 is an unsigned 128-bit integer.
+type u128 struct{ hi, lo uint64 }
+
+// p128 = 2^128 - 159.
+var p128 = u128{hi: ^uint64(0), lo: ^uint64(0) - 158}
+
+// POLY-128 word-range handling: offset = 2^128 - 2^96, marker = p128 - 1.
+var (
+	offset128 = u128{hi: 0xFFFFFFFF00000000, lo: 0}
+	marker128 = u128{hi: ^uint64(0), lo: ^uint64(0) - 159}
+)
+
+func (a u128) less(b u128) bool {
+	if a.hi != b.hi {
+		return a.hi < b.hi
+	}
+	return a.lo < b.lo
+}
+
+func (a u128) sub(b u128) u128 {
+	lo, borrow := bits.Sub64(a.lo, b.lo, 0)
+	hi, _ := bits.Sub64(a.hi, b.hi, borrow)
+	return u128{hi, lo}
+}
+
+// add256 adds b into the 256-bit accumulator (h, l).
+func add256(h, l, b u128) (u128, u128) {
+	lo, c := bits.Add64(l.lo, b.lo, 0)
+	hi, c2 := bits.Add64(l.hi, b.hi, c)
+	l = u128{hi, lo}
+	lo2, c3 := bits.Add64(h.lo, c2, 0)
+	h = u128{h.hi + c3, lo2}
+	return h, l
+}
+
+// mul256 computes the full 256-bit product a*b as (hi128, lo128).
+func mul256(a, b u128) (u128, u128) {
+	// a = ah·2^64 + al, b = bh·2^64 + bl.
+	h0, l0 := bits.Mul64(a.lo, b.lo) // al·bl  -> bits 0..127
+	h1, l1 := bits.Mul64(a.lo, b.hi) // al·bh  -> bits 64..191
+	h2, l2 := bits.Mul64(a.hi, b.lo) // ah·bl  -> bits 64..191
+	h3, l3 := bits.Mul64(a.hi, b.hi) // ah·bh  -> bits 128..255
+
+	lo := u128{h0, l0}
+	hi := u128{h3, l3}
+	// Fold the two middle partial products in at bit 64.
+	// middle1 = h1·2^128 + l1·2^64
+	lo2, c := bits.Add64(lo.hi, l1, 0)
+	lo.hi = lo2
+	hiLo, c2 := bits.Add64(hi.lo, h1, c)
+	hi.lo = hiLo
+	hi.hi += c2
+	// middle2 = h2·2^128 + l2·2^64
+	lo2, c = bits.Add64(lo.hi, l2, 0)
+	lo.hi = lo2
+	hiLo, c2 = bits.Add64(hi.lo, h2, c)
+	hi.lo = hiLo
+	hi.hi += c2
+	return hi, lo
+}
+
+// mod128 reduces the 256-bit value (hi·2^128 + lo) modulo p128.
+func mod128(hi, lo u128) u128 {
+	for hi.hi != 0 || hi.lo != 0 {
+		// hi·2^128 ≡ hi·159 (mod p128)
+		h2, l2 := mul256(hi, u128{0, 159})
+		hi, lo = add256(h2, l2, lo)
+	}
+	for !lo.less(p128) {
+		lo = lo.sub(p128)
+	}
+	return lo
+}
+
+// poly128Step computes (k·y + m) mod p128.
+func poly128Step(k, y, m u128) u128 {
+	hi, lo := mul256(k, y)
+	hi, lo = add256(hi, lo, m)
+	return mod128(hi, lo)
+}
+
+// poly128 evaluates the polynomial hash over 16-byte big-endian words,
+// escaping words at or above 2^128 - 2^96 with the marker (the same
+// injectivity trick as POLY-64).
+func poly128(k u128, data []byte) u128 {
+	y := u128{0, 1}
+	for off := 0; off < len(data); off += 16 {
+		m := u128{
+			hi: binary.BigEndian.Uint64(data[off:]),
+			lo: binary.BigEndian.Uint64(data[off+8:]),
+		}
+		if !m.less(offset128) {
+			y = poly128Step(k, y, marker128)
+			y = poly128Step(k, y, m.sub(offset128))
+		} else {
+			y = poly128Step(k, y, m)
+		}
+	}
+	return y
+}

