@@ -6,6 +6,7 @@
 package ibasec
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -202,3 +203,28 @@ func BenchmarkAblationAuthRate(b *testing.B) {
 		}
 	}
 }
+
+// ---- Runner: serial vs parallel sweep orchestration ----
+// The same Figure 5 sweep executed through the internal/runner pool at
+// different worker counts. On a multi-core host the parallel variant
+// approaches points/cores wall-clock; results are byte-identical either
+// way (TestFig5ParallelMatchesSerial in internal/core).
+
+func benchHarnessFig5(b *testing.B, workers int) {
+	base := quick()
+	base.AttackCycle = Millisecond
+	pool := NewPool(PoolOptions{Workers: workers})
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig5Ctx(context.Background(), pool, []float64{0.4, 0.6}, 0.05, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkHarnessFig5Jobs1(b *testing.B) { benchHarnessFig5(b, 1) }
+func BenchmarkHarnessFig5Jobs2(b *testing.B) { benchHarnessFig5(b, 2) }
+func BenchmarkHarnessFig5Jobs4(b *testing.B) { benchHarnessFig5(b, 4) }

@@ -16,19 +16,27 @@
 //	ibsim smdos                  ablation: management DoS against the SM
 //	ibsim scale                  ablation: DoS damage vs mesh size
 //	ibsim trace                  dump a packet-lifecycle trace
-//	ibsim all                    everything above
+//	ibsim all                    everything above (trace bounded to its default scope)
 //
 // Global flags (before the subcommand): -seed, -duration-ms, -quick,
-// -csv <dir> (export each experiment's rows as CSV).
+// -csv <dir> (export each experiment's rows as CSV), -jobs N (parallel
+// simulation points, default GOMAXPROCS), -results <dir> (append-only
+// JSON-lines result manifest, default "results"; empty disables it),
+// -resume (skip points already completed in the manifest — lets an
+// interrupted `ibsim all` pick up where it stopped).
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
+	"syscall"
 	"time"
 
 	"ibasec"
@@ -40,6 +48,16 @@ var (
 	quick      = flag.Bool("quick", false, "short runs (2 ms) for smoke testing")
 	cpuGHz     = flag.Float64("cpu-ghz", 2.1, "CPU clock for table4 cycles/byte conversion")
 	csvDir     = flag.String("csv", "", "also write each experiment's rows to <dir>/<name>.csv")
+	jobs       = flag.Int("jobs", 0, "parallel simulation points per sweep (0 = GOMAXPROCS)")
+	resultsDir = flag.String("results", "results", "directory for the result manifest; empty disables persistence")
+	resume     = flag.Bool("resume", false, "skip points already completed in the result manifest")
+)
+
+// runCtx and pool are the run-wide cancellation context and worker pool
+// the sweep subcommands execute under; main wires them before dispatch.
+var (
+	runCtx context.Context = context.Background()
+	pool   *ibasec.Pool
 )
 
 // writeCSV dumps rows to <csvDir>/<name>.csv when -csv is set.
@@ -81,6 +99,13 @@ func baseConfig() ibasec.Config {
 	return cfg
 }
 
+// sweepCommands are the subcommands that execute simulation sweeps
+// through the runner (and so can use the pool and result manifest).
+var sweepCommands = map[string]bool{
+	"fig1": true, "fig5": true, "fig6": true, "sweep": true,
+	"authrate": true, "smdos": true, "scale": true, "all": true,
+}
+
 func main() {
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -89,6 +114,32 @@ func main() {
 		os.Exit(2)
 	}
 	args := flag.Args()[1:]
+
+	// Ctrl-C / SIGTERM cancels cleanly between simulation points; the
+	// manifest keeps everything finished so far, so a later -resume run
+	// picks up where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runCtx = ctx
+
+	var store *ibasec.Manifest
+	if *resultsDir != "" && sweepCommands[cmd] {
+		label := fmt.Sprintf("seed=%d duration_ms=%d quick=%v", *seed, *durationMS, *quick)
+		var err error
+		store, err = ibasec.OpenManifest(filepath.Join(*resultsDir, "manifest.jsonl"), label, *resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+	}
+	pool = ibasec.NewPool(ibasec.PoolOptions{
+		Workers:  *jobs,
+		Retries:  1,
+		Progress: os.Stderr,
+		Store:    store,
+	})
+
 	var err error
 	switch cmd {
 	case "config":
@@ -122,6 +173,9 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if store != nil {
+			store.Close() // os.Exit skips the deferred close
+		}
 		fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -160,7 +214,7 @@ func runFig1(args []string) error {
 	}
 
 	show := func(name string, class ibasec.Class) error {
-		rows, err := ibasec.Fig1(class, *attackers, base)
+		rows, err := ibasec.Fig1Ctx(runCtx, pool, class, *attackers, base)
 		if err != nil {
 			return err
 		}
@@ -199,7 +253,7 @@ func runFig5(args []string) error {
 
 	base := baseConfig()
 	base.AttackCycle = base.Duration / 4
-	rows, err := ibasec.Fig5([]float64{0.4, 0.5, 0.6, 0.7}, *duty, base)
+	rows, err := ibasec.Fig5Ctx(runCtx, pool, []float64{0.4, 0.5, 0.6, 0.7}, *duty, base)
 	if err != nil {
 		return err
 	}
@@ -227,7 +281,7 @@ func runFig6(args []string) error {
 		level = ibasec.PartitionLevel
 	}
 	base := baseConfig()
-	rows, err := ibasec.Fig6([]float64{0.4, 0.5, 0.6, 0.7}, level, base)
+	rows, err := ibasec.Fig6Ctx(runCtx, pool, []float64{0.4, 0.5, 0.6, 0.7}, level, base)
 	if err != nil {
 		return err
 	}
@@ -302,7 +356,7 @@ func runSweep(args []string) error {
 
 	base := baseConfig()
 	base.AttackCycle = base.Duration / 4
-	rows, err := ibasec.SweepDuty([]float64{0.005, 0.01, 0.05, 0.1, 0.25}, *load, base)
+	rows, err := ibasec.SweepDutyCtx(runCtx, pool, []float64{0.005, 0.01, 0.05, 0.1, 0.25}, *load, base)
 	if err != nil {
 		return err
 	}
@@ -323,7 +377,7 @@ func runAuthRate(args []string) error {
 	fs.Parse(args)
 
 	base := baseConfig()
-	rows, err := ibasec.AuthRateSweep(ibasec.PaperTable4Rates(), *load, base)
+	rows, err := ibasec.AuthRateSweepCtx(runCtx, pool, ibasec.PaperTable4Rates(), *load, base)
 	if err != nil {
 		return err
 	}
@@ -347,7 +401,7 @@ func runSMDoS(args []string) error {
 	fs.Parse(args)
 
 	base := baseConfig()
-	rows, err := ibasec.SMFloodSweep([]float64{0, 50e3, 200e3, 400e3, 450e3}, base)
+	rows, err := ibasec.SMFloodSweepCtx(runCtx, pool, []float64{0, 50e3, 200e3, 400e3, 450e3}, base)
 	if err != nil {
 		return err
 	}
@@ -370,7 +424,7 @@ func runScale(args []string) error {
 	base := baseConfig()
 	base.BestEffortLoad = *load
 	base.RealtimeLoad = 0
-	rows, err := ibasec.ScaleSweep([][2]int{{2, 2}, {4, 4}, {6, 6}, {8, 8}}, base)
+	rows, err := ibasec.ScaleSweepCtx(runCtx, pool, [][2]int{{2, 2}, {4, 4}, {6, 6}, {8, 8}}, base)
 	if err != nil {
 		return err
 	}
@@ -419,25 +473,49 @@ func runTrace(args []string) error {
 	return nil
 }
 
+// runAll chains every experiment (including a bounded trace dump, so
+// "everything above" in the usage header means what it says). A failing
+// step no longer aborts the chain anonymously: each failure is
+// attributed to its experiment, the remaining experiments still run,
+// and the command exits non-zero listing exactly what broke.
 func runAll() error {
-	steps := []func() error{
-		runConfig,
-		func() error { return runFig1(nil) },
-		func() error { return runFig5(nil) },
-		func() error { return runFig6(nil) },
-		func() error { return runTable2(nil) },
-		func() error { return runAttacks() },
-		func() error { return runTable4(nil) },
-		func() error { return runSweep(nil) },
-		func() error { return runAuthRate(nil) },
-		func() error { return runSMDoS(nil) },
-		func() error { return runScale(nil) },
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"config", runConfig},
+		{"fig1", func() error { return runFig1(nil) }},
+		{"fig5", func() error { return runFig5(nil) }},
+		{"fig6", func() error { return runFig6(nil) }},
+		{"table2", func() error { return runTable2(nil) }},
+		{"attacks", runAttacks},
+		{"table4", func() error { return runTable4(nil) }},
+		{"sweep", func() error { return runSweep(nil) }},
+		{"authrate", func() error { return runAuthRate(nil) }},
+		{"smdos", func() error { return runSMDoS(nil) }},
+		{"scale", func() error { return runScale(nil) }},
+		{"trace", func() error { return runTrace(nil) }},
 	}
+	var failures []error
 	for _, s := range steps {
-		if err := s(); err != nil {
-			return err
+		if err := s.fn(); err != nil {
+			err = fmt.Errorf("%s: %w", s.name, err)
+			fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
+			failures = append(failures, err)
 		}
 		fmt.Println()
+		if runCtx.Err() != nil {
+			// Interrupted: stop chaining; the manifest holds every
+			// finished point for a later -resume run.
+			break
+		}
+	}
+	if pool != nil {
+		fmt.Fprintf(os.Stderr, "ibsim: runner counters: %s\n", pool.Counters())
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d/%d experiments failed:\n%w",
+			len(failures), len(steps), errors.Join(failures...))
 	}
 	return nil
 }

@@ -29,6 +29,7 @@
 package ibasec
 
 import (
+	"context"
 	"time"
 
 	"ibasec/internal/attack"
@@ -36,6 +37,7 @@ import (
 	"ibasec/internal/enforce"
 	"ibasec/internal/fabric"
 	"ibasec/internal/mac"
+	"ibasec/internal/runner"
 	"ibasec/internal/sim"
 	"ibasec/internal/transport"
 )
@@ -197,4 +199,77 @@ func SMFloodSweep(rates []float64, base Config) ([]SMFloodRow, error) {
 // ablation).
 func ScaleSweep(sizes [][2]int, base Config) ([]ScaleRow, error) {
 	return core.ScaleSweep(sizes, base)
+}
+
+// Parallel experiment orchestration (internal/runner). A Pool executes
+// a sweep's simulation points on a bounded worker pool with panic
+// recovery, bounded retry, live progress, and — when a Manifest is
+// attached — an append-only result store that lets interrupted runs
+// resume without re-executing finished points. Results are reassembled
+// by job index, so output is byte-identical to the serial harness at a
+// fixed seed regardless of worker count.
+type (
+	// Pool is a bounded worker pool for experiment sweeps.
+	Pool = runner.Pool
+	// PoolOptions configures a Pool (workers, retries, backoff,
+	// progress writer, manifest).
+	PoolOptions = runner.Options
+	// Manifest is the append-only JSON-lines result store.
+	Manifest = runner.Store
+)
+
+// NewPool returns a worker pool; Workers <= 0 means GOMAXPROCS.
+func NewPool(opts PoolOptions) *Pool { return runner.New(opts) }
+
+// OpenManifest opens (or creates) the JSON-lines result manifest at
+// path. label fingerprints the run configuration; when resume is true
+// and the existing manifest carries the same label, completed points
+// are served from it instead of re-running.
+func OpenManifest(path, label string, resume bool) (*Manifest, error) {
+	return runner.Open(path, label, resume)
+}
+
+// DeriveSeed deterministically derives a per-job seed from a base seed,
+// an experiment name and a point key.
+func DeriveSeed(base int64, experiment, key string) int64 {
+	return runner.DeriveSeed(base, experiment, key)
+}
+
+// Context- and pool-aware variants of the sweep harnesses. A nil pool
+// runs the points serially, matching the plain functions above.
+func Fig1Ctx(ctx context.Context, pool *Pool, class Class, maxAttackers int, base Config) ([]Fig1Row, error) {
+	return core.Fig1Ctx(ctx, pool, class, maxAttackers, base)
+}
+
+// Fig5Ctx is Fig5 with cancellation and an optional worker pool.
+func Fig5Ctx(ctx context.Context, pool *Pool, loads []float64, attackDuty float64, base Config) ([]Fig5Row, error) {
+	return core.Fig5Ctx(ctx, pool, loads, attackDuty, base)
+}
+
+// Fig6Ctx is Fig6 with cancellation and an optional worker pool.
+func Fig6Ctx(ctx context.Context, pool *Pool, loads []float64, level KeyLevel, base Config) ([]Fig6Row, error) {
+	return core.Fig6Ctx(ctx, pool, loads, level, base)
+}
+
+// SweepDutyCtx is SweepDuty with cancellation and an optional worker pool.
+func SweepDutyCtx(ctx context.Context, pool *Pool, duties []float64, load float64, base Config) ([]Fig5Row, error) {
+	return core.SweepDutyCtx(ctx, pool, duties, load, base)
+}
+
+// AuthRateSweepCtx is AuthRateSweep with cancellation and an optional
+// worker pool.
+func AuthRateSweepCtx(ctx context.Context, pool *Pool, rates map[string]float64, load float64, base Config) ([]AuthRateRow, error) {
+	return core.AuthRateSweepCtx(ctx, pool, rates, load, base)
+}
+
+// SMFloodSweepCtx is SMFloodSweep with cancellation and an optional
+// worker pool.
+func SMFloodSweepCtx(ctx context.Context, pool *Pool, rates []float64, base Config) ([]SMFloodRow, error) {
+	return core.SMFloodSweepCtx(ctx, pool, rates, base)
+}
+
+// ScaleSweepCtx is ScaleSweep with cancellation and an optional worker
+// pool.
+func ScaleSweepCtx(ctx context.Context, pool *Pool, sizes [][2]int, base Config) ([]ScaleRow, error) {
+	return core.ScaleSweepCtx(ctx, pool, sizes, base)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"time"
 
@@ -9,10 +11,27 @@ import (
 	"ibasec/internal/icrc"
 	"ibasec/internal/mac"
 	"ibasec/internal/packet"
+	"ibasec/internal/runner"
 	"ibasec/internal/sim"
 	"ibasec/internal/topology"
 	"ibasec/internal/transport"
 )
+
+// sweepJob builds one runner job for a sweep point. The simulation seed
+// stays the sweep's base seed — exactly what the serial harness always
+// ran, keeping every figure byte-identical at a fixed -seed — while the
+// job's identity seed is derived per point so manifests never conflate
+// points across experiments or base seeds.
+func sweepJob[T any](experiment string, index int, baseSeed int64, key string,
+	run func(ctx context.Context) (T, error)) runner.Job[T] {
+	return runner.Job[T]{
+		Experiment: experiment,
+		Index:      index,
+		Key:        key,
+		Seed:       runner.DeriveSeed(baseSeed, experiment, key),
+		Run:        run,
+	}
+}
 
 // Fig1Row is one point of Figure 1: mean legitimate-traffic delays (µs)
 // under a DoS attack by Attackers compromised nodes.
@@ -31,7 +50,17 @@ type Fig1Row struct {
 // 0 to maxAttackers. Attackers flood at full line rate with random
 // P_Keys and destinations; no switch filtering is in place.
 func Fig1(class fabric.Class, maxAttackers int, base Config) ([]Fig1Row, error) {
-	rows := make([]Fig1Row, 0, maxAttackers+1)
+	return Fig1Ctx(context.Background(), nil, class, maxAttackers, base)
+}
+
+// Fig1Ctx is Fig1 with cancellation and an optional worker pool; a nil
+// pool runs the points serially.
+func Fig1Ctx(ctx context.Context, pool *runner.Pool, class fabric.Class, maxAttackers int, base Config) ([]Fig1Row, error) {
+	name := "fig1_best-effort"
+	if class == fabric.ClassRealtime {
+		name = "fig1_realtime"
+	}
+	jobs := make([]runner.Job[Fig1Row], 0, maxAttackers+1)
 	for k := 0; k <= maxAttackers; k++ {
 		cfg := base
 		cfg.Enforcement = enforce.NoFiltering
@@ -44,25 +73,30 @@ func Fig1(class fabric.Class, maxAttackers int, base Config) ([]Fig1Row, error) 
 		default:
 			cfg.RealtimeLoad, cfg.BestEffortLoad = 0, base.BestEffortLoad
 		}
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		split := &res.BestEffort
-		if class == fabric.ClassRealtime {
-			split = &res.Realtime
-		}
-		rows = append(rows, Fig1Row{
-			Attackers:  k,
-			QueuingUS:  split.Queuing.Mean(),
-			QueuingSD:  split.Queuing.StdDev(),
-			NetworkUS:  split.Network.Mean(),
-			NetworkSD:  split.Network.StdDev(),
-			Delivered:  res.DeliveredLegit,
-			AttackHits: res.HCAViolations,
-		})
+		k := k
+		jobs = append(jobs, sweepJob(name, len(jobs), base.Seed,
+			fmt.Sprintf("attackers=%d", k),
+			func(context.Context) (Fig1Row, error) {
+				res, err := Run(cfg)
+				if err != nil {
+					return Fig1Row{}, err
+				}
+				split := &res.BestEffort
+				if class == fabric.ClassRealtime {
+					split = &res.Realtime
+				}
+				return Fig1Row{
+					Attackers:  k,
+					QueuingUS:  split.Queuing.Mean(),
+					QueuingSD:  split.Queuing.StdDev(),
+					NetworkUS:  split.Network.Mean(),
+					NetworkSD:  split.Network.StdDev(),
+					Delivered:  res.DeliveredLegit,
+					AttackHits: res.HCAViolations,
+				}, nil
+			}))
 	}
-	return rows, nil
+	return runner.Run(ctx, pool, jobs)
 }
 
 // Fig5Row is one bar of Figure 5: the delay split for one (load, mode)
@@ -83,8 +117,14 @@ type Fig5Row struct {
 // best-effort traffic at input loads for each enforcement design, with
 // four attackers active attackDuty of the time (the paper uses 1%).
 func Fig5(loads []float64, attackDuty float64, base Config) ([]Fig5Row, error) {
+	return Fig5Ctx(context.Background(), nil, loads, attackDuty, base)
+}
+
+// Fig5Ctx is Fig5 with cancellation and an optional worker pool; a nil
+// pool runs the points serially.
+func Fig5Ctx(ctx context.Context, pool *runner.Pool, loads []float64, attackDuty float64, base Config) ([]Fig5Row, error) {
 	modes := []enforce.Mode{enforce.NoFiltering, enforce.DPT, enforce.IF, enforce.SIF}
-	rows := make([]Fig5Row, 0, len(loads)*len(modes))
+	jobs := make([]runner.Job[Fig5Row], 0, len(loads)*len(modes))
 	for _, load := range loads {
 		for _, mode := range modes {
 			cfg := base
@@ -93,24 +133,29 @@ func Fig5(loads []float64, attackDuty float64, base Config) ([]Fig5Row, error) {
 			cfg.AttackDuty = attackDuty
 			cfg.RealtimeLoad = 0
 			cfg.BestEffortLoad = load
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig5Row{
-				Load:       load,
-				Mode:       mode,
-				QueuingUS:  res.BestEffort.Queuing.Mean(),
-				NetworkUS:  res.BestEffort.Network.Mean(),
-				TotalUS:    res.BestEffort.Queuing.Mean() + res.BestEffort.Network.Mean(),
-				QueuingSD:  res.BestEffort.Queuing.StdDev(),
-				NetworkSD:  res.BestEffort.Network.StdDev(),
-				Dropped:    res.FilterDropped,
-				AttackHits: res.HCAViolations,
-			})
+			load, mode := load, mode
+			jobs = append(jobs, sweepJob("fig5", len(jobs), base.Seed,
+				fmt.Sprintf("load=%g,mode=%s", load, mode),
+				func(context.Context) (Fig5Row, error) {
+					res, err := Run(cfg)
+					if err != nil {
+						return Fig5Row{}, err
+					}
+					return Fig5Row{
+						Load:       load,
+						Mode:       mode,
+						QueuingUS:  res.BestEffort.Queuing.Mean(),
+						NetworkUS:  res.BestEffort.Network.Mean(),
+						TotalUS:    res.BestEffort.Queuing.Mean() + res.BestEffort.Network.Mean(),
+						QueuingSD:  res.BestEffort.Queuing.StdDev(),
+						NetworkSD:  res.BestEffort.Network.StdDev(),
+						Dropped:    res.FilterDropped,
+						AttackHits: res.HCAViolations,
+					}, nil
+				}))
 		}
 	}
-	return rows, nil
+	return runner.Run(ctx, pool, jobs)
 }
 
 // Fig6Row is one bar pair of Figure 6: delays without and with
@@ -131,7 +176,13 @@ type Fig6Row struct {
 // key management (one key-exchange round trip per QP pair at start) plus
 // per-message MAC generation (one clock cycle).
 func Fig6(loads []float64, level transport.KeyLevel, base Config) ([]Fig6Row, error) {
-	rows := make([]Fig6Row, 0, 2*len(loads))
+	return Fig6Ctx(context.Background(), nil, loads, level, base)
+}
+
+// Fig6Ctx is Fig6 with cancellation and an optional worker pool; a nil
+// pool runs the points serially.
+func Fig6Ctx(ctx context.Context, pool *runner.Pool, loads []float64, level transport.KeyLevel, base Config) ([]Fig6Row, error) {
+	jobs := make([]runner.Job[Fig6Row], 0, 2*len(loads))
 	for _, load := range loads {
 		for _, withKey := range []bool{false, true} {
 			cfg := base
@@ -140,23 +191,28 @@ func Fig6(loads []float64, level transport.KeyLevel, base Config) ([]Fig6Row, er
 			cfg.RealtimeLoad = 0
 			cfg.BestEffortLoad = load
 			cfg.Auth = AuthConfig{Enabled: withKey, FuncID: mac.IDUMAC32, Level: level}
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig6Row{
-				Load:          load,
-				WithKey:       withKey,
-				QueuingUS:     res.BestEffort.Queuing.Mean(),
-				NetworkUS:     res.BestEffort.Network.Mean(),
-				QueuingSD:     res.BestEffort.Queuing.StdDev(),
-				NetworkSD:     res.BestEffort.Network.StdDev(),
-				KeyExchanges:  res.KeyExchanges,
-				PacketsSigned: res.PacketsSigned,
-			})
+			load, withKey := load, withKey
+			jobs = append(jobs, sweepJob("fig6", len(jobs), base.Seed,
+				fmt.Sprintf("load=%g,withkey=%v,level=%v", load, withKey, level),
+				func(context.Context) (Fig6Row, error) {
+					res, err := Run(cfg)
+					if err != nil {
+						return Fig6Row{}, err
+					}
+					return Fig6Row{
+						Load:          load,
+						WithKey:       withKey,
+						QueuingUS:     res.BestEffort.Queuing.Mean(),
+						NetworkUS:     res.BestEffort.Network.Mean(),
+						QueuingSD:     res.BestEffort.Queuing.StdDev(),
+						NetworkSD:     res.BestEffort.Network.StdDev(),
+						KeyExchanges:  res.KeyExchanges,
+						PacketsSigned: res.PacketsSigned,
+					}, nil
+				}))
 		}
 	}
-	return rows, nil
+	return runner.Run(ctx, pool, jobs)
 }
 
 // Table4Row is one row of Table 4: per-algorithm authentication cost and
@@ -258,12 +314,18 @@ type AuthRateRow struct {
 // (e.g. HMAC-SHA1's 0.22 Gb/s from Table 4) throttle injection and blow
 // up queuing; engines at Gb/s class (UMAC) cost nearly nothing.
 func AuthRateSweep(rates map[string]float64, load float64, base Config) ([]AuthRateRow, error) {
+	return AuthRateSweepCtx(context.Background(), nil, rates, load, base)
+}
+
+// AuthRateSweepCtx is AuthRateSweep with cancellation and an optional
+// worker pool; a nil pool runs the points serially.
+func AuthRateSweepCtx(ctx context.Context, pool *runner.Pool, rates map[string]float64, load float64, base Config) ([]AuthRateRow, error) {
 	names := make([]string, 0, len(rates))
 	for n := range rates {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	rows := make([]AuthRateRow, 0, len(rates))
+	jobs := make([]runner.Job[AuthRateRow], 0, len(rates))
 	for _, name := range names {
 		rate := rates[name]
 		cfg := base
@@ -276,20 +338,25 @@ func AuthRateSweep(rates map[string]float64, load float64, base Config) ([]AuthR
 			Level:          transport.PartitionLevel,
 			ThroughputGbps: rate,
 		}
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AuthRateRow{
-			Name:       name,
-			RateGbps:   rate,
-			QueuingUS:  res.BestEffort.Queuing.Mean(),
-			NetworkUS:  res.BestEffort.Network.Mean(),
-			Delivered:  res.DeliveredLegit,
-			Bottleneck: rate < base.Params.LinkBandwidth/1e9,
-		})
+		name := name
+		jobs = append(jobs, sweepJob("authrate", len(jobs), base.Seed,
+			fmt.Sprintf("alg=%s,rate=%g", name, rate),
+			func(context.Context) (AuthRateRow, error) {
+				res, err := Run(cfg)
+				if err != nil {
+					return AuthRateRow{}, err
+				}
+				return AuthRateRow{
+					Name:       name,
+					RateGbps:   rate,
+					QueuingUS:  res.BestEffort.Queuing.Mean(),
+					NetworkUS:  res.BestEffort.Network.Mean(),
+					Delivered:  res.DeliveredLegit,
+					Bottleneck: rate < base.Params.LinkBandwidth/1e9,
+				}, nil
+			}))
 	}
-	return rows, nil
+	return runner.Run(ctx, pool, jobs)
 }
 
 // PaperTable4Rates returns the paper's Table 4 throughput column (Gb/s,
@@ -321,7 +388,14 @@ type ScaleRow struct {
 // workload once clean and once with nodes/4 attackers, keeping per-node
 // loads constant.
 func ScaleSweep(sizes [][2]int, base Config) ([]ScaleRow, error) {
-	rows := make([]ScaleRow, 0, len(sizes))
+	return ScaleSweepCtx(context.Background(), nil, sizes, base)
+}
+
+// ScaleSweepCtx is ScaleSweep with cancellation and an optional worker
+// pool; a nil pool runs the points serially. Each job runs the clean
+// and under-attack simulations of one mesh geometry.
+func ScaleSweepCtx(ctx context.Context, pool *runner.Pool, sizes [][2]int, base Config) ([]ScaleRow, error) {
+	jobs := make([]runner.Job[ScaleRow], 0, len(sizes))
 	for _, wh := range sizes {
 		cfg := base
 		cfg.MeshW, cfg.MeshH = wh[0], wh[1]
@@ -338,28 +412,34 @@ func ScaleSweep(sizes [][2]int, base Config) ([]ScaleRow, error) {
 		if attackers < 1 {
 			attackers = 1
 		}
-
-		cfg.Attackers = 0
-		clean, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Attackers = attackers
-		cfg.AttackDuty = 1.0
-		hot, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ScaleRow{
-			W: wh[0], H: wh[1], Nodes: nodes, Attackers: attackers,
-			BaseQueuingUS:   clean.BestEffort.Queuing.Mean(),
-			BaseNetworkUS:   clean.BestEffort.Network.Mean(),
-			AttackQueuingUS: hot.BestEffort.Queuing.Mean(),
-			AttackNetworkUS: hot.BestEffort.Network.Mean(),
-			AttackHits:      hot.HCAViolations,
-		})
+		wh := wh
+		jobs = append(jobs, sweepJob("scale", len(jobs), base.Seed,
+			fmt.Sprintf("mesh=%dx%d", wh[0], wh[1]),
+			func(context.Context) (ScaleRow, error) {
+				clean := cfg
+				clean.Attackers = 0
+				cleanRes, err := Run(clean)
+				if err != nil {
+					return ScaleRow{}, err
+				}
+				hot := cfg
+				hot.Attackers = attackers
+				hot.AttackDuty = 1.0
+				hotRes, err := Run(hot)
+				if err != nil {
+					return ScaleRow{}, err
+				}
+				return ScaleRow{
+					W: wh[0], H: wh[1], Nodes: nodes, Attackers: attackers,
+					BaseQueuingUS:   cleanRes.BestEffort.Queuing.Mean(),
+					BaseNetworkUS:   cleanRes.BestEffort.Network.Mean(),
+					AttackQueuingUS: hotRes.BestEffort.Queuing.Mean(),
+					AttackNetworkUS: hotRes.BestEffort.Network.Mean(),
+					AttackHits:      hotRes.HCAViolations,
+				}, nil
+			}))
 	}
-	return rows, nil
+	return runner.Run(ctx, pool, jobs)
 }
 
 // SMFloodRow is one point of the management-DoS experiment.
@@ -380,7 +460,13 @@ type SMFloodRow struct {
 // long legitimate SIF registrations take as the SM's serial MAD
 // processor backs up.
 func SMFloodSweep(rates []float64, base Config) ([]SMFloodRow, error) {
-	rows := make([]SMFloodRow, 0, len(rates))
+	return SMFloodSweepCtx(context.Background(), nil, rates, base)
+}
+
+// SMFloodSweepCtx is SMFloodSweep with cancellation and an optional
+// worker pool; a nil pool runs the points serially.
+func SMFloodSweepCtx(ctx context.Context, pool *runner.Pool, rates []float64, base Config) ([]SMFloodRow, error) {
+	jobs := make([]runner.Job[SMFloodRow], 0, len(rates))
 	for _, rate := range rates {
 		cfg := base
 		cfg.Enforcement = enforce.SIF
@@ -389,23 +475,28 @@ func SMFloodSweep(rates []float64, base Config) ([]SMFloodRow, error) {
 		if cfg.BestEffortLoad == 0 && cfg.RealtimeLoad == 0 {
 			cfg.BestEffortLoad = 0.3
 		}
-		cl, err := Build(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if rate > 0 {
-			startMADFlood(cl, rate)
-		}
-		cl.Simulate()
-		rows = append(rows, SMFloodRow{
-			FloodRate:     rate,
-			RegLatencyUS:  cl.SM.RegLatency.Mean(),
-			RegLatencyMax: cl.SM.RegLatency.Max(),
-			TrapsReceived: cl.SM.Counters.Get("traps_received"),
-			Registrations: cl.SM.Counters.Get("sif_registrations"),
-		})
+		rate := rate
+		jobs = append(jobs, sweepJob("smdos", len(jobs), base.Seed,
+			fmt.Sprintf("rate=%g", rate),
+			func(context.Context) (SMFloodRow, error) {
+				cl, err := Build(cfg)
+				if err != nil {
+					return SMFloodRow{}, err
+				}
+				if rate > 0 {
+					startMADFlood(cl, rate)
+				}
+				cl.Simulate()
+				return SMFloodRow{
+					FloodRate:     rate,
+					RegLatencyUS:  cl.SM.RegLatency.Mean(),
+					RegLatencyMax: cl.SM.RegLatency.Max(),
+					TrapsReceived: cl.SM.Counters.Get("traps_received"),
+					Registrations: cl.SM.Counters.Get("sif_registrations"),
+				}, nil
+			}))
 	}
-	return rows, nil
+	return runner.Run(ctx, pool, jobs)
 }
 
 // startMADFlood arms a junk-trap generator on a non-SM, non-attacker
@@ -458,7 +549,13 @@ func startMADFlood(cl *Cluster, pktPerSec float64) {
 // attack duty cycle, quantifying the registration-window leakage that
 // makes SIF slightly worse than IF at low loads in Figure 5.
 func SweepDuty(duties []float64, load float64, base Config) ([]Fig5Row, error) {
-	rows := make([]Fig5Row, 0, len(duties))
+	return SweepDutyCtx(context.Background(), nil, duties, load, base)
+}
+
+// SweepDutyCtx is SweepDuty with cancellation and an optional worker
+// pool; a nil pool runs the points serially.
+func SweepDutyCtx(ctx context.Context, pool *runner.Pool, duties []float64, load float64, base Config) ([]Fig5Row, error) {
+	jobs := make([]runner.Job[Fig5Row], 0, len(duties))
 	for _, duty := range duties {
 		cfg := base
 		cfg.Enforcement = enforce.SIF
@@ -466,19 +563,24 @@ func SweepDuty(duties []float64, load float64, base Config) ([]Fig5Row, error) {
 		cfg.AttackDuty = duty
 		cfg.RealtimeLoad = 0
 		cfg.BestEffortLoad = load
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig5Row{
-			Load:       duty, // reused column: the swept variable
-			Mode:       enforce.SIF,
-			QueuingUS:  res.BestEffort.Queuing.Mean(),
-			NetworkUS:  res.BestEffort.Network.Mean(),
-			TotalUS:    res.BestEffort.Queuing.Mean() + res.BestEffort.Network.Mean(),
-			Dropped:    res.FilterDropped,
-			AttackHits: res.HCAViolations,
-		})
+		duty := duty
+		jobs = append(jobs, sweepJob("sweep_duty", len(jobs), base.Seed,
+			fmt.Sprintf("duty=%g,load=%g", duty, load),
+			func(context.Context) (Fig5Row, error) {
+				res, err := Run(cfg)
+				if err != nil {
+					return Fig5Row{}, err
+				}
+				return Fig5Row{
+					Load:       duty, // reused column: the swept variable
+					Mode:       enforce.SIF,
+					QueuingUS:  res.BestEffort.Queuing.Mean(),
+					NetworkUS:  res.BestEffort.Network.Mean(),
+					TotalUS:    res.BestEffort.Queuing.Mean() + res.BestEffort.Network.Mean(),
+					Dropped:    res.FilterDropped,
+					AttackHits: res.HCAViolations,
+				}, nil
+			}))
 	}
-	return rows, nil
+	return runner.Run(ctx, pool, jobs)
 }

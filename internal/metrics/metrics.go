@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Welford accumulates a running mean and variance without storing samples.
@@ -169,27 +170,39 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.hi
 }
 
-// Counters is a set of named monotonic counters. The zero value is unusable;
-// use NewCounters.
+// Counters is a set of named monotonic counters, safe for concurrent
+// use (the experiment runner's worker pool increments shared counters
+// from many goroutines). The zero value is unusable; use NewCounters.
 type Counters struct {
-	m map[string]uint64
+	mu sync.RWMutex
+	m  map[string]uint64
 }
 
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
 
 // Inc adds delta to the named counter.
-func (c *Counters) Inc(name string, delta uint64) { c.m[name] += delta }
+func (c *Counters) Inc(name string, delta uint64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
 
 // Get returns the named counter's value (0 if never incremented).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
+func (c *Counters) Get(name string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[name]
+}
 
 // Names returns all counter names in sorted order.
 func (c *Counters) Names() []string {
+	c.mu.RLock()
 	names := make([]string, 0, len(c.m))
 	for k := range c.m {
 		names = append(names, k)
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -200,7 +213,7 @@ func (c *Counters) String() string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", k, c.m[k])
+		fmt.Fprintf(&b, "%s=%d", k, c.Get(k))
 	}
 	return b.String()
 }

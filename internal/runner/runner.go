@@ -1,0 +1,254 @@
+// Package runner is a generic, fault-tolerant job-orchestration engine
+// for the evaluation harness. Each simulation point of a sweep
+// (experiment × config × seed) becomes a self-describing Job; Run
+// executes jobs on a bounded worker pool, converts worker panics into
+// job errors with bounded retry and exponential backoff, reports live
+// progress, and persists every outcome to an append-only JSON-lines
+// manifest (Store) so an interrupted run resumes by skipping
+// already-completed points.
+//
+// Results are reassembled by Job.Index, so a sweep's row order — and
+// therefore its CSV output — is byte-identical whether it runs on one
+// worker or many.
+//
+// The package is stdlib-only and deliberately knows nothing about the
+// simulator: internal/core enumerates its sweeps into jobs and the
+// cmd/ibsim CLI supplies the pool configuration (-jobs, -resume,
+// -results).
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"ibasec/internal/metrics"
+)
+
+// Options configures a Pool.
+type Options struct {
+	// Workers is the number of concurrent jobs; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Retries is how many times a failed job is re-executed before its
+	// error is surfaced (0 = fail on first error).
+	Retries int
+	// Backoff is the delay before the first retry; it doubles on each
+	// subsequent retry. <= 0 means 50ms.
+	Backoff time.Duration
+	// Progress, when non-nil, receives live status lines
+	// (completed/total, failures, ETA).
+	Progress io.Writer
+	// Store, when non-nil, persists every job outcome and serves
+	// already-completed points on resume.
+	Store *Store
+}
+
+// Pool executes jobs with bounded concurrency. A Pool may be shared
+// across sequential Run calls (one per sweep); its counters accumulate
+// over its lifetime.
+type Pool struct {
+	opts     Options
+	counters *metrics.Counters
+}
+
+// New returns a pool with the given options.
+func New(opts Options) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	return &Pool{opts: opts, counters: metrics.NewCounters()}
+}
+
+// Counters returns the pool's lifetime counters: jobs_completed,
+// jobs_resumed, jobs_failed, job_retries, job_panics.
+func (p *Pool) Counters() *metrics.Counters { return p.counters }
+
+// Workers returns the pool's concurrency.
+func (p *Pool) Workers() int { return p.opts.Workers }
+
+// Run executes jobs and returns their results ordered by Job.Index
+// (results[i] corresponds to jobs[i]). Jobs already completed in the
+// pool's Store are served from their stored payloads without
+// re-running. A failing or panicking job never kills the pool: its
+// error is collected (and recorded in the manifest) while the remaining
+// jobs proceed. The returned error joins every job failure plus the
+// context error, if any; results of successful jobs are valid even when
+// an error is returned.
+//
+// A nil pool runs the jobs serially with no retries, persistence or
+// progress — the behaviour of the historical serial harness.
+func Run[T any](ctx context.Context, p *Pool, jobs []Job[T]) ([]T, error) {
+	if p == nil {
+		p = New(Options{Workers: 1})
+	}
+	results := make([]T, len(jobs))
+	jobErrs := make([]error, len(jobs))
+
+	label := ""
+	if len(jobs) > 0 {
+		label = jobs[0].Experiment
+	}
+	prog := newProgress(p.opts.Progress, label, len(jobs))
+
+	// Resume pass: serve completed points from the manifest.
+	pending := make([]int, 0, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		if p.opts.Store != nil {
+			if raw, ok := p.opts.Store.Lookup(j.Experiment, j.Key, j.Seed); ok {
+				var v T
+				if err := json.Unmarshal(raw, &v); err == nil {
+					results[i] = v
+					p.counters.Inc("jobs_resumed", 1)
+					prog.step(true, false)
+					continue
+				}
+				// Undecodable payload (e.g. a row type changed shape):
+				// fall through and recompute the point.
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	workers := p.opts.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				var err error
+				results[i], err = executeJob(ctx, p, &jobs[i])
+				jobErrs[i] = err
+				prog.step(false, err != nil)
+			}
+		}()
+	}
+dispatch:
+	for n, i := range pending {
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			// Mark every undispatched job (including this one) as
+			// cancelled so callers see which points never ran.
+			for _, j := range pending[n:] {
+				jobErrs[j] = &JobError{
+					Experiment: jobs[j].Experiment,
+					Key:        jobs[j].Key,
+					Index:      jobs[j].Index,
+					Err:        ctx.Err(),
+				}
+			}
+			break dispatch
+		}
+	}
+	close(ch)
+	wg.Wait()
+
+	errs := make([]error, 0, len(jobErrs)+1)
+	for _, err := range jobErrs {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 && ctx.Err() != nil {
+		errs = append(errs, ctx.Err())
+	}
+	return results, errors.Join(errs...)
+}
+
+// executeJob runs one job with panic recovery, bounded retry and
+// exponential backoff, and records the outcome in the pool's store.
+func executeJob[T any](ctx context.Context, p *Pool, job *Job[T]) (T, error) {
+	var zero T
+	backoff := p.opts.Backoff
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		v, err := runOnce(ctx, job)
+		if err == nil {
+			p.counters.Inc("jobs_completed", 1)
+			recordOutcome(p, job, Record{
+				Status:    StatusOK,
+				Attempts:  attempt,
+				ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+			}, v)
+			return v, nil
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			p.counters.Inc("job_panics", 1)
+		}
+		// Cancellation is not a job fault: don't retry, don't record.
+		if ctx.Err() != nil {
+			return zero, &JobError{Experiment: job.Experiment, Key: job.Key,
+				Index: job.Index, Attempts: attempt, Err: ctx.Err()}
+		}
+		if attempt > p.opts.Retries {
+			p.counters.Inc("jobs_failed", 1)
+			jerr := &JobError{Experiment: job.Experiment, Key: job.Key,
+				Index: job.Index, Attempts: attempt, Err: err}
+			recordOutcome(p, job, Record{
+				Status:    StatusFailed,
+				Attempts:  attempt,
+				ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+				Error:     err.Error(),
+			}, zero)
+			return zero, jerr
+		}
+		p.counters.Inc("job_retries", 1)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return zero, &JobError{Experiment: job.Experiment, Key: job.Key,
+				Index: job.Index, Attempts: attempt, Err: ctx.Err()}
+		}
+		backoff *= 2
+	}
+}
+
+// runOnce calls the job once, converting a panic into a *PanicError.
+func runOnce[T any](ctx context.Context, job *Job[T]) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return v, err
+	}
+	return job.Run(ctx)
+}
+
+// recordOutcome files one outcome in the store (when configured). Store
+// errors must not fail the job — the result is already computed — so
+// they are counted instead of propagated.
+func recordOutcome[T any](p *Pool, job *Job[T], rec Record, v T) {
+	if p.opts.Store == nil {
+		return
+	}
+	rec.Experiment, rec.Key, rec.Seed = job.Experiment, job.Key, job.Seed
+	if rec.Status == StatusOK {
+		payload, err := json.Marshal(v)
+		if err != nil {
+			p.counters.Inc("manifest_errors", 1)
+			return
+		}
+		rec.Payload = payload
+	}
+	if err := p.opts.Store.Append(rec); err != nil {
+		p.counters.Inc("manifest_errors", 1)
+	}
+}

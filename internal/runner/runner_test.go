@@ -1,0 +1,188 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testPool returns a pool with fast retries suitable for tests.
+func testPool(workers, retries int) *Pool {
+	return New(Options{Workers: workers, Retries: retries, Backoff: time.Millisecond})
+}
+
+// intJobs builds n jobs whose value is their index times ten.
+func intJobs(n int, run func(i int) (int, error)) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Experiment: "test",
+			Index:      i,
+			Key:        fmt.Sprintf("i=%d", i),
+			Seed:       DeriveSeed(1, "test", fmt.Sprintf("i=%d", i)),
+			Run:        func(context.Context) (int, error) { return run(i) },
+		}
+	}
+	return jobs
+}
+
+func TestRunPreservesOrder(t *testing.T) {
+	// Later jobs finish first (decreasing sleep); results must still
+	// land at their own index.
+	jobs := intJobs(8, func(i int) (int, error) {
+		time.Sleep(time.Duration(8-i) * time.Millisecond)
+		return i * 10, nil
+	})
+	got, err := Run(context.Background(), testPool(4, 0), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*10 {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+}
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var order []int
+	jobs := intJobs(4, func(i int) (int, error) {
+		order = append(order, i) // safe: serial execution, one goroutine
+		return i, nil
+	})
+	if _, err := Run(context.Background(), nil, jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution order %v", order)
+		}
+	}
+}
+
+// A panicking job must be retried, then surfaced as a job error —
+// without killing the pool: every other job still completes.
+func TestPanicRetriedThenSurfaced(t *testing.T) {
+	var attempts atomic.Int64
+	jobs := intJobs(6, func(i int) (int, error) {
+		if i == 3 {
+			attempts.Add(1)
+			panic("boom at point 3")
+		}
+		return i * 10, nil
+	})
+	p := testPool(3, 2)
+	got, err := Run(context.Background(), p, jobs)
+	if err == nil {
+		t.Fatal("panicking job produced no error")
+	}
+	if n := attempts.Load(); n != 3 { // 1 initial + 2 retries
+		t.Fatalf("panicking job attempted %d times, want 3", n)
+	}
+	var jerr *JobError
+	if !errors.As(err, &jerr) {
+		t.Fatalf("error %v is not a *JobError", err)
+	}
+	if jerr.Key != "i=3" || jerr.Attempts != 3 {
+		t.Fatalf("wrong attribution: %+v", jerr)
+	}
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("panic not wrapped in *PanicError: %v", err)
+	}
+	for i, v := range got {
+		want := i * 10
+		if i == 3 {
+			want = 0 // failed job leaves the zero value
+		}
+		if v != want {
+			t.Fatalf("pool died with the panic: results[%d] = %d, want %d", i, v, want)
+		}
+	}
+	c := p.Counters()
+	if c.Get("job_panics") != 3 || c.Get("job_retries") != 2 ||
+		c.Get("jobs_failed") != 1 || c.Get("jobs_completed") != 5 {
+		t.Fatalf("counters: %s", c)
+	}
+}
+
+func TestTransientFailureRecovers(t *testing.T) {
+	var calls atomic.Int64
+	jobs := intJobs(1, func(i int) (int, error) {
+		if calls.Add(1) < 3 {
+			return 0, errors.New("transient")
+		}
+		return 42, nil
+	})
+	got, err := Run(context.Background(), testPool(1, 2), jobs)
+	if err != nil {
+		t.Fatalf("job failed despite retries: %v", err)
+	}
+	if got[0] != 42 || calls.Load() != 3 {
+		t.Fatalf("got %v after %d calls", got, calls.Load())
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	jobs := intJobs(1, func(int) (int, error) { return 0, errors.New("always") })
+	_, err := Run(context.Background(), testPool(1, 1), jobs)
+	var jerr *JobError
+	if !errors.As(err, &jerr) || jerr.Attempts != 2 {
+		t.Fatalf("want JobError with 2 attempts, got %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	jobs := intJobs(16, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	_, err := Run(ctx, testPool(2, 0), jobs)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not carry context.Canceled: %v", err)
+	}
+	if n := started.Load(); n >= 16 {
+		t.Fatalf("cancellation did not stop dispatch: %d jobs started", n)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	s := DeriveSeed(1, "fig5", "load=0.4,mode=IF")
+	if s2 := DeriveSeed(1, "fig5", "load=0.4,mode=IF"); s2 != s {
+		t.Fatalf("not deterministic: %d vs %d", s, s2)
+	}
+	distinct := map[int64]string{s: "base"}
+	for name, v := range map[string]int64{
+		"base seed":  DeriveSeed(2, "fig5", "load=0.4,mode=IF"),
+		"experiment": DeriveSeed(1, "fig6", "load=0.4,mode=IF"),
+		"key":        DeriveSeed(1, "fig5", "load=0.5,mode=IF"),
+		// Separator matters: experiment/key boundary must not be
+		// ambiguous.
+		"boundary": DeriveSeed(1, "fig5load", "=0.4,mode=IF"),
+	} {
+		if prev, dup := distinct[v]; dup {
+			t.Fatalf("seed collision between %q and %q", name, prev)
+		}
+		distinct[v] = name
+	}
+}
+
+func TestEmptyJobList(t *testing.T) {
+	got, err := Run(context.Background(), testPool(4, 0), []Job[int]{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty run: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate: static checks, unit/integration tests with the race detector,
+# and an end-to-end -quick smoke of the parallel experiment runner,
+# including an interrupted-run resume.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== ibsim all -quick -jobs 2 (runner end-to-end smoke)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/ibsim -quick -jobs 2 -results "$tmp" -csv "$tmp/csv" all >"$tmp/all.out"
+
+echo "== ibsim all -quick -jobs 2 -resume (manifest resume smoke)"
+go run ./cmd/ibsim -quick -jobs 2 -results "$tmp" -resume -csv "$tmp/csv2" all >"$tmp/all2.out"
+
+# The resumed run's sweep CSVs must be byte-identical to the original
+# run's. (table4 is excluded: it is a live wall-clock throughput
+# measurement, not a simulation, so its numbers legitimately vary.)
+for f in "$tmp"/csv/*.csv; do
+  base="$(basename "$f")"
+  [ "$base" = "table4.csv" ] && continue
+  diff "$f" "$tmp/csv2/$base"
+done
+
+echo "CI OK"
