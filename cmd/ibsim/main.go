@@ -15,6 +15,7 @@
 //	ibsim authrate               ablation: MAC engine speed vs link speed
 //	ibsim smdos                  ablation: management DoS against the SM
 //	ibsim scale                  ablation: DoS damage vs mesh size
+//	ibsim faults                 chaos: link kills + BER bursts vs self-healing SM
 //	ibsim trace                  dump a packet-lifecycle trace
 //	ibsim all                    everything above (trace bounded to its default scope)
 //
@@ -36,6 +37,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -103,7 +105,8 @@ func baseConfig() ibasec.Config {
 // through the runner (and so can use the pool and result manifest).
 var sweepCommands = map[string]bool{
 	"fig1": true, "fig5": true, "fig6": true, "sweep": true,
-	"authrate": true, "smdos": true, "scale": true, "all": true,
+	"authrate": true, "smdos": true, "scale": true, "faults": true,
+	"all": true,
 }
 
 func main() {
@@ -164,6 +167,8 @@ func main() {
 		err = runSMDoS(args)
 	case "scale":
 		err = runScale(args)
+	case "faults":
+		err = runFaults(args)
 	case "trace":
 		err = runTrace(args)
 	case "all":
@@ -442,6 +447,74 @@ func runScale(args []string) error {
 	return writeCSV("scale", []string{"mesh", "nodes", "attackers", "base_queuing_us", "attack_queuing_us", "base_network_us", "attack_network_us"}, csvRows)
 }
 
+// parseFloats and parseInts split comma-separated flag values.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	bersFlag := fs.String("bers", "0,1e-6,1e-5", "comma-separated bit-error rates")
+	killsFlag := fs.String("kills", "0,1,2", "comma-separated concurrent link-kill counts")
+	fs.Parse(args)
+
+	bers, err := parseFloats(*bersFlag)
+	if err != nil {
+		return fmt.Errorf("faults: -bers: %w", err)
+	}
+	kills, err := parseInts(*killsFlag)
+	if err != nil {
+		return fmt.Errorf("faults: -kills: %w", err)
+	}
+
+	base := baseConfig()
+	rows, err := ibasec.FaultsSweepCtx(runCtx, pool, bers, kills, base)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Chaos. Deterministic link kills + BER bursts vs the self-healing SM")
+	fmt.Println("  mode  ber      kills  delivered  blackholed  hoq-drop  crc-rej  rc-del/sent  rc-p99(us)  detect(us)  reroute(us)  sweeps")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("  %-4s  %-7g  %5d  %8.4f%%  %10d  %8d  %7d  %5d/%-5d  %10.1f  %10.1f  %11.1f  %d\n",
+			r.Mode, r.BER, r.LinkKills, r.DeliveredFrac*100, r.Blackholed, r.HOQDropped, r.CRCRejected,
+			r.RCDelivered, r.RCSent, r.RCLatencyP99US, r.DetectUS, r.RerouteUS, r.Resweeps)
+		csvRows = append(csvRows, []string{
+			r.Mode.String(), strconv.FormatFloat(r.BER, 'g', -1, 64), itoa(uint64(r.LinkKills)),
+			itoa(r.Sent), itoa(r.Delivered), ftoa(r.DeliveredFrac),
+			itoa(r.Blackholed), itoa(r.HOQDropped), itoa(r.CRCRejected), itoa(r.AuthRejected),
+			itoa(r.RCSent), itoa(r.RCDelivered), itoa(r.RCBroken), ftoa(r.RCLatencyP99US),
+			ftoa(r.DetectUS), ftoa(r.RerouteUS), itoa(r.Resweeps), itoa(r.Reroutes),
+		})
+	}
+	return writeCSV("faults", []string{
+		"mode", "ber", "kills", "sent", "delivered", "delivered_frac",
+		"blackholed", "hoq_dropped", "crc_rejected", "auth_rejected",
+		"rc_sent", "rc_delivered", "rc_broken", "rc_p99_us",
+		"detect_us", "reroute_us", "resweeps", "reroutes",
+	}, csvRows)
+}
+
 func runTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	events := fs.Int("events", 30, "how many trailing events to print")
@@ -494,6 +567,7 @@ func runAll() error {
 		{"authrate", func() error { return runAuthRate(nil) }},
 		{"smdos", func() error { return runSMDoS(nil) }},
 		{"scale", func() error { return runScale(nil) }},
+		{"faults", func() error { return runFaults(nil) }},
 		{"trace", func() error { return runTrace(nil) }},
 	}
 	var failures []error

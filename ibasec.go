@@ -36,9 +36,12 @@ import (
 	"ibasec/internal/core"
 	"ibasec/internal/enforce"
 	"ibasec/internal/fabric"
+	"ibasec/internal/faults"
 	"ibasec/internal/mac"
 	"ibasec/internal/runner"
 	"ibasec/internal/sim"
+	"ibasec/internal/sm"
+	"ibasec/internal/topology"
 	"ibasec/internal/transport"
 )
 
@@ -64,9 +67,37 @@ type (
 	AuthRateRow = core.AuthRateRow
 	SMFloodRow  = core.SMFloodRow
 	ScaleRow    = core.ScaleRow
+	FaultRow    = core.FaultRow
 	// AttackOutcome is one row of the Table 3 attack matrix.
 	AttackOutcome = attack.Outcome
 )
+
+// Deterministic fault injection and self-healing (internal/faults and the
+// SM's periodic re-sweep).
+type (
+	// FaultPlan is a complete, seed-deterministic fault schedule: link and
+	// switch down/up events, bit-error bursts, MAD drop/delay.
+	FaultPlan = faults.Plan
+	// LinkKill, SwitchKill, BERBurst and MADLoss are FaultPlan entries.
+	LinkKill   = faults.LinkKill
+	SwitchKill = faults.SwitchKill
+	BERBurst   = faults.BERBurst
+	MADLoss    = faults.MADLoss
+	// LinkID names one full-duplex link from its switch side.
+	LinkID = topology.LinkID
+	// Resweeper is the SM's periodic self-healing loop (Cluster.Resweeper
+	// when Config.ResweepPeriod > 0).
+	Resweeper = sm.Resweeper
+	// HealEvent reports one completed healing round.
+	HealEvent = sm.HealEvent
+)
+
+// ChaosPlan builds a deterministic random plan of transient inter-switch
+// link outages for a w×h mesh that never partitions the fabric; same
+// seed, same plan.
+func ChaosPlan(seed int64, w, h, kills int, from, until Time) *FaultPlan {
+	return faults.Chaos(seed, w, h, kills, from, until)
+}
 
 // Mode is a switch partition-enforcement design.
 type Mode = enforce.Mode
@@ -201,6 +232,13 @@ func ScaleSweep(sizes [][2]int, base Config) ([]ScaleRow, error) {
 	return core.ScaleSweep(sizes, base)
 }
 
+// FaultsSweep runs the chaos experiment: deterministic link outages and
+// bit-error bursts against a self-healing subnet, sweeping BER ×
+// concurrent link kills per enforcement design.
+func FaultsSweep(bers []float64, kills []int, base Config) ([]FaultRow, error) {
+	return core.FaultsSweep(bers, kills, base)
+}
+
 // Parallel experiment orchestration (internal/runner). A Pool executes
 // a sweep's simulation points on a bounded worker pool with panic
 // recovery, bounded retry, live progress, and — when a Manifest is
@@ -272,4 +310,10 @@ func SMFloodSweepCtx(ctx context.Context, pool *Pool, rates []float64, base Conf
 // pool.
 func ScaleSweepCtx(ctx context.Context, pool *Pool, sizes [][2]int, base Config) ([]ScaleRow, error) {
 	return core.ScaleSweepCtx(ctx, pool, sizes, base)
+}
+
+// FaultsSweepCtx is FaultsSweep with cancellation and an optional worker
+// pool.
+func FaultsSweepCtx(ctx context.Context, pool *Pool, bers []float64, kills []int, base Config) ([]FaultRow, error) {
+	return core.FaultsSweepCtx(ctx, pool, bers, kills, base)
 }

@@ -6,6 +6,7 @@ import (
 
 	"ibasec/internal/enforce"
 	"ibasec/internal/fabric"
+	"ibasec/internal/faults"
 	"ibasec/internal/keys"
 	"ibasec/internal/mac"
 	"ibasec/internal/metrics"
@@ -27,8 +28,13 @@ type Results struct {
 	Realtime   metrics.LatencySplit
 	BestEffort metrics.LatencySplit
 
-	SentLegit       uint64
-	DeliveredLegit  uint64
+	SentLegit      uint64
+	DeliveredLegit uint64
+	// DeliveredUD counts every non-attack datagram delivery over the
+	// whole run, warmup included — the denominator-matched counterpart of
+	// SentLegit for loss accounting (DeliveredLegit is the
+	// measurement-windowed count the delay statistics are built from).
+	DeliveredUD     uint64
 	WithheldRT      uint64
 	AttackDelivered uint64 // attack packets that reached a victim HCA
 	HCAViolations   uint64
@@ -79,8 +85,15 @@ type Cluster struct {
 	// Trace is the packet-lifecycle recorder, non-nil when
 	// Config.TraceCapacity > 0.
 	Trace *trace.Ring
+	// Resweeper is the SM's periodic self-healing loop, non-nil when
+	// Config.ResweepPeriod > 0 (wired during Simulate).
+	Resweeper *sm.Resweeper
+	// Injector is the installed fault plan's handle, non-nil when
+	// Config.FaultPlan != nil (wired during Simulate).
+	Injector *faults.Injector
 
-	res *Results
+	res        *Results
+	healEvents []sm.HealEvent
 }
 
 // Run builds the cluster from cfg, simulates it, and returns the results.
@@ -106,9 +119,10 @@ func Build(cfg Config) (*Cluster, error) {
 	rngTraffic := rand.New(rand.NewSource(cfg.Seed ^ 0x7AFF1C))
 	s := sim.New()
 	var ring *trace.Ring
-	if cfg.BitErrorRate > 0 || cfg.TraceCapacity > 0 {
-		// Copy the params so error injection / tracing does not leak
-		// into other runs sharing the same Params value.
+	if cfg.BitErrorRate > 0 || cfg.TraceCapacity > 0 || cfg.FaultPlan != nil {
+		// Copy the params so error injection / tracing / fault BER
+		// bursts do not leak into other runs sharing the same Params
+		// value.
 		p := *cfg.Params
 		if cfg.BitErrorRate > 0 {
 			p.BitErrorRate = cfg.BitErrorRate
@@ -122,6 +136,11 @@ func Build(cfg Config) (*Cluster, error) {
 	}
 	mesh := topology.NewMesh(s, cfg.Params, cfg.MeshW, cfg.MeshH)
 	n := mesh.NumNodes()
+	if cfg.FaultPlan != nil {
+		if err := cfg.FaultPlan.Validate(mesh); err != nil {
+			return nil, err
+		}
+	}
 
 	var filter *enforce.Filter
 	if cfg.Enforcement != enforce.NoFiltering {
@@ -280,16 +299,23 @@ func (cl *Cluster) attachCollectors() {
 				}
 			} else if d.Attack {
 				cl.res.AttackDelivered++
-			} else if d.EnqueuedAt >= cl.Cfg.Warmup {
-				q := d.QueuingTime().Microseconds()
-				net := d.NetworkLatency().Microseconds()
-				switch d.Class {
-				case fabric.ClassRealtime:
-					cl.res.Realtime.AddSample(q, net)
-				case fabric.ClassBestEffort:
-					cl.res.BestEffort.AddSample(q, net)
+			} else if d.Pkt.BTH.OpCode.Service() == packet.ServiceUD {
+				// Only datagram traffic counts toward the legit delivery
+				// statistics: RC probe flows (fault experiments) measure
+				// their own delivery and latency, and their ACK stream
+				// would double-count otherwise.
+				cl.res.DeliveredUD++
+				if d.EnqueuedAt >= cl.Cfg.Warmup {
+					q := d.QueuingTime().Microseconds()
+					net := d.NetworkLatency().Microseconds()
+					switch d.Class {
+					case fabric.ClassRealtime:
+						cl.res.Realtime.AddSample(q, net)
+					case fabric.ClassBestEffort:
+						cl.res.BestEffort.AddSample(q, net)
+					}
+					cl.res.DeliveredLegit++
 				}
-				cl.res.DeliveredLegit++
 			}
 			if inner != nil {
 				inner(d)
@@ -298,10 +324,48 @@ func (cl *Cluster) attachCollectors() {
 	}
 }
 
+// armResilience wires the self-healing management plane and installs the
+// fault plan. It must run after attachCollectors, which replaces every
+// HCA's OnDeliver wholesale: the SM agents wrap the collector chain, so
+// SMPs are consumed in-band and everything else falls through to
+// measurement and transport.
+func (cl *Cluster) armResilience() {
+	cfg := cl.Cfg
+	if cfg.ResweepPeriod > 0 {
+		mkey := cfg.SM.MKey
+		sm.AttachSwitchAgents(cl.Mesh, mkey)
+		for _, h := range cl.Mesh.HCAs {
+			sm.AttachNodeAgent(h, mkey)
+		}
+		// Probe deadline: an SMP round trip is a few µs, but VL15 waits
+		// behind at most one in-flight MTU per hop under load, so a
+		// healthy probe can take tens of µs; 25 µs with two retries
+		// keeps terminal dead-port detection under ~200 µs while making
+		// a congestion-induced false positive need three straight losses.
+		disc := sm.NewDiscoverer(cl.Sim, cl.Mesh.HCA(cfg.SM.Node), mkey, 25*sim.Microsecond)
+		disc.MaxRetries = 2
+		disc.SetTimeoutMult = 10
+		r := sm.NewResweeper(cl.Sim, disc, cfg.ResweepPeriod)
+		r.PrimeStatic(cl.Mesh)
+		r.OnEvent = func(ev sm.HealEvent) { cl.healEvents = append(cl.healEvents, ev) }
+		r.Start()
+		cl.Resweeper = r
+	}
+	if cfg.FaultPlan != nil {
+		inj, err := faults.Install(cl.Sim, cl.Mesh, cfg.Params, cfg.FaultPlan)
+		if err != nil {
+			// The plan was validated against this mesh in Build.
+			panic(fmt.Sprintf("core: installing fault plan: %v", err))
+		}
+		cl.Injector = inj
+	}
+}
+
 // Simulate runs the configured workload and returns results.
 func (cl *Cluster) Simulate() *Results {
 	cfg := cl.Cfg
 	cl.attachCollectors()
+	cl.armResilience()
 
 	var gens []*workload.Generator
 	var attackers []*workload.Attacker
@@ -363,6 +427,9 @@ func (cl *Cluster) Simulate() *Results {
 		a.Stop()
 	}
 	cl.SM.Stop()
+	if cl.Resweeper != nil {
+		cl.Resweeper.Stop()
+	}
 
 	for _, hca := range cl.Mesh.HCAs {
 		cl.res.HCAViolations += hca.PKeyViolations()

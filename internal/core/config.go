@@ -10,6 +10,7 @@ import (
 
 	"ibasec/internal/enforce"
 	"ibasec/internal/fabric"
+	"ibasec/internal/faults"
 	"ibasec/internal/mac"
 	"ibasec/internal/sim"
 	"ibasec/internal/sm"
@@ -95,6 +96,19 @@ type Config struct {
 	// ring of that many events to the fabric; read it from
 	// Cluster.Trace after Simulate.
 	TraceCapacity int
+
+	// FaultPlan, when non-nil, schedules deterministic link/switch
+	// kills, BER bursts and MAD faults on the run (internal/faults).
+	// Params are copied per run so the plan's mutations cannot leak into
+	// other runs sharing the same Params value.
+	FaultPlan *faults.Plan
+	// ResweepPeriod, when positive, attaches subnet-management agents to
+	// every switch and HCA and runs the SM's periodic re-sweep: dead
+	// links are detected by SMP timeout, routes are recomputed around
+	// them and the switches reprogrammed in-band. Read healing metrics
+	// from Cluster.Resweeper after Simulate. Zero keeps the classic
+	// static one-shot configuration.
+	ResweepPeriod sim.Time
 
 	// Seed makes the run reproducible.
 	Seed int64

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ibasec/internal/enforce"
+	"ibasec/internal/fabric"
+	"ibasec/internal/faults"
+	"ibasec/internal/mac"
+	"ibasec/internal/metrics"
+	"ibasec/internal/packet"
+	"ibasec/internal/runner"
+	"ibasec/internal/sim"
+	"ibasec/internal/sm"
+	"ibasec/internal/topology"
+	"ibasec/internal/transport"
+)
+
+// FaultRow is one point of the fault-injection experiment: the fabric
+// under a deterministic chaos plan (link outages and a bit-error burst)
+// with the SM's self-healing re-sweep active, for one enforcement design.
+type FaultRow struct {
+	Mode      enforce.Mode
+	BER       float64
+	LinkKills int
+
+	// Datagram background traffic: delivered fraction tells how much the
+	// outages cost the unreliable service.
+	Sent          uint64
+	Delivered     uint64
+	DeliveredFrac float64
+
+	// Where the missing packets went.
+	Blackholed   uint64 // destroyed by dead links/switches and MAD faults
+	CRCRejected  uint64 // VCRC/ICRC rejects from the bit-error burst
+	AuthRejected uint64
+	HOQDropped   uint64 // aged out by the Head-of-Queue lifetime limit
+
+	// Reliable probe flows: RC connections that must ride the outages out
+	// on retransmission while the SM heals the routes underneath them.
+	RCSent         uint64
+	RCDelivered    uint64
+	RCBroken       uint64
+	RCLatencyP99US float64 // p99 end-to-end latency: the recovery tail
+
+	// Self-healing control loop.
+	DetectUS  float64 // mean failure-to-detection latency
+	RerouteUS float64 // mean detection-to-reprogrammed latency
+	Resweeps  uint64
+	Reroutes  uint64
+}
+
+// rcProbe is one reliable probe flow of the fault experiment.
+type rcProbe struct {
+	src, dst  int
+	qp        *transport.QP
+	ep        *transport.Endpoint
+	connected bool
+	sent      uint64
+	delivered uint64
+	latency   *metrics.Recorder
+}
+
+// FaultsSweep runs the chaos experiment: for each enforcement design it
+// sweeps bit-error rate × concurrent link kills, with the subnet
+// manager's periodic re-sweep healing the fabric around the failures.
+// Unreliable background traffic measures raw loss; RC probe flows
+// measure whether connections survive and how long the recovery tail is.
+func FaultsSweep(bers []float64, kills []int, base Config) ([]FaultRow, error) {
+	return FaultsSweepCtx(context.Background(), nil, bers, kills, base)
+}
+
+// FaultsSweepCtx is FaultsSweep with cancellation and an optional worker
+// pool; a nil pool runs the points serially.
+func FaultsSweepCtx(ctx context.Context, pool *runner.Pool, bers []float64, kills []int, base Config) ([]FaultRow, error) {
+	modes := []enforce.Mode{enforce.DPT, enforce.IF, enforce.SIF}
+	jobs := make([]runner.Job[FaultRow], 0, len(modes)*len(bers)*len(kills))
+	for _, mode := range modes {
+		for _, ber := range bers {
+			for _, k := range kills {
+				mode, ber, k := mode, ber, k
+				jobs = append(jobs, sweepJob("faults", len(jobs), base.Seed,
+					fmt.Sprintf("mode=%s,ber=%g,kills=%d", mode, ber, k),
+					func(context.Context) (FaultRow, error) {
+						return runFaultPoint(base, mode, ber, k)
+					}))
+			}
+		}
+	}
+	return runner.Run(ctx, pool, jobs)
+}
+
+// runFaultPoint runs one (mode, BER, kills) cell of the sweep.
+func runFaultPoint(base Config, mode enforce.Mode, ber float64, kills int) (FaultRow, error) {
+	cfg := base
+	cfg.Enforcement = mode
+	cfg.Attackers = 0
+	cfg.RealtimeLoad = 0
+	// Fixed moderate background load: outages concentrate traffic on the
+	// surviving links, and at the DoS experiments' near-saturation loads
+	// the delivered fraction would measure congestion backlog rather
+	// than fault loss.
+	cfg.BestEffortLoad = 0.3
+	cfg.ResweepPeriod = 200 * sim.Microsecond
+	// Arm the Head-of-Queue lifetime limit: the healed routes are
+	// shortest-path around the failure, not dimension-ordered, so
+	// rerouting can create cyclic credit dependencies — without HOQ
+	// ageing, a deadlocked cycle holds its buffers (and everything
+	// upstream) until the end of the run. Copy the params first: the
+	// base config's value is shared across concurrent sweep points.
+	p := *cfg.Params
+	p.HOQLife = 100 * sim.Microsecond
+	cfg.Params = &p
+
+	// Outages fall in [warmup, duration/2) so every killed link also
+	// restores well before the run ends and the probe flows can drain.
+	plan := faults.Chaos(cfg.Seed, cfg.MeshW, cfg.MeshH, kills, cfg.Warmup, cfg.Duration/2)
+	if ber > 0 {
+		plan.BER = append(plan.BER, faults.BERBurst{
+			Rate: ber, From: cfg.Warmup, Until: cfg.Duration * 3 / 4,
+		})
+	}
+	cfg.FaultPlan = plan
+
+	cl, err := Build(cfg)
+	if err != nil {
+		return FaultRow{}, err
+	}
+	probes, lat := armRCProbes(cl)
+	res := cl.Simulate()
+
+	row := FaultRow{
+		Mode: mode, BER: ber, LinkKills: kills,
+		Sent: res.SentLegit, Delivered: res.DeliveredUD,
+		Blackholed:   faults.Blackholed(cl.Mesh),
+		AuthRejected: res.AuthFail,
+	}
+	if row.Sent > 0 {
+		row.DeliveredFrac = float64(row.Delivered) / float64(row.Sent)
+	}
+	for _, sw := range cl.Mesh.Switches {
+		row.CRCRejected += sw.Counters.Get("vcrc_drops")
+		row.HOQDropped += sw.HOQDropped()
+	}
+	for _, h := range cl.Mesh.HCAs {
+		row.CRCRejected += h.Counters.Get("vcrc_drops") + h.Counters.Get("icrc_drops")
+		row.HOQDropped += h.HOQDropped()
+	}
+
+	for _, pr := range probes {
+		row.RCSent += pr.sent
+		row.RCDelivered += pr.delivered
+		if pr.qp.Broken() {
+			row.RCBroken++
+		}
+	}
+	if row.RCDelivered > 0 {
+		row.RCLatencyP99US = lat.P99()
+	}
+
+	if r := cl.Resweeper; r != nil {
+		row.Resweeps = r.Counters.Get("sweeps")
+		row.Reroutes = r.Counters.Get("reroutes")
+		row.RerouteUS = r.RerouteLatency.Mean()
+	}
+	row.DetectUS = meanDetectionUS(plan, cl.healEvents)
+	return row, nil
+}
+
+// meanDetectionUS averages, over healing events that lost edges, the time
+// from the most recent scheduled fault before the detection to the
+// detection itself — the fabric's failure-to-detection latency.
+func meanDetectionUS(p *faults.Plan, events []sm.HealEvent) float64 {
+	var downs []sim.Time
+	for _, lk := range p.Links {
+		downs = append(downs, lk.DownAt)
+	}
+	for _, sk := range p.Switches {
+		downs = append(downs, sk.DownAt)
+	}
+	sort.Slice(downs, func(i, j int) bool { return downs[i] < downs[j] })
+	var w metrics.Welford
+	for _, ev := range events {
+		if ev.LostEdges == 0 || ev.DetectedAt == 0 {
+			continue
+		}
+		var at sim.Time = -1
+		for _, d := range downs {
+			if d <= ev.DetectedAt {
+				at = d
+			}
+		}
+		if at < 0 {
+			continue
+		}
+		w.Add((ev.DetectedAt - at).Microseconds())
+	}
+	return w.Mean()
+}
+
+// maxProbeFlows bounds the number of RC probe pairs per run.
+const maxProbeFlows = 6
+
+// armRCProbes creates reliable probe flows on the longest same-partition
+// paths of the cluster: RC QP pairs that connect at start-up and then
+// send a timestamped message every probe interval until three quarters
+// of the run, leaving the tail for retransmissions to drain. Their
+// endpoints are installed in cl.Endpoints before Simulate so the
+// collector chain wires them as the delivery sink. The returned recorder
+// aggregates end-to-end latency over all flows.
+func armRCProbes(cl *Cluster) ([]*rcProbe, *metrics.Recorder) {
+	lat := metrics.NewRecorder(0, 100_000, 400)
+	type pair struct{ a, b, dist int }
+	var pairs []pair
+	for key := range cl.PairPKey {
+		a, b := key[0], key[1]
+		if a >= b {
+			continue
+		}
+		ax, ay := a%cl.Cfg.MeshW, a/cl.Cfg.MeshW
+		bx, by := b%cl.Cfg.MeshW, b/cl.Cfg.MeshW
+		pairs = append(pairs, pair{a, b, abs(ax-bx) + abs(ay-by)})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].dist != pairs[j].dist {
+			return pairs[i].dist > pairs[j].dist
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	if len(pairs) > maxProbeFlows {
+		pairs = pairs[:maxProbeFlows]
+	}
+
+	endpoint := func(node int) *transport.Endpoint {
+		if ep := cl.Endpoints[node]; ep != nil {
+			return ep
+		}
+		ep := transport.NewEndpoint(cl.Mesh.HCA(node), transport.Config{
+			Registry: mac.DefaultRegistry(),
+			KeyLevel: transport.PartitionLevel,
+		})
+		cl.Endpoints[node] = ep
+		return ep
+	}
+
+	var probes []*rcProbe
+	for _, pr := range pairs {
+		pk := cl.PairPKey[[2]int{pr.a, pr.b}]
+		epA, epB := endpoint(pr.a), endpoint(pr.b)
+		qpA := epA.CreateRCQP(pk)
+		qpB := epB.CreateRCQP(pk)
+		probe := &rcProbe{src: pr.a, dst: pr.b, qp: qpA, ep: epA, latency: lat}
+		qpB.OnRecv = func(payload []byte, _ packet.LID, _ packet.QPN) {
+			if len(payload) < 8 {
+				return
+			}
+			stamp := sim.Time(binary.BigEndian.Uint64(payload))
+			probe.delivered++
+			probe.latency.Add((cl.Sim.Now() - stamp).Microseconds())
+		}
+		if err := epA.ConnectRC(qpA, topology.LIDOf(pr.b), qpB.N, func(err error) {
+			probe.connected = err == nil
+		}); err != nil {
+			panic(fmt.Sprintf("core: RC probe connect %d->%d: %v", pr.a, pr.b, err))
+		}
+		probes = append(probes, probe)
+	}
+	if len(probes) == 0 {
+		return nil, lat
+	}
+
+	// One message per flow every interval, staggered so the flows do not
+	// inject in lockstep; stop at 3/4 of the run so the drain window can
+	// absorb the recovery tail.
+	interval := 20 * sim.Microsecond
+	cutoff := cl.Cfg.Duration * 3 / 4
+	for i, probe := range probes {
+		probe := probe
+		cl.Sim.ScheduleAt(sim.Time(i)*interval/sim.Time(len(probes)), func() {
+			cl.Sim.Every(interval, func() {
+				if !probe.connected || probe.qp.Broken() || cl.Sim.Now() > cutoff {
+					return
+				}
+				payload := make([]byte, 64)
+				binary.BigEndian.PutUint64(payload, uint64(cl.Sim.Now()))
+				if err := probe.ep.SendRC(probe.qp, payload, fabric.ClassBestEffort); err != nil {
+					panic(fmt.Sprintf("core: RC probe send: %v", err))
+				}
+				probe.sent++
+			})
+		})
+	}
+	return probes, lat
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -51,6 +51,20 @@ type outChannel struct {
 	// Link accounting for utilization reports.
 	bytesSent uint64
 	busyTime  sim.Time
+
+	// Fault-injection state. A downed channel destroys traffic instead
+	// of transmitting it; epoch invalidates events (serializer
+	// completions, credit returns) scheduled before the last link-state
+	// transition, so a reset cannot double-return credits. Both stay at
+	// their zero values unless a fault plan drives them.
+	down       bool
+	epoch      uint64
+	blackholed uint64
+	ownerName  string
+
+	// hoqDropped counts packets aged out by the Head-of-Queue lifetime
+	// limit (Params.HOQLife).
+	hoqDropped uint64
 }
 
 // Connect wires port pa of device a to port pb of device b with a
@@ -60,8 +74,8 @@ func Connect(s *sim.Simulator, params *Params, a Device, pa int, b Device, pb in
 	if err := params.Validate(); err != nil {
 		panic(err)
 	}
-	ach := &outChannel{sim: s, params: params, peer: b, peerIn: pb}
-	bch := &outChannel{sim: s, params: params, peer: a, peerIn: pa}
+	ach := &outChannel{sim: s, params: params, peer: b, peerIn: pb, ownerName: a.Name()}
+	bch := &outChannel{sim: s, params: params, peer: a, peerIn: pa, ownerName: b.Name()}
 	for vl := 0; vl < NumVLs; vl++ {
 		ach.credits[vl] = params.CreditsPerVL
 		bch.credits[vl] = params.CreditsPerVL
@@ -85,13 +99,82 @@ func bindPort(d Device, port int, ch *outChannel) {
 }
 
 // enqueue appends a delivery to the VL's output queue and kicks the
-// serializer.
+// serializer. A downed link destroys the packet instead.
 func (c *outChannel) enqueue(d *Delivery) {
 	if int(d.VL) >= NumVLs {
 		panic(fmt.Sprintf("fabric: VL %d out of range", d.VL))
 	}
+	if c.down {
+		c.blackhole(d)
+		return
+	}
 	c.queues[d.VL] = append(c.queues[d.VL], d)
 	c.queuedBytes += d.Pkt.WireSize()
+	if len(c.queues[d.VL]) == 1 {
+		c.armHOQ(d.VL)
+	}
+	c.trySend()
+}
+
+// armHOQ starts the Head-of-Queue lifetime clock for the packet at the
+// head of the VL queue. If it is still the unsent head when the clock
+// expires, it is discarded and its upstream credit released — the
+// forward-progress guarantee that lets the fabric recover from credit
+// deadlock (see Params.HOQLife). No-op while the limit is disabled.
+func (c *outChannel) armHOQ(vl uint8) {
+	if c.params.HOQLife <= 0 || len(c.queues[vl]) == 0 {
+		return
+	}
+	d := c.queues[vl][0]
+	ep := c.epoch
+	c.sim.Schedule(c.params.HOQLife, func() {
+		if c.epoch != ep || c.down || len(c.queues[vl]) == 0 || c.queues[vl][0] != d {
+			return
+		}
+		c.queues[vl] = c.queues[vl][1:]
+		c.queuedBytes -= d.Pkt.WireSize()
+		c.hoqDropped++
+		c.params.observe(c.sim.Now(), ObsHOQDrop, c.ownerName, d)
+		d.ReturnCredit()
+		c.armHOQ(vl)
+		c.trySend()
+	})
+}
+
+// blackhole accounts for a packet destroyed by an injected fault: the
+// upstream buffer slot frees as the packet is discarded, so its credit
+// is released, and the loss is counted so delivered + rejected +
+// blackholed still equals sent.
+func (c *outChannel) blackhole(d *Delivery) {
+	c.blackholed++
+	c.params.observe(c.sim.Now(), ObsBlackhole, c.ownerName, d)
+	d.ReturnCredit()
+}
+
+// setDown transitions the channel's link state. Taking the link down
+// destroys everything queued; bringing it up starts a new epoch with a
+// full credit complement (a link reset retrains flow control per IBA),
+// discarding any credit returns still in flight from the old epoch.
+func (c *outChannel) setDown(down bool) {
+	if c.down == down {
+		return
+	}
+	c.down = down
+	c.epoch++
+	if down {
+		for vl := range c.queues {
+			for _, d := range c.queues[vl] {
+				c.blackhole(d)
+			}
+			c.queues[vl] = nil
+		}
+		c.queuedBytes = 0
+		return
+	}
+	for vl := 0; vl < NumVLs; vl++ {
+		c.credits[vl] = c.params.CreditsPerVL
+	}
+	c.busy = false
 	c.trySend()
 }
 
@@ -209,7 +292,7 @@ func (c *outChannel) maybeCorrupt(d *Delivery) {
 // trySend starts serializing the next eligible packet if the link is
 // idle. It reschedules itself at serialization end and on credit return.
 func (c *outChannel) trySend() {
-	if c.busy {
+	if c.busy || c.down {
 		return
 	}
 	vl := c.pickVL()
@@ -219,6 +302,7 @@ func (c *outChannel) trySend() {
 	d := c.queues[vl][0]
 	c.queues[vl] = c.queues[vl][1:]
 	c.queuedBytes -= d.Pkt.WireSize()
+	c.armHOQ(uint8(vl))
 	c.credits[vl]--
 	c.rr[0] = (vl + 1) % NumVLs
 	c.busy = true
@@ -236,18 +320,33 @@ func (c *outChannel) trySend() {
 	c.bytesSent += uint64(d.Pkt.WireSize())
 	c.busyTime += ser
 	ch := c // capture
+	ep := c.epoch
 	c.sim.Schedule(ser, func() {
+		if ch.epoch != ep {
+			return
+		}
 		ch.busy = false
 		ch.trySend()
 	})
 	c.maybeCorrupt(d)
 	c.sim.Schedule(ser+c.params.PropDelay, func() {
+		if ch.epoch != ep {
+			// The link went down (or was reset) while the packet was on
+			// the wire: it never reaches the peer.
+			ch.blackhole(d)
+			return
+		}
 		// Store-and-forward: the peer sees the packet once fully
 		// received. The packet now occupies one credit of the peer's
 		// input buffer until the peer consumes it.
 		d.creditor = func() {
-			// Credit return travels back over the wire.
+			// Credit return travels back over the wire. A return from
+			// before a link reset is discarded: the reset already
+			// restored the full credit complement.
 			ch.sim.Schedule(ch.params.PropDelay, func() {
+				if ch.epoch != ep {
+					return
+				}
 				ch.credits[vl]++
 				ch.trySend()
 			})

@@ -145,6 +145,35 @@ func (h *HCA) PortStats() (bytes uint64, busy sim.Time) {
 	return h.port.out.bytesSent, h.port.out.busyTime
 }
 
+// SetLinkState raises or lowers the outbound half of the HCA's link; the
+// switch side owns the other direction.
+func (h *HCA) SetLinkState(up bool) {
+	if h.port.out != nil {
+		h.port.out.setDown(!up)
+	}
+}
+
+// LinkUp reports whether the HCA's outbound channel is connected and up.
+func (h *HCA) LinkUp() bool { return h.port.Connected() && !h.port.out.down }
+
+// Blackholed returns the packets destroyed on the HCA's outbound channel
+// while its link was down.
+func (h *HCA) Blackholed() uint64 {
+	if h.port.out == nil {
+		return 0
+	}
+	return h.port.out.blackholed
+}
+
+// HOQDropped returns the packets aged out of the HCA's send queues by
+// the Head-of-Queue lifetime limit.
+func (h *HCA) HOQDropped() uint64 {
+	if h.port.out == nil {
+		return 0
+	}
+	return h.port.out.hoqDropped
+}
+
 // arrive implements Device: verify CRCs, check the partition table,
 // then deliver. The VCRC guards the last link; the ICRC (when the packet
 // is not carrying an authentication tag) guards end to end.

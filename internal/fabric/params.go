@@ -103,6 +103,16 @@ type Params struct {
 	// 4.
 	HighPriLimit int
 
+	// HOQLife is the Head-of-Queue lifetime limit (IBA 18.2.5.4): a
+	// packet that has stood at the head of a VL output queue for this
+	// long without transmitting is discarded and its upstream credit
+	// released. This is the architecture's forward-progress guarantee:
+	// rerouting around failed links can create cyclic credit
+	// dependencies that credit flow control alone never drains, and
+	// dropping the expired head is what breaks the cycle. Zero disables
+	// the limit (the default — no packet is ever aged out).
+	HOQLife sim.Time
+
 	// BitErrorRate is the per-bit corruption probability on every
 	// link. When a packet is struck, a uniformly random wire bit flips;
 	// the per-link VCRC catches it at the next device and the
@@ -132,6 +142,8 @@ const (
 	ObsCRCDrop                       // VCRC/ICRC verification failed
 	ObsPKeyReject                    // destination HCA partition check failed
 	ObsDeliver                       // destination HCA accepted it
+	ObsBlackhole                     // destroyed by an injected fault (link/switch down, MAD drop)
+	ObsHOQDrop                       // aged out by the Head-of-Queue lifetime limit
 )
 
 func (k ObsKind) String() string {
@@ -150,6 +162,10 @@ func (k ObsKind) String() string {
 		return "pkey-reject"
 	case ObsDeliver:
 		return "deliver"
+	case ObsBlackhole:
+		return "blackhole"
+	case ObsHOQDrop:
+		return "hoq-drop"
 	default:
 		return "unknown"
 	}
@@ -221,6 +237,9 @@ func (p *Params) Validate() error {
 	}
 	if p.PropDelay < 0 || p.SwitchLookup < 0 || p.ClockCycle < 0 {
 		return fmt.Errorf("fabric: negative delay parameter")
+	}
+	if p.HOQLife < 0 {
+		return fmt.Errorf("fabric: negative head-of-queue lifetime %v", p.HOQLife)
 	}
 	if p.BitErrorRate < 0 || p.BitErrorRate >= 1 {
 		return fmt.Errorf("fabric: bit error rate %v outside [0,1)", p.BitErrorRate)

@@ -26,6 +26,12 @@ type MADHandler interface {
 	HandleMAD(sw *Switch, inPort int, d *Delivery) bool
 }
 
+// MADTap intercepts management datagrams arriving at a switch before the
+// MAD handler or LID forwarding sees them — the fault layer's drop/delay
+// hook. Return drop to destroy the MAD, or a positive delay to add to its
+// processing latency. A nil tap changes nothing.
+type MADTap func(sw *Switch, d *Delivery) (drop bool, delay sim.Time)
+
 // Switch is a store-and-forward IBA switch with a LID-indexed linear
 // forwarding table. The testbed uses 5-port switches: port 0 to the local
 // HCA, ports 1-4 to neighbours (Table 1).
@@ -38,7 +44,9 @@ type Switch struct {
 	fwd     map[packet.LID]int
 	filter  Filter
 	madh    MADHandler
+	madTap  MADTap
 	guid    uint64
+	down    bool
 
 	Counters *metrics.Counters
 }
@@ -80,6 +88,10 @@ func (sw *Switch) Route(lid packet.LID) (int, bool) {
 	return p, ok
 }
 
+// ClearRoute removes the forwarding entry for lid; packets to it become
+// unroutable here instead of riding a stale route into a black hole.
+func (sw *Switch) ClearRoute(lid packet.LID) { delete(sw.fwd, lid) }
+
 // MarkIngress declares that a port connects directly to an end node, so
 // ingress filtering applies there.
 func (sw *Switch) MarkIngress(port int) { sw.ingress[port] = true }
@@ -92,6 +104,80 @@ func (sw *Switch) SetFilter(f Filter) { sw.filter = f }
 
 // SetMADHandler installs the management-datagram agent (nil disables).
 func (sw *Switch) SetMADHandler(h MADHandler) { sw.madh = h }
+
+// SetMADTap installs the fault layer's MAD drop/delay hook (nil disables).
+func (sw *Switch) SetMADTap(t MADTap) { sw.madTap = t }
+
+// SetLinkState raises or lowers the outbound half of the link on the
+// given port. Lowering destroys everything queued on the port; raising
+// resets its credits to a full complement. The peer device owns the
+// other direction — a full link failure lowers both halves.
+func (sw *Switch) SetLinkState(port int, up bool) {
+	if port < 0 || port >= len(sw.ports) || sw.ports[port].out == nil {
+		return
+	}
+	sw.ports[port].out.setDown(!up)
+}
+
+// LinkUp reports whether the port's outbound channel is connected and up.
+func (sw *Switch) LinkUp(port int) bool {
+	return sw.ports[port].Connected() && !sw.ports[port].out.down
+}
+
+// SetDown kills or revives the whole switch. A dead switch destroys
+// every arriving packet (neighbours see probes into it time out), stops
+// transmitting on all ports, and loses its forwarding table — a revived
+// switch is blank until the Subnet Manager reprograms it. Reviving also
+// raises all the switch's outbound links.
+func (sw *Switch) SetDown(down bool) {
+	if sw.down == down {
+		return
+	}
+	sw.down = down
+	if down {
+		sw.fwd = make(map[packet.LID]int)
+	}
+	for _, p := range sw.ports {
+		if p.out != nil {
+			p.out.setDown(down)
+		}
+	}
+}
+
+// Down reports whether the switch has been killed by fault injection.
+func (sw *Switch) Down() bool { return sw.down }
+
+// PortBlackholed returns the number of packets destroyed on the port's
+// outbound channel while its link was down.
+func (sw *Switch) PortBlackholed(port int) uint64 {
+	if port < 0 || port >= len(sw.ports) || sw.ports[port].out == nil {
+		return 0
+	}
+	return sw.ports[port].out.blackholed
+}
+
+// Blackholed returns the packets destroyed by faults at this switch: the
+// sum over ports of outbound link losses plus packets that arrived while
+// the switch itself was dead or whose MAD was dropped by the tap.
+func (sw *Switch) Blackholed() uint64 {
+	n := sw.Counters.Get("blackholed") + sw.Counters.Get("mad_dropped")
+	for i := range sw.ports {
+		n += sw.PortBlackholed(i)
+	}
+	return n
+}
+
+// HOQDropped returns the packets aged out by the Head-of-Queue lifetime
+// limit across all the switch's output ports.
+func (sw *Switch) HOQDropped() uint64 {
+	var n uint64
+	for i := range sw.ports {
+		if ch := sw.ports[i].out; ch != nil {
+			n += ch.hoqDropped
+		}
+	}
+	return n
+}
 
 // SetGUID assigns the switch's node GUID (reported in NodeInfo).
 func (sw *Switch) SetGUID(g uint64) { sw.guid = g }
@@ -120,6 +206,24 @@ func (sw *Switch) Sim() *sim.Simulator { return sw.sim }
 // PortConnected reports whether the port has been wired to a link.
 func (sw *Switch) PortConnected(port int) bool { return sw.ports[port].Connected() }
 
+// QueueDepth returns the packets waiting in the port's output queues
+// summed over all VLs, plus one if the serializer is mid-transmission —
+// the port's total unsent backlog.
+func (sw *Switch) QueueDepth(port int) int {
+	ch := sw.ports[port].out
+	if ch == nil {
+		return 0
+	}
+	n := 0
+	for vl := 0; vl < NumVLs; vl++ {
+		n += len(ch.queues[vl])
+	}
+	if ch.busy {
+		n++
+	}
+	return n
+}
+
 // PortStats returns the bytes transmitted and cumulative serialization
 // time of the port's outbound channel (zero values when unconnected).
 func (sw *Switch) PortStats(port int) (bytes uint64, busy sim.Time) {
@@ -144,6 +248,15 @@ func (sw *Switch) bind(port int, ch *outChannel) {
 // Corrupted packets are discarded by the per-link VCRC check first
 // (IBA 7.8: the variant CRC is validated at every link).
 func (sw *Switch) arrive(port int, d *Delivery) {
+	if sw.down {
+		// A dead switch destroys everything that lands on it; the
+		// sender's buffer credit is still released (the packet left the
+		// wire), so flow control stays conserved.
+		sw.Counters.Inc("blackholed", 1)
+		sw.params.observe(sw.sim.Now(), ObsBlackhole, sw.name, d)
+		d.ReturnCredit()
+		return
+	}
 	if !vcrcOK(d) {
 		sw.Counters.Inc("vcrc_drops", 1)
 		sw.params.observe(sw.sim.Now(), ObsCRCDrop, sw.name, d)
@@ -153,8 +266,19 @@ func (sw *Switch) arrive(port int, d *Delivery) {
 	// Management agent first: directed-route SMPs are forwarded by an
 	// explicit path, not by the LID table (which may not be programmed
 	// yet during subnet discovery).
-	if d.Class == ClassManagement && sw.madh != nil {
-		sw.sim.Schedule(sw.params.SwitchLookup, func() {
+	if d.Class == ClassManagement && (sw.madh != nil || sw.madTap != nil) {
+		var extra sim.Time
+		if sw.madTap != nil {
+			drop, delay := sw.madTap(sw, d)
+			if drop {
+				sw.Counters.Inc("mad_dropped", 1)
+				sw.params.observe(sw.sim.Now(), ObsBlackhole, sw.name, d)
+				d.ReturnCredit()
+				return
+			}
+			extra = delay
+		}
+		sw.sim.Schedule(sw.params.SwitchLookup+extra, func() {
 			if sw.madh != nil && sw.madh.HandleMAD(sw, port, d) {
 				return
 			}

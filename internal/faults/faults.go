@@ -1,0 +1,279 @@
+// Package faults is the deterministic, seed-driven fault-injection layer
+// of the simulator. A Plan schedules failures on the simulation engine —
+// link and switch down/up events, bit-error-rate bursts that exercise the
+// CRC16/ICRC/MAC reject paths on live traffic, and MAD drop/delay faults
+// against the management plane — through small injection points in
+// internal/fabric that change nothing when no plan is installed. Paired
+// with the Subnet Manager's periodic re-sweep (internal/sm.Resweeper),
+// it turns "the fabric discards traffic" from a unit-test premise into a
+// live scenario: the same seed and the same plan always reproduce the
+// same run, byte for byte.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/sim"
+	"ibasec/internal/topology"
+)
+
+// LinkKill takes one full-duplex link down at DownAt and, when UpAt is
+// later, back up at UpAt (zero means it stays down). The link is named
+// from the switch side; the HCA-facing link is Port PortHCA.
+type LinkKill struct {
+	Link   topology.LinkID
+	DownAt sim.Time
+	UpAt   sim.Time
+}
+
+// SwitchKill takes a whole switch down and optionally revives it. A dead
+// switch destroys everything that lands on it and loses its forwarding
+// table; a revived switch stays blank until the SM reprograms it.
+type SwitchKill struct {
+	Switch int
+	DownAt sim.Time
+	UpAt   sim.Time
+}
+
+// BERBurst raises the fabric-wide link bit-error rate to Rate during
+// [From, Until) (Until zero: until the end of the run).
+type BERBurst struct {
+	Rate  float64
+	From  sim.Time
+	Until sim.Time
+}
+
+// MADLoss drops each management datagram arriving at any switch with
+// probability DropProb and delays the survivors by Delay, during
+// [From, Until) (Until zero: until the end of the run).
+type MADLoss struct {
+	DropProb float64
+	Delay    sim.Time
+	From     sim.Time
+	Until    sim.Time
+}
+
+// Plan is a complete, deterministic fault schedule for one run.
+type Plan struct {
+	// Seed drives every random draw the plan makes at run time (MAD
+	// drops, BER strikes on an RNG-less fabric).
+	Seed     int64
+	Links    []LinkKill
+	Switches []SwitchKill
+	BER      []BERBurst
+	MAD      *MADLoss
+}
+
+// Validate checks the plan against a mesh's geometry.
+func (p *Plan) Validate(m *topology.Mesh) error {
+	for _, lk := range p.Links {
+		if lk.Link.Switch < 0 || lk.Link.Switch >= len(m.Switches) {
+			return fmt.Errorf("faults: link kill on switch %d of %d", lk.Link.Switch, len(m.Switches))
+		}
+		if _, _, _, ok := m.LinkPeer(lk.Link.Switch, lk.Link.Port); !ok {
+			return fmt.Errorf("faults: link kill on unconnected port %d of switch %d", lk.Link.Port, lk.Link.Switch)
+		}
+	}
+	for _, sk := range p.Switches {
+		if sk.Switch < 0 || sk.Switch >= len(m.Switches) {
+			return fmt.Errorf("faults: switch kill on switch %d of %d", sk.Switch, len(m.Switches))
+		}
+	}
+	for _, b := range p.BER {
+		if b.Rate < 0 || b.Rate >= 1 {
+			return fmt.Errorf("faults: BER burst rate %v outside [0,1)", b.Rate)
+		}
+	}
+	if p.MAD != nil && (p.MAD.DropProb < 0 || p.MAD.DropProb > 1) {
+		return fmt.Errorf("faults: MAD drop probability %v outside [0,1]", p.MAD.DropProb)
+	}
+	return nil
+}
+
+// Injector is an installed plan's runtime handle.
+type Injector struct {
+	mesh *topology.Mesh
+	plan *Plan
+}
+
+// Install validates the plan and schedules every fault on the simulator.
+// params must be the same Params the mesh was built with (BER bursts
+// mutate it; callers that also run clean experiments must hand each run
+// its own copy). Install must be called before the simulator runs past
+// the earliest fault time.
+func Install(s *sim.Simulator, m *topology.Mesh, params *fabric.Params, p *Plan) (*Injector, error) {
+	if err := p.Validate(m); err != nil {
+		return nil, err
+	}
+	inj := &Injector{mesh: m, plan: p}
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x0FA17))
+
+	for _, lk := range p.Links {
+		lk := lk
+		s.ScheduleAt(lk.DownAt, func() { inj.setLink(lk.Link, false) })
+		if lk.UpAt > lk.DownAt {
+			s.ScheduleAt(lk.UpAt, func() { inj.setLink(lk.Link, true) })
+		}
+	}
+	for _, sk := range p.Switches {
+		sk := sk
+		s.ScheduleAt(sk.DownAt, func() { m.Switches[sk.Switch].SetDown(true) })
+		if sk.UpAt > sk.DownAt {
+			s.ScheduleAt(sk.UpAt, func() { m.Switches[sk.Switch].SetDown(false) })
+		}
+	}
+	for _, b := range p.BER {
+		b := b
+		var saved float64
+		s.ScheduleAt(b.From, func() {
+			saved = params.BitErrorRate
+			params.BitErrorRate = b.Rate
+			if params.RNG == nil {
+				params.RNG = rng
+			}
+		})
+		if b.Until > b.From {
+			s.ScheduleAt(b.Until, func() { params.BitErrorRate = saved })
+		}
+	}
+	if mad := p.MAD; mad != nil {
+		tap := func(sw *fabric.Switch, d *fabric.Delivery) (bool, sim.Time) {
+			if mad.DropProb > 0 && rng.Float64() < mad.DropProb {
+				return true, 0
+			}
+			return false, mad.Delay
+		}
+		s.ScheduleAt(mad.From, func() {
+			for _, sw := range m.Switches {
+				sw.SetMADTap(tap)
+			}
+		})
+		if mad.Until > mad.From {
+			s.ScheduleAt(mad.Until, func() {
+				for _, sw := range m.Switches {
+					sw.SetMADTap(nil)
+				}
+			})
+		}
+	}
+	return inj, nil
+}
+
+// setLink changes both halves of a full-duplex link.
+func (inj *Injector) setLink(l topology.LinkID, up bool) {
+	inj.mesh.Switches[l.Switch].SetLinkState(l.Port, up)
+	isHCA, peer, peerPort, ok := inj.mesh.LinkPeer(l.Switch, l.Port)
+	if !ok {
+		return
+	}
+	if isHCA {
+		inj.mesh.HCAs[peer].SetLinkState(up)
+	} else {
+		inj.mesh.Switches[peer].SetLinkState(peerPort, up)
+	}
+}
+
+// Blackholed sums every fault-destroyed packet across the mesh: packets
+// dropped on downed output channels, packets that landed on dead
+// switches, and MADs destroyed by the tap.
+func Blackholed(m *topology.Mesh) uint64 {
+	var n uint64
+	for _, sw := range m.Switches {
+		n += sw.Blackholed()
+	}
+	for _, h := range m.HCAs {
+		n += h.Blackholed()
+	}
+	return n
+}
+
+// Chaos builds a deterministic random plan for a W×H mesh: kills
+// transient inter-switch link outages whose down times fall in the first
+// half of [from, until) and whose outages last between a half and three
+// quarters of the window — long enough that a periodic re-sweep is
+// guaranteed to sample the fabric during the outage even on short runs. The killed set is re-drawn (bounded) until the
+// switch graph stays connected with every killed link removed at once,
+// so the experiment measures re-routing rather than partition loss; HCA
+// uplinks are never killed, so the Subnet Manager keeps its in-band
+// reach. The same seed always yields the same plan.
+func Chaos(seed int64, w, h, kills int, from, until sim.Time) *Plan {
+	p := &Plan{Seed: seed}
+	if kills <= 0 || until <= from {
+		return p
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0xC4A05))
+
+	// All inter-switch links, from the lower-indexed side.
+	var links []topology.LinkID
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if x+1 < w {
+				links = append(links, topology.LinkID{Switch: i, Port: topology.PortEast})
+			}
+			if y+1 < h {
+				links = append(links, topology.LinkID{Switch: i, Port: topology.PortSouth})
+			}
+		}
+	}
+	if kills > len(links) {
+		kills = len(links)
+	}
+
+	var chosen []topology.LinkID
+	for attempt := 0; attempt < 100; attempt++ {
+		perm := rng.Perm(len(links))
+		chosen = make([]topology.LinkID, kills)
+		for i := 0; i < kills; i++ {
+			chosen[i] = links[perm[i]]
+		}
+		if meshConnectedWithout(w, h, chosen) {
+			break
+		}
+	}
+
+	window := until - from
+	for _, l := range chosen {
+		down := from + sim.Time(rng.Int63n(int64(window/2)+1))
+		outage := window/2 + sim.Time(rng.Int63n(int64(window/4)+1))
+		p.Links = append(p.Links, LinkKill{Link: l, DownAt: down, UpAt: down + outage})
+	}
+	return p
+}
+
+// meshConnectedWithout reports whether the W×H switch grid stays
+// connected after removing the given inter-switch links.
+func meshConnectedWithout(w, h int, dead []topology.LinkID) bool {
+	deadSet := make(map[topology.LinkID]bool, len(dead))
+	for _, l := range dead {
+		deadSet[l] = true
+	}
+	cut := func(a, b, portA, portB int) bool {
+		return deadSet[topology.LinkID{Switch: a, Port: portA}] ||
+			deadSet[topology.LinkID{Switch: b, Port: portB}]
+	}
+	n := w * h
+	visited := make([]bool, n)
+	queue := []int{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		x, y := i%w, i/w
+		try := func(j int, ok bool) {
+			if ok && !visited[j] {
+				visited[j] = true
+				count++
+				queue = append(queue, j)
+			}
+		}
+		try(i+1, x+1 < w && !cut(i, i+1, topology.PortEast, topology.PortWest))
+		try(i-1, x > 0 && !cut(i-1, i, topology.PortEast, topology.PortWest))
+		try(i+w, y+1 < h && !cut(i, i+w, topology.PortSouth, topology.PortNorth))
+		try(i-w, y > 0 && !cut(i-w, i, topology.PortSouth, topology.PortNorth))
+	}
+	return count == n
+}

@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"testing"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/icrc"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+	"ibasec/internal/topology"
+)
+
+func mkPkt(src, dst packet.LID) *packet.Packet {
+	p := &packet.Packet{
+		LRH:     packet.LRH{SLID: src, DLID: dst},
+		BTH:     packet.BTH{OpCode: packet.UDSendOnly, PKey: 0x8001, DestQP: 1},
+		DETH:    &packet.DETH{QKey: 1, SrcQP: 1},
+		Payload: make([]byte, 64),
+	}
+	if err := icrc.Seal(p); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	a := Chaos(42, 4, 4, 3, 100*sim.Microsecond, sim.Millisecond)
+	b := Chaos(42, 4, 4, 3, 100*sim.Microsecond, sim.Millisecond)
+	if len(a.Links) != 3 || len(b.Links) != 3 {
+		t.Fatalf("drew %d and %d kills, want 3", len(a.Links), len(b.Links))
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("kill %d differs across identical seeds: %+v vs %+v", i, a.Links[i], b.Links[i])
+		}
+	}
+	c := Chaos(43, 4, 4, 3, 100*sim.Microsecond, sim.Millisecond)
+	same := true
+	for i := range a.Links {
+		if a.Links[i] != c.Links[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical plans")
+	}
+}
+
+// Chaos kills must leave the switch graph connected with every killed
+// link removed simultaneously, stay within the schedule window, never
+// touch an HCA uplink, and outages must resolve before the window ends
+// plus its own length (UpAt > DownAt always).
+func TestChaosPlanInvariants(t *testing.T) {
+	from, until := 200*sim.Microsecond, sim.Millisecond
+	for seed := int64(0); seed < 30; seed++ {
+		for _, kills := range []int{1, 2, 4} {
+			p := Chaos(seed, 4, 4, kills, from, until)
+			if len(p.Links) != kills {
+				t.Fatalf("seed %d: %d kills, want %d", seed, len(p.Links), kills)
+			}
+			if !meshConnectedWithout(4, 4, linksOf(p)) {
+				t.Fatalf("seed %d kills %d: plan partitions the mesh", seed, kills)
+			}
+			for _, lk := range p.Links {
+				if lk.Link.Port == topology.PortHCA {
+					t.Fatalf("seed %d: killed an HCA uplink", seed)
+				}
+				if lk.DownAt < from || lk.DownAt >= until {
+					t.Fatalf("seed %d: down at %v outside [%v, %v)", seed, lk.DownAt, from, until)
+				}
+				if lk.UpAt <= lk.DownAt {
+					t.Fatalf("seed %d: outage %v -> %v never ends", seed, lk.DownAt, lk.UpAt)
+				}
+				// Outages span [window/2, 3/4 window]: long enough that a
+				// periodic re-sweep samples the fabric mid-outage.
+				window := until - from
+				if out := lk.UpAt - lk.DownAt; out < window/2 || out > 3*window/4 {
+					t.Fatalf("seed %d: outage length %v outside [%v, %v]", seed, out, window/2, 3*window/4)
+				}
+			}
+		}
+	}
+}
+
+func linksOf(p *Plan) []topology.LinkID {
+	ids := make([]topology.LinkID, len(p.Links))
+	for i, lk := range p.Links {
+		ids[i] = lk.Link
+	}
+	return ids
+}
+
+func TestChaosZeroKills(t *testing.T) {
+	p := Chaos(7, 4, 4, 0, 0, sim.Millisecond)
+	if len(p.Links) != 0 || len(p.Switches) != 0 || len(p.BER) != 0 || p.MAD != nil {
+		t.Fatalf("empty chaos plan not empty: %+v", p)
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	s := sim.New()
+	m := topology.NewMesh(s, fabric.DefaultParams(), 2, 2)
+	bad := []*Plan{
+		{Links: []LinkKill{{Link: topology.LinkID{Switch: 9, Port: topology.PortEast}}}},
+		{Links: []LinkKill{{Link: topology.LinkID{Switch: 1, Port: topology.PortEast}}}}, // east boundary of a 2x2
+		{Switches: []SwitchKill{{Switch: -1}}},
+		{BER: []BERBurst{{Rate: 1.5}}},
+		{MAD: &MADLoss{DropProb: 2}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(m); err == nil {
+			t.Fatalf("bad plan %d validated", i)
+		}
+	}
+	good := &Plan{
+		Links:    []LinkKill{{Link: topology.LinkID{Switch: 0, Port: topology.PortEast}, DownAt: 1, UpAt: 2}},
+		Switches: []SwitchKill{{Switch: 3, DownAt: 1}},
+		BER:      []BERBurst{{Rate: 1e-6}},
+		MAD:      &MADLoss{DropProb: 0.5},
+	}
+	if err := good.Validate(m); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+// Installing a plan and letting it fire: a link kill blackholes traffic
+// queued across it and the count is visible through Blackholed.
+func TestInstallLinkKillBlackholes(t *testing.T) {
+	s := sim.New()
+	m := topology.NewMesh(s, fabric.DefaultParams(), 2, 2)
+	p := &Plan{Links: []LinkKill{{
+		Link:   topology.LinkID{Switch: 0, Port: topology.PortEast},
+		DownAt: 10 * sim.Microsecond,
+	}}}
+	if _, err := Install(s, m, fabric.DefaultParams(), p); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic from node 0 to node 1 crosses the doomed link; send one
+	// packet before the kill (delivered) and some after (blackholed).
+	m.HCA(0).PKeyTable.Add(0x8001)
+	m.HCA(1).PKeyTable.Add(0x8001)
+	delivered := 0
+	m.HCA(1).OnDeliver = func(d *fabric.Delivery) { delivered++ }
+	send := func() {
+		m.HCA(0).Send(&fabric.Delivery{
+			Pkt:   mkPkt(topology.LIDOf(0), topology.LIDOf(1)),
+			Class: fabric.ClassBestEffort, VL: fabric.VLBestEffort,
+		})
+	}
+	send()
+	s.ScheduleAt(20*sim.Microsecond, send)
+	s.ScheduleAt(30*sim.Microsecond, send)
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want only the pre-kill packet", delivered)
+	}
+	if n := Blackholed(m); n != 2 {
+		t.Fatalf("blackholed %d, want 2", n)
+	}
+}

@@ -218,6 +218,46 @@ func (c *Counters) String() string {
 	return b.String()
 }
 
+// Recorder combines a Welford accumulator with a histogram so a latency
+// series can report mean/stddev and tail quantiles together — the shape
+// the fault-recovery metrics need (mean detection latency, p99 recovery
+// time). The zero value is unusable; use NewRecorder.
+type Recorder struct {
+	Welford
+	hist *Histogram
+}
+
+// NewRecorder returns a recorder whose histogram spans [lo, hi) with
+// nbuckets equal-width buckets.
+func NewRecorder(lo, hi float64, nbuckets int) *Recorder {
+	return &Recorder{hist: NewHistogram(lo, hi, nbuckets)}
+}
+
+// Add records one sample in both collectors.
+func (r *Recorder) Add(x float64) {
+	r.Welford.Add(x)
+	r.hist.Add(x)
+}
+
+// Quantile estimates the q-quantile from the histogram, clamped to the
+// observed extrema so overflow samples cannot report beyond Max.
+func (r *Recorder) Quantile(q float64) float64 {
+	if r.N() == 0 {
+		return 0
+	}
+	v := r.hist.Quantile(q)
+	if v < r.Min() {
+		v = r.Min()
+	}
+	if v > r.Max() {
+		v = r.Max()
+	}
+	return v
+}
+
+// P99 is Quantile(0.99).
+func (r *Recorder) P99() float64 { return r.Quantile(0.99) }
+
 // LatencySplit aggregates the two delay components the paper reports per
 // traffic class: HCA queuing delay and network latency (section 3.1).
 type LatencySplit struct {

@@ -296,9 +296,11 @@ type DiscoveredTopology struct {
 	CAs      []*DiscoveredNode
 	// Edges maps a switch GUID and egress port to the neighbour GUID.
 	Edges map[uint64]map[int]uint64
-	// Probes counts SMPs sent; Timeouts counts unanswered probes (dead
-	// ports).
+	// Probes counts SMPs issued; Retries counts retransmissions of
+	// probes whose earlier attempts went unanswered; Timeouts counts
+	// probes that stayed unanswered after every retry (dead ports).
 	Probes   int
+	Retries  int
 	Timeouts int
 }
 
@@ -308,6 +310,33 @@ type Discoverer struct {
 	hca     *fabric.HCA
 	mkey    keys.MKey
 	timeout sim.Time
+
+	// MaxRetries bounds how many times a lost or timed-out SMP is
+	// retransmitted before the probe is declared dead; the per-attempt
+	// deadline doubles each retry. SMPs are unacknowledged datagrams, so
+	// without retries a single MAD loss (congestion, injected fault)
+	// permanently hides a live subtree from the sweep.
+	MaxRetries int
+
+	// SetTimeoutMult scales the probe timeout for Set operations (which
+	// queue back to back on the SM's uplink and must not be misread as
+	// dead ports); zero means the default factor of 100. A re-sweeping
+	// SM lowers this so a lost Set retries quickly.
+	SetTimeoutMult int
+
+	// Pins maps CA GUIDs to LIDs that must be preserved across sweeps.
+	// Unpinned CAs receive the lowest free LIDs in discovery order; with
+	// no pins that is the classic sequential 1, 2, ... assignment. A
+	// re-sweeping SM pins every previously assigned LID so healing a
+	// fabric never renumbers live endpoints.
+	Pins map[uint64]packet.LID
+
+	// KnownEdges, when non-nil, is the edge set of the last healthy view
+	// of the fabric; OnLostEdge fires each time a probe across one of
+	// those edges terminally times out during the current sweep — the
+	// earliest in-band signal that a link or its far-side device died.
+	KnownEdges map[uint64]map[int]uint64
+	OnLostEdge func(fromGUID uint64, port int)
 
 	pending map[uint32]*probe
 	txSeq   uint32
@@ -361,33 +390,65 @@ func (d *Discoverer) deliver(dv *fabric.Delivery) {
 }
 
 // send issues one SMP and registers its callback; cb receives status
-// 0xFF on timeout. Discovery probes use the short dead-port timeout;
-// configuration Sets — hundreds of which are issued back to back and
-// queue behind one another on the SM's uplink — use a generous deadline
-// so a slow acknowledgement is not misread as a dead port.
+// 0xFF when every attempt times out. Discovery probes use the short
+// dead-port timeout; configuration Sets — hundreds of which are issued
+// back to back and queue behind one another on the SM's uplink — use a
+// generous deadline so a slow acknowledgement is not misread as a dead
+// port. An unanswered attempt is retransmitted up to MaxRetries times
+// with the deadline doubling each attempt (exponential backoff), so a
+// single lost MAD cannot hide a live subtree; only the terminal failure
+// counts as a Timeout.
 func (d *Discoverer) send(method, attr byte, path []byte, data []byte, cb func(status byte, data, retPath []byte)) {
+	d.sendN(method, attr, path, data, d.MaxRetries, cb)
+}
+
+// sendN is send with an explicit retry budget for this one SMP.
+func (d *Discoverer) sendN(method, attr byte, path []byte, data []byte, maxRetries int, cb func(status byte, data, retPath []byte)) {
 	if len(path) > smpMaxHops {
 		panic("sm: directed route exceeds max hops")
 	}
 	timeout := d.timeout
 	if method == smpMethodSet {
-		timeout = d.timeout * 100
+		mult := d.SetTimeoutMult
+		if mult <= 0 {
+			mult = 100
+		}
+		timeout = d.timeout * sim.Time(mult)
 	}
 	d.txSeq++
 	txID := d.txSeq
 	pl := newSMP(method, attr, txID, d.mkey, path)
 	copy(pl[smpOffData:], data)
 	pr := &probe{cb: cb}
-	pr.timer = d.sim.Schedule(timeout, func() {
-		if _, still := d.pending[txID]; still {
+	d.pending[txID] = pr
+	d.topo.Probes++
+
+	// Transit switches mutate the SMP payload in place (hop pointer,
+	// return path), so every attempt transmits a fresh copy.
+	xmit := func() {
+		d.hca.Send(smpDelivery(d.hca.LID(), append([]byte(nil), pl...)))
+	}
+	attempt := 0
+	var arm func()
+	arm = func() {
+		pr.timer = d.sim.Schedule(timeout<<uint(attempt), func() {
+			if _, still := d.pending[txID]; !still {
+				return
+			}
+			if attempt < maxRetries {
+				attempt++
+				d.topo.Retries++
+				xmit()
+				arm()
+				return
+			}
 			delete(d.pending, txID)
 			d.topo.Timeouts++
 			cb(0xFF, nil, nil)
-		}
-	})
-	d.pending[txID] = pr
-	d.topo.Probes++
-	d.hca.Send(smpDelivery(d.hca.LID(), pl))
+		})
+	}
+	arm()
+	xmit()
 }
 
 // Discover sweeps the fabric, assigns sequential LIDs to every CA,
@@ -400,22 +461,69 @@ func (d *Discoverer) send(method, attr byte, path []byte, data []byte, cb func(s
 // not guaranteed deadlock-free under sustained saturation, so the
 // measured experiments all run on the static DOR configuration.
 func (d *Discoverer) Discover(done func(*DiscoveredTopology)) {
+	d.Probe(func(*DiscoveredTopology) { d.configure(done) })
+}
+
+// Probe runs the discovery sweep only — no LID assignment, no route
+// programming — and reports the discovered graph. A re-sweeping SM
+// probes every period but only pays for configuration when the graph
+// actually changed.
+func (d *Discoverer) Probe(done func(*DiscoveredTopology)) {
 	// Start with the switch the SM's HCA is attached to (empty path).
-	d.probeNode(nil, 0, 0, func() { d.configure(done) })
+	d.probeNode(nil, 0, 0, func() { done(d.topo) })
+}
+
+// Configure assigns LIDs and programs routes from the last completed
+// sweep, honouring Pins.
+func (d *Discoverer) Configure(done func(*DiscoveredTopology)) { d.configure(done) }
+
+// Reset clears sweep state so the Discoverer can sweep the fabric again.
+// The delivery hook installed at construction is reused, so repeated
+// sweeps do not grow the HCA's delivery chain; txIDs stay monotonic
+// across sweeps, so a straggler response from a previous sweep can never
+// complete a new probe.
+func (d *Discoverer) Reset() {
+	for _, pr := range d.pending {
+		d.sim.Cancel(pr.timer)
+	}
+	d.pending = make(map[uint32]*probe)
+	d.seen = make(map[uint64]*DiscoveredNode)
+	d.topo = &DiscoveredTopology{Edges: make(map[uint64]map[int]uint64)}
 }
 
 // probeNode probes the element at path; fromGUID/fromPort identify the
 // switch edge that led here (0 for the root). onQuiesce fires when no
 // probes remain outstanding.
 func (d *Discoverer) probeNode(path []byte, fromGUID uint64, fromPort int, onQuiesce func()) {
-	d.send(smpMethodGet, smpAttrNodeInfo, path, nil, func(status byte, data, retPath []byte) {
+	// Re-sweeps give the full retry budget only to edges that were alive
+	// at the last healthy view: there a silent probe likely means MAD
+	// loss and a retry protects a live subtree from being misdeclared
+	// dead. A port with no known neighbour is almost always simply
+	// unconnected (mesh boundary), and retrying every one of those each
+	// sweep would stretch the sweep past its period — a rare lost probe
+	// on a newly cabled port just gets picked up one period later.
+	retries := d.MaxRetries
+	if d.KnownEdges != nil && fromGUID != 0 {
+		if _, known := d.KnownEdges[fromGUID][fromPort]; !known {
+			retries = 0
+		}
+	}
+	d.sendN(smpMethodGet, smpAttrNodeInfo, path, nil, retries, func(status byte, data, retPath []byte) {
 		defer func() {
 			if len(d.pending) == 0 {
 				onQuiesce()
 			}
 		}()
 		if status != smpStatusOK {
-			return // dead port or refused
+			// Dead port or refused. A terminal timeout across an edge the
+			// SM knew to be alive is the detection signal for a failed
+			// link or device.
+			if status == 0xFF && d.OnLostEdge != nil && fromGUID != 0 {
+				if _, known := d.KnownEdges[fromGUID][fromPort]; known {
+					d.OnLostEdge(fromGUID, fromPort)
+				}
+			}
+			return
 		}
 		guid := binary.BigEndian.Uint64(data[2:])
 		if fromGUID != 0 {
@@ -474,9 +582,24 @@ func (d *Discoverer) probeNode(path []byte, fromGUID uint64, fromPort int, onQui
 // configure assigns LIDs and programs routes, then reports.
 func (d *Discoverer) configure(done func(*DiscoveredTopology)) {
 	topo := d.topo
-	// Deterministic ordering: CAs in discovery order get LIDs 1, 2, ...
-	for i, ca := range topo.CAs {
-		ca.LID = packet.LID(i + 1)
+	// Deterministic ordering: pinned CAs keep their LIDs; the rest get
+	// the lowest free LIDs in discovery order. With no pins this is the
+	// classic sequential assignment 1, 2, ...
+	used := make(map[packet.LID]bool, len(d.Pins))
+	for _, lid := range d.Pins {
+		used[lid] = true
+	}
+	free := packet.LID(1)
+	for _, ca := range topo.CAs {
+		if lid, ok := d.Pins[ca.GUID]; ok {
+			ca.LID = lid
+			continue
+		}
+		for used[free] {
+			free++
+		}
+		ca.LID = free
+		used[free] = true
 	}
 	// Locate each CA's attachment: the switch+port whose edge points at
 	// the CA's GUID.
@@ -554,59 +677,21 @@ func (d *Discoverer) configure(done func(*DiscoveredTopology)) {
 	finish() // release the hold
 }
 
-// computeNextHops runs BFS over the switch graph: nextHop[src][dst] is
-// the egress port at src on a shortest path to dst.
+// computeNextHops runs BFS over the discovered switch graph:
+// nextHop[src][dst] is the egress port at src on a shortest path to dst.
+// The BFS itself is the shared deterministic implementation in
+// internal/topology, which breaks equal-length ties by lowest port —
+// matching the sweep's ascending-port probe order.
 func (d *Discoverer) computeNextHops() map[uint64]map[uint64]int {
-	// Adjacency between switches only, in ascending port order so route
-	// computation (and therefore the whole sweep) is deterministic.
-	adj := make(map[uint64][]struct {
-		port int
-		nbr  uint64
-	})
+	g := make(topology.SwitchGraph, len(d.topo.Switches))
 	for _, sw := range d.topo.Switches {
-		edges := d.topo.Edges[sw.GUID]
-		for port := 0; port < sw.NumPorts; port++ {
-			nbr, ok := edges[port]
-			if !ok {
-				continue
-			}
+		edges := make(map[int]uint64)
+		for port, nbr := range d.topo.Edges[sw.GUID] {
 			if n := d.seen[nbr]; n != nil && n.IsSwitch {
-				adj[sw.GUID] = append(adj[sw.GUID], struct {
-					port int
-					nbr  uint64
-				}{port, nbr})
+				edges[port] = nbr
 			}
 		}
+		g[sw.GUID] = edges
 	}
-	next := make(map[uint64]map[uint64]int)
-	for _, src := range d.topo.Switches {
-		next[src.GUID] = make(map[uint64]int)
-		// BFS from src; firstPort[g] = egress port at src on the path
-		// to g.
-		visited := map[uint64]bool{src.GUID: true}
-		type qe struct {
-			guid      uint64
-			firstPort int
-		}
-		var queue []qe
-		for _, e := range adj[src.GUID] {
-			if !visited[e.nbr] {
-				visited[e.nbr] = true
-				next[src.GUID][e.nbr] = e.port
-				queue = append(queue, qe{e.nbr, e.port})
-			}
-		}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, e := range adj[cur.guid] {
-				if !visited[e.nbr] {
-					visited[e.nbr] = true
-					next[src.GUID][e.nbr] = cur.firstPort
-					queue = append(queue, qe{e.nbr, cur.firstPort})
-				}
-			}
-		}
-	}
-	return next
+	return topology.NextHops(g)
 }

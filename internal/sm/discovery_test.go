@@ -172,6 +172,66 @@ func TestDiscoveryRejectedWithoutMKey(t *testing.T) {
 	}
 }
 
+// A lossy management plane: a transit switch deterministically drops a
+// quarter of the early SMPs crossing it. With bounded retransmission the
+// sweep still finds every node and only genuinely dead ports count as
+// timeouts; without retries the same loss pattern visibly degrades the
+// sweep — lost probes either hide nodes or inflate the timeout count.
+func TestDiscoveryRetriesThroughMADLoss(t *testing.T) {
+	sweep := func(maxRetries int, lossy bool) *DiscoveredTopology {
+		s := sim.New()
+		mesh := topology.NewBlankMesh(s, fabric.DefaultParams(), 4, 4)
+		AttachSwitchAgents(mesh, discMKey)
+		for _, hca := range mesh.HCAs {
+			AttachNodeAgent(hca, discMKey)
+		}
+		if lossy {
+			var seen int
+			drop := map[int]bool{2: true, 9: true, 23: true, 31: true}
+			mesh.Switches[5].SetMADTap(func(sw *fabric.Switch, d *fabric.Delivery) (bool, sim.Time) {
+				seen++
+				return drop[seen], 0
+			})
+		}
+		disc := NewDiscoverer(s, mesh.HCA(0), discMKey, 50*sim.Microsecond)
+		disc.MaxRetries = maxRetries
+		disc.SetTimeoutMult = 10
+		var topo *DiscoveredTopology
+		disc.Discover(func(tp *DiscoveredTopology) { topo = tp })
+		s.Run()
+		if topo == nil {
+			t.Fatal("discovery never completed")
+		}
+		return topo
+	}
+
+	// On a lossless fabric the only retries are dead-port probes burning
+	// their full budget before the terminal timeout.
+	clean := sweep(2, false)
+	if clean.Retries != 2*clean.Timeouts {
+		t.Fatalf("clean sweep: %d retries for %d dead ports", clean.Retries, clean.Timeouts)
+	}
+
+	retried := sweep(2, true)
+	if retried.Retries <= clean.Retries {
+		t.Fatalf("MAD loss produced no extra retries (%d vs %d clean)",
+			retried.Retries, clean.Retries)
+	}
+	if len(retried.Switches) != 16 || len(retried.CAs) != 16 {
+		t.Fatalf("lossy sweep with retries found %d switches, %d CAs",
+			len(retried.Switches), len(retried.CAs))
+	}
+	if retried.Timeouts != clean.Timeouts {
+		t.Fatalf("timeouts %d with retries, want %d (dead ports only)",
+			retried.Timeouts, clean.Timeouts)
+	}
+
+	bare := sweep(0, true)
+	if len(bare.Switches) == 16 && len(bare.CAs) == 16 && bare.Timeouts == clean.Timeouts {
+		t.Fatal("sweep without retries unaffected by MAD loss; loss injection broken")
+	}
+}
+
 // Discovery is deterministic: two sweeps of identical fabrics assign
 // identical LIDs.
 func TestDiscoveryDeterministic(t *testing.T) {

@@ -1,0 +1,201 @@
+package sm
+
+import (
+	"ibasec/internal/metrics"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+	"ibasec/internal/topology"
+)
+
+// Resweeper upgrades the one-shot Discoverer into the periodic
+// self-healing control loop a real Subnet Manager runs (IBA 14.4.5): it
+// re-sweeps the fabric every period, detects links and devices that died
+// since the last healthy view (their probes terminally time out),
+// recomputes shortest-path routes around the damage, and reprograms the
+// surviving switches' forwarding tables in-band — all with the LIDs of
+// surviving endpoints pinned, so live connections are never renumbered
+// while they ride out the outage on transport-level retransmission.
+//
+// A sweep that finds the graph unchanged costs only the probe SMPs; LID
+// assignment and route programming are paid only on change.
+type Resweeper struct {
+	sim    *sim.Simulator
+	disc   *Discoverer
+	period sim.Time
+
+	edges map[uint64]map[int]uint64 // last adopted (healthy) edge set
+	pins  map[uint64]packet.LID
+
+	sweeping bool
+	sweeps   uint64
+	stop     func()
+
+	// Counters: sweeps, sweeps_skipped (previous sweep still running),
+	// detections, lost_links, restored_links, reroutes.
+	Counters *metrics.Counters
+	// SweepLatency records each probe phase's duration in microseconds.
+	SweepLatency *metrics.Recorder
+	// RerouteLatency records, for each sweep that changed the graph, the
+	// microseconds from detection (first lost-edge timeout, or sweep end
+	// for pure restorations) to the moment every surviving switch's
+	// forwarding table was reprogrammed.
+	RerouteLatency *metrics.Recorder
+	// OnEvent, when non-nil, receives a HealEvent after every sweep that
+	// changed the graph and completed reconfiguration.
+	OnEvent func(HealEvent)
+}
+
+// HealEvent reports one completed healing round.
+type HealEvent struct {
+	Sweep      uint64   // ordinal of the sweep that saw the change
+	LostEdges  int      // directed edges present before, gone now
+	NewEdges   int      // directed edges new in this sweep (restorations)
+	DetectedAt sim.Time // first terminal timeout on a known edge (0: none)
+	HealedAt   sim.Time // all surviving switches reprogrammed
+}
+
+// NewResweeper wraps an existing Discoverer (whose delivery hook is
+// reused across sweeps) in a periodic healing loop.
+func NewResweeper(s *sim.Simulator, disc *Discoverer, period sim.Time) *Resweeper {
+	if period <= 0 {
+		panic("sm: non-positive resweep period")
+	}
+	return &Resweeper{
+		sim:            s,
+		disc:           disc,
+		period:         period,
+		edges:          make(map[uint64]map[int]uint64),
+		pins:           make(map[uint64]packet.LID),
+		Counters:       metrics.NewCounters(),
+		SweepLatency:   metrics.NewRecorder(0, 10_000, 200),
+		RerouteLatency: metrics.NewRecorder(0, 10_000, 200),
+	}
+}
+
+// PrimeStatic seeds the healthy view and LID pins from a statically
+// configured mesh, so the first periodic sweep diffs against the real
+// initial fabric instead of adopting whatever it happens to find.
+func (r *Resweeper) PrimeStatic(m *topology.Mesh) {
+	r.edges = map[uint64]map[int]uint64(m.EdgeGUIDs())
+	for _, h := range m.HCAs {
+		r.pins[h.GUID()] = h.LID()
+	}
+}
+
+// Prime seeds the healthy view and pins from a completed discovery
+// sweep (the in-band bring-up path).
+func (r *Resweeper) Prime(topo *DiscoveredTopology) {
+	r.edges = copyEdges(topo.Edges)
+	for _, ca := range topo.CAs {
+		r.pins[ca.GUID] = ca.LID
+	}
+}
+
+// Start begins periodic sweeping; Stop cancels it.
+func (r *Resweeper) Start() {
+	if r.stop != nil {
+		return
+	}
+	r.stop = r.sim.Every(r.period, r.tick)
+}
+
+// Stop cancels the periodic sweep.
+func (r *Resweeper) Stop() {
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+}
+
+// Edges returns the last adopted edge set (for tests and diagnostics).
+func (r *Resweeper) Edges() map[uint64]map[int]uint64 { return r.edges }
+
+func (r *Resweeper) tick() {
+	if r.sweeping {
+		r.Counters.Inc("sweeps_skipped", 1)
+		return
+	}
+	r.sweeping = true
+	r.sweeps++
+	sweep := r.sweeps
+	r.Counters.Inc("sweeps", 1)
+	start := r.sim.Now()
+
+	r.disc.Reset()
+	r.disc.Pins = r.pins
+	r.disc.KnownEdges = r.edges
+	var detectedAt sim.Time
+	r.disc.OnLostEdge = func(uint64, int) {
+		if detectedAt == 0 {
+			detectedAt = r.sim.Now()
+			r.Counters.Inc("detections", 1)
+		}
+	}
+	r.disc.Probe(func(topo *DiscoveredTopology) {
+		r.SweepLatency.Add((r.sim.Now() - start).Microseconds())
+		lost, gained := diffEdges(r.edges, topo.Edges)
+		if lost == 0 && gained == 0 {
+			r.sweeping = false
+			return
+		}
+		r.Counters.Inc("lost_links", uint64(lost))
+		r.Counters.Inc("restored_links", uint64(gained))
+		if detectedAt == 0 {
+			// Pure restoration: nothing timed out, the change is only
+			// visible once the sweep completes.
+			detectedAt = r.sim.Now()
+		}
+		r.disc.Configure(func(topo *DiscoveredTopology) {
+			healed := r.sim.Now()
+			r.Counters.Inc("reroutes", 1)
+			r.RerouteLatency.Add((healed - detectedAt).Microseconds())
+			for _, ca := range topo.CAs {
+				r.pins[ca.GUID] = ca.LID
+			}
+			r.edges = copyEdges(topo.Edges)
+			r.sweeping = false
+			if r.OnEvent != nil {
+				r.OnEvent(HealEvent{
+					Sweep:      sweep,
+					LostEdges:  lost,
+					NewEdges:   gained,
+					DetectedAt: detectedAt,
+					HealedAt:   healed,
+				})
+			}
+		})
+	})
+}
+
+// diffEdges counts directed edges in old-but-not-new (lost) and
+// new-but-not-old (gained).
+func diffEdges(old, new map[uint64]map[int]uint64) (lost, gained int) {
+	for g, ports := range old {
+		for p, nbr := range ports {
+			if new[g][p] != nbr {
+				lost++
+			}
+		}
+	}
+	for g, ports := range new {
+		for p, nbr := range ports {
+			if old[g][p] != nbr {
+				gained++
+			}
+		}
+	}
+	return lost, gained
+}
+
+// copyEdges deep-copies an edge set.
+func copyEdges(e map[uint64]map[int]uint64) map[uint64]map[int]uint64 {
+	out := make(map[uint64]map[int]uint64, len(e))
+	for g, ports := range e {
+		m := make(map[int]uint64, len(ports))
+		for p, nbr := range ports {
+			m[p] = nbr
+		}
+		out[g] = m
+	}
+	return out
+}

@@ -48,6 +48,11 @@ type rcState struct {
 	recovering bool
 	// Responder side.
 	ePSN uint32 // next expected PSN
+	// gotAny records that at least one in-order request was delivered,
+	// so (ePSN-1) names a real PSN that a duplicate or gap can be
+	// re-acknowledged with. ePSN == 0 alone cannot distinguish a fresh
+	// responder from one whose sequence wrapped past 0xFFFFFF.
+	gotAny bool
 }
 
 type pendingSend struct {
@@ -152,24 +157,25 @@ func (e *Endpoint) handleRCRequest(q *QP, p *packet.Packet, d *fabric.Delivery) 
 	switch {
 	case p.BTH.PSN == st.ePSN:
 		st.ePSN = (st.ePSN + 1) & 0xFFFFFF
+		st.gotAny = true
 		// An RDMA read is acknowledged by its response (IBA 9.7.5.1.5);
 		// everything else gets an explicit cumulative ACK.
 		if p.BTH.OpCode != packet.RCRDMAReadReq {
 			e.sendAck(q, p.BTH.PSN)
 		}
 		return true
-	case psnBefore(p.BTH.PSN, st.ePSN):
+	case st.gotAny && psnBefore(p.BTH.PSN, st.ePSN):
 		// Duplicate of an already-delivered request: re-acknowledge,
 		// do not re-deliver.
 		e.Counters.Inc("rc_duplicates", 1)
 		e.sendAck(q, (st.ePSN-1)&0xFFFFFF)
 		return false
 	default:
-		// Gap (an earlier request was discarded en route): drop and
-		// re-acknowledge the last in-order PSN so the requester goes
-		// back.
+		// Gap (an earlier request was discarded en route): drop and,
+		// when anything was delivered at all, re-acknowledge the last
+		// in-order PSN so the requester goes back.
 		e.Counters.Inc("rc_out_of_order", 1)
-		if st.ePSN != 0 {
+		if st.gotAny {
 			e.sendAck(q, (st.ePSN-1)&0xFFFFFF)
 		}
 		return false

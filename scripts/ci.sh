@@ -31,4 +31,11 @@ for f in "$tmp"/csv/*.csv; do
   diff "$f" "$tmp/csv2/$base"
 done
 
+echo "== ibsim faults -quick (chaos smoke under the race detector)"
+# Deterministic fault injection end to end: link kills + BER burst vs
+# the self-healing re-sweep, on a race-instrumented binary, checked
+# byte-for-byte against the committed golden CSV.
+go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/chaos" faults -bers 0,1e-5 -kills 0,2 >"$tmp/chaos.out"
+diff testdata/golden/faults_quick.csv "$tmp/chaos/faults.csv"
+
 echo "CI OK"
