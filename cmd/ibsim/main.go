@@ -24,7 +24,10 @@
 // simulation points, default GOMAXPROCS), -results <dir> (append-only
 // JSON-lines result manifest, default "results"; empty disables it),
 // -resume (skip points already completed in the manifest — lets an
-// interrupted `ibsim all` pick up where it stopped).
+// interrupted `ibsim all` pick up where it stopped), -cpuprofile /
+// -memprofile (write pprof profiles covering the whole run — profile
+// the simulator hot path with e.g.
+// `ibsim -cpuprofile cpu.pprof -jobs 1 fig5`).
 package main
 
 import (
@@ -36,6 +39,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -53,6 +58,8 @@ var (
 	jobs       = flag.Int("jobs", 0, "parallel simulation points per sweep (0 = GOMAXPROCS)")
 	resultsDir = flag.String("results", "results", "directory for the result manifest; empty disables persistence")
 	resume     = flag.Bool("resume", false, "skip points already completed in the result manifest")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 )
 
 // runCtx and pool are the run-wide cancellation context and worker pool
@@ -86,6 +93,12 @@ func writeCSV(name string, header []string, rows [][]string) error {
 	return w.Error()
 }
 
+// writeTable dumps a rendered experiment table to <csvDir>/<Name>.csv
+// when -csv is set.
+func writeTable(t ibasec.CSVTable) error {
+	return writeCSV(t.Name, t.Header, t.Rows)
+}
+
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 func itoa(v uint64) string  { return strconv.FormatUint(v, 10) }
 
@@ -111,10 +124,44 @@ var sweepCommands = map[string]bool{
 
 func main() {
 	flag.Parse()
+	os.Exit(run())
+}
+
+// run carries the real main body; it returns the exit code instead of
+// calling os.Exit so the deferred profile writers always flush.
+func run() int {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
+			}
+		}()
+	}
+
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	args := flag.Args()[1:]
 
@@ -132,7 +179,7 @@ func main() {
 		store, err = ibasec.OpenManifest(filepath.Join(*resultsDir, "manifest.jsonl"), label, *resume)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer store.Close()
 	}
@@ -175,15 +222,13 @@ func main() {
 		err = runAll()
 	default:
 		fmt.Fprintf(os.Stderr, "ibsim: unknown command %q\n", cmd)
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
-		if store != nil {
-			store.Close() // os.Exit skips the deferred close
-		}
 		fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func runConfig() error {
@@ -226,17 +271,12 @@ func runFig1(args []string) error {
 		fmt.Printf("Figure 1(%s). Average queuing time & network latency under DoS (%s traffic)\n",
 			map[ibasec.Class]string{ibasec.ClassRealtime: "a", ibasec.ClassBestEffort: "b"}[class], name)
 		fmt.Println("  attackers   queuing(us)   sd      network(us)   sd      delivered   attack-pkts")
-		var csvRows [][]string
 		for _, r := range rows {
 			fmt.Printf("  %9d   %11.2f   %-6.1f  %11.2f   %-6.1f  %9d   %d\n",
 				r.Attackers, r.QueuingUS, r.QueuingSD, r.NetworkUS, r.NetworkSD, r.Delivered, r.AttackHits)
-			csvRows = append(csvRows, []string{
-				itoa(uint64(r.Attackers)), ftoa(r.QueuingUS), ftoa(r.QueuingSD),
-				ftoa(r.NetworkUS), ftoa(r.NetworkSD), itoa(r.Delivered), itoa(r.AttackHits),
-			})
 		}
 		fmt.Println()
-		return writeCSV("fig1_"+name, []string{"attackers", "queuing_us", "queuing_sd", "network_us", "network_sd", "delivered", "attack_pkts"}, csvRows)
+		return writeTable(ibasec.Fig1CSV("fig1_"+name, rows))
 	}
 	if *classFlag == "rt" || *classFlag == "both" {
 		if err := show("realtime", ibasec.ClassRealtime); err != nil {
@@ -264,16 +304,11 @@ func runFig5(args []string) error {
 	}
 	fmt.Printf("Figure 5. Delay comparison among No Filtering, DPT, IF, SIF (4 attackers, %.0f%% duty)\n", *duty*100)
 	fmt.Println("  load   mode         queuing(us)  network(us)  total(us)  sd(q)    filtered  leaked")
-	var csvRows [][]string
 	for _, r := range rows {
 		fmt.Printf("  %3.0f%%   %-11s  %11.2f  %11.2f  %9.2f  %-7.1f  %8d  %d\n",
 			r.Load*100, r.Mode, r.QueuingUS, r.NetworkUS, r.TotalUS, r.QueuingSD, r.Dropped, r.AttackHits)
-		csvRows = append(csvRows, []string{
-			ftoa(r.Load), r.Mode.String(), ftoa(r.QueuingUS), ftoa(r.NetworkUS),
-			ftoa(r.TotalUS), ftoa(r.QueuingSD), itoa(r.Dropped), itoa(r.AttackHits),
-		})
 	}
-	return writeCSV("fig5", []string{"load", "mode", "queuing_us", "network_us", "total_us", "queuing_sd", "filtered", "leaked"}, csvRows)
+	return writeTable(ibasec.Fig5CSV(rows))
 }
 
 func runFig6(args []string) error {
@@ -292,7 +327,6 @@ func runFig6(args []string) error {
 	}
 	fmt.Printf("Figure 6. Message authentication overhead with key initialization (%v keys)\n", level)
 	fmt.Println("  load   keys     queuing(us)  sd       network(us)  sd       key-exchanges  signed")
-	var csvRows [][]string
 	for _, r := range rows {
 		label := "No Key"
 		if r.WithKey {
@@ -300,12 +334,8 @@ func runFig6(args []string) error {
 		}
 		fmt.Printf("  %3.0f%%   %-8s %11.2f  %-7.1f  %11.2f  %-7.1f  %13d  %d\n",
 			r.Load*100, label, r.QueuingUS, r.QueuingSD, r.NetworkUS, r.NetworkSD, r.KeyExchanges, r.PacketsSigned)
-		csvRows = append(csvRows, []string{
-			ftoa(r.Load), label, ftoa(r.QueuingUS), ftoa(r.QueuingSD),
-			ftoa(r.NetworkUS), ftoa(r.NetworkSD), itoa(r.KeyExchanges), itoa(r.PacketsSigned),
-		})
 	}
-	return writeCSV("fig6", []string{"load", "keys", "queuing_us", "queuing_sd", "network_us", "network_sd", "key_exchanges", "signed"}, csvRows)
+	return writeTable(ibasec.Fig6CSV(rows))
 }
 
 func runTable2(args []string) error {
@@ -494,25 +524,12 @@ func runFaults(args []string) error {
 	}
 	fmt.Println("Chaos. Deterministic link kills + BER bursts vs the self-healing SM")
 	fmt.Println("  mode  ber      kills  delivered  blackholed  hoq-drop  crc-rej  rc-del/sent  rc-p99(us)  detect(us)  reroute(us)  sweeps")
-	var csvRows [][]string
 	for _, r := range rows {
 		fmt.Printf("  %-4s  %-7g  %5d  %8.4f%%  %10d  %8d  %7d  %5d/%-5d  %10.1f  %10.1f  %11.1f  %d\n",
 			r.Mode, r.BER, r.LinkKills, r.DeliveredFrac*100, r.Blackholed, r.HOQDropped, r.CRCRejected,
 			r.RCDelivered, r.RCSent, r.RCLatencyP99US, r.DetectUS, r.RerouteUS, r.Resweeps)
-		csvRows = append(csvRows, []string{
-			r.Mode.String(), strconv.FormatFloat(r.BER, 'g', -1, 64), itoa(uint64(r.LinkKills)),
-			itoa(r.Sent), itoa(r.Delivered), ftoa(r.DeliveredFrac),
-			itoa(r.Blackholed), itoa(r.HOQDropped), itoa(r.CRCRejected), itoa(r.AuthRejected),
-			itoa(r.RCSent), itoa(r.RCDelivered), itoa(r.RCBroken), ftoa(r.RCLatencyP99US),
-			ftoa(r.DetectUS), ftoa(r.RerouteUS), itoa(r.Resweeps), itoa(r.Reroutes),
-		})
 	}
-	return writeCSV("faults", []string{
-		"mode", "ber", "kills", "sent", "delivered", "delivered_frac",
-		"blackholed", "hoq_dropped", "crc_rejected", "auth_rejected",
-		"rc_sent", "rc_delivered", "rc_broken", "rc_p99_us",
-		"detect_us", "reroute_us", "resweeps", "reroutes",
-	}, csvRows)
+	return writeTable(ibasec.FaultsCSV(rows))
 }
 
 func runTrace(args []string) error {

@@ -1,0 +1,50 @@
+// End-to-end hot-path benchmark: a small cluster driven start to finish
+// through the public API, so one op covers the whole per-packet pipeline
+// — workload generation, transport seal, HCA injection, switch lookup +
+// VL arbitration, link serialization, CRC/auth verification, delivery.
+// scripts/bench.sh records its ns/op and allocs/op in BENCH_simcore.json
+// and scripts/ci.sh fails on a >25% regression against that baseline.
+package ibasec
+
+import "testing"
+
+// hotPathConfig is the fixed small fabric the hot-path benchmarks run:
+// 2x2 mesh, one partition, best-effort traffic at 60% load for 500 us.
+// Small enough that -benchtime=100x stays fast, busy enough that the
+// steady-state per-packet path dominates over cluster setup.
+func hotPathConfig(auth bool) Config {
+	cfg := DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 2, 2
+	cfg.NumPartitions = 1
+	cfg.Duration = 500 * Microsecond
+	cfg.Warmup = 50 * Microsecond
+	cfg.RealtimeLoad = 0
+	cfg.BestEffortLoad = 0.6
+	if auth {
+		cfg.Auth = AuthConfig{Enabled: true, FuncID: AuthUMAC32, Level: PartitionLevel}
+	}
+	return cfg
+}
+
+func benchHotPath(b *testing.B, auth bool) {
+	cfg := hotPathConfig(auth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DeliveredLegit == 0 {
+			b.Fatal("hot path delivered nothing")
+		}
+	}
+}
+
+// BenchmarkHotPath is the plain-ICRC data path (no authentication).
+func BenchmarkHotPath(b *testing.B) { benchHotPath(b, false) }
+
+// BenchmarkHotPathAuth signs and verifies every packet (UMAC-32 tags in
+// the ICRC field, partition-level keys), exercising the invariant-region
+// scratch path on top of the plain pipeline.
+func BenchmarkHotPathAuth(b *testing.B) { benchHotPath(b, true) }

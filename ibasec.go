@@ -317,3 +317,21 @@ func ScaleSweepCtx(ctx context.Context, pool *Pool, sizes [][2]int, base Config)
 func FaultsSweepCtx(ctx context.Context, pool *Pool, bers []float64, kills []int, base Config) ([]FaultRow, error) {
 	return core.FaultsSweepCtx(ctx, pool, bers, kills, base)
 }
+
+// CSVTable is one experiment's rows rendered for an encoding/csv writer.
+// The renderers below are the single source of truth for experiment CSV
+// formatting: cmd/ibsim and the golden-determinism tests both go through
+// them, so a golden diff can only mean the simulation itself changed.
+type CSVTable = core.CSVTable
+
+// Fig1CSV renders a Figure 1 sweep under the given table name.
+func Fig1CSV(name string, rows []Fig1Row) CSVTable { return core.Fig1CSV(name, rows) }
+
+// Fig5CSV renders the enforcement-mode delay comparison (Figure 5).
+func Fig5CSV(rows []Fig5Row) CSVTable { return core.Fig5CSV(rows) }
+
+// Fig6CSV renders the authentication-overhead sweep (Figure 6).
+func Fig6CSV(rows []Fig6Row) CSVTable { return core.Fig6CSV(rows) }
+
+// FaultsCSV renders the chaos sweep (link kills + BER bursts).
+func FaultsCSV(rows []FaultRow) CSVTable { return core.FaultsCSV(rows) }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSVTable is one experiment's rows rendered to strings, ready for an
+// encoding/csv writer. Rendering lives here — shared by cmd/ibsim and
+// the golden-determinism tests — so both necessarily produce the same
+// bytes for the same results: the golden files guard the simulator, not
+// two separately-maintained formatting paths.
+type CSVTable struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Ftoa renders a float the way every experiment CSV does (fixed four
+// decimal places).
+func Ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// Itoa renders an unsigned counter.
+func Itoa(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// Gtoa renders a float in compact %g form (used for exact parameter
+// echoes like bit-error rates, where fixed precision would lose digits).
+func Gtoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Encode writes the table in RFC-4180 form.
+func (t CSVTable) Encode(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Bytes returns the encoded table.
+func (t CSVTable) Bytes() []byte {
+	var buf bytes.Buffer
+	if err := t.Encode(&buf); err != nil {
+		panic(err) // bytes.Buffer cannot fail; a csv quoting bug would
+	}
+	return buf.Bytes()
+}
+
+// Fig1CSV renders a Figure 1 sweep. name distinguishes the realtime and
+// best-effort variants ("fig1_realtime", "fig1_best-effort").
+func Fig1CSV(name string, rows []Fig1Row) CSVTable {
+	t := CSVTable{
+		Name:   name,
+		Header: []string{"attackers", "queuing_us", "queuing_sd", "network_us", "network_sd", "delivered", "attack_pkts"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			Itoa(uint64(r.Attackers)), Ftoa(r.QueuingUS), Ftoa(r.QueuingSD),
+			Ftoa(r.NetworkUS), Ftoa(r.NetworkSD), Itoa(r.Delivered), Itoa(r.AttackHits),
+		})
+	}
+	return t
+}
+
+// Fig5CSV renders the enforcement-mode delay comparison (Figure 5).
+func Fig5CSV(rows []Fig5Row) CSVTable {
+	t := CSVTable{
+		Name:   "fig5",
+		Header: []string{"load", "mode", "queuing_us", "network_us", "total_us", "queuing_sd", "filtered", "leaked"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			Ftoa(r.Load), r.Mode.String(), Ftoa(r.QueuingUS), Ftoa(r.NetworkUS),
+			Ftoa(r.TotalUS), Ftoa(r.QueuingSD), Itoa(r.Dropped), Itoa(r.AttackHits),
+		})
+	}
+	return t
+}
+
+// Fig6CSV renders the authentication-overhead sweep (Figure 6).
+func Fig6CSV(rows []Fig6Row) CSVTable {
+	t := CSVTable{
+		Name:   "fig6",
+		Header: []string{"load", "keys", "queuing_us", "queuing_sd", "network_us", "network_sd", "key_exchanges", "signed"},
+	}
+	for _, r := range rows {
+		label := "No Key"
+		if r.WithKey {
+			label = "WithKey"
+		}
+		t.Rows = append(t.Rows, []string{
+			Ftoa(r.Load), label, Ftoa(r.QueuingUS), Ftoa(r.QueuingSD),
+			Ftoa(r.NetworkUS), Ftoa(r.NetworkSD), Itoa(r.KeyExchanges), Itoa(r.PacketsSigned),
+		})
+	}
+	return t
+}
+
+// FaultsCSV renders the chaos sweep (link kills + BER bursts).
+func FaultsCSV(rows []FaultRow) CSVTable {
+	t := CSVTable{
+		Name: "faults",
+		Header: []string{
+			"mode", "ber", "kills", "sent", "delivered", "delivered_frac",
+			"blackholed", "hoq_dropped", "crc_rejected", "auth_rejected",
+			"rc_sent", "rc_delivered", "rc_broken", "rc_p99_us",
+			"detect_us", "reroute_us", "resweeps", "reroutes",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), Gtoa(r.BER), Itoa(uint64(r.LinkKills)),
+			Itoa(r.Sent), Itoa(r.Delivered), Ftoa(r.DeliveredFrac),
+			Itoa(r.Blackholed), Itoa(r.HOQDropped), Itoa(r.CRCRejected), Itoa(r.AuthRejected),
+			Itoa(r.RCSent), Itoa(r.RCDelivered), Itoa(r.RCBroken), Ftoa(r.RCLatencyP99US),
+			Ftoa(r.DetectUS), Ftoa(r.RerouteUS), Itoa(r.Resweeps), Itoa(r.Reroutes),
+		})
+	}
+	return t
+}

@@ -94,6 +94,7 @@ func TestICRCEndToEndCatch(t *testing.T) {
 
 	p := mkPkt(1, 2, VLBestEffort, 128)
 	p.Payload[0] ^= 0xFF // tamper AFTER sealing the ICRC...
+	p.InvalidateWire()   // mutation contract: drop the seal-time image
 	if err := p.Finalize(); err != nil {
 		t.Fatal(err)
 	}

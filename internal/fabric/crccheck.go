@@ -14,6 +14,6 @@ func vcrcOK(d *Delivery) bool {
 	if !d.Tainted {
 		return true
 	}
-	ok, err := icrc.VerifyVCRC(d.Pkt.Marshal())
+	ok, err := icrc.VerifyVCRC(d.Pkt.Wire())
 	return err == nil && ok
 }

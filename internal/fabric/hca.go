@@ -46,6 +46,11 @@ type HCA struct {
 	pkeyViolations uint64
 	engineBusyTil  sim.Time
 	guid           uint64
+
+	// verif holds the CRC scratch buffer for this HCA's receive checks;
+	// per-HCA rather than global because whole simulations run in
+	// parallel under the experiment runner.
+	verif icrc.Verifier
 }
 
 // NewHCA creates an HCA with the given LID.
@@ -103,10 +108,17 @@ func (h *HCA) Send(d *Delivery) {
 	if h.port.out == nil {
 		panic(fmt.Sprintf("fabric: HCA %s not connected", h.name))
 	}
+	// Mutating the LRH stales any wire image cached at seal time, but
+	// only invalidate when a field actually changes: best-effort traffic
+	// already carries VL 0, so its sealed image survives to the receiver.
 	if d.Pkt.LRH.SLID == 0 {
 		d.Pkt.LRH.SLID = h.lid
+		d.Pkt.InvalidateWire()
 	}
-	d.Pkt.LRH.VL = d.VL
+	if d.Pkt.LRH.VL != d.VL {
+		d.Pkt.LRH.VL = d.VL
+		d.Pkt.InvalidateWire()
+	}
 	d.EnqueuedAt = h.sim.Now()
 	h.Counters.Inc("sent", 1)
 	h.params.observe(h.sim.Now(), ObsEnqueue, h.name, d)
@@ -186,7 +198,7 @@ func (h *HCA) arrive(_ int, d *Delivery) {
 		return
 	}
 	if d.Tainted && d.Pkt.BTH.AuthID == 0 {
-		if ok, err := icrc.VerifyICRC(d.Pkt.Marshal()); err != nil || !ok {
+		if ok, err := h.verif.VerifyICRC(d.Pkt.Wire()); err != nil || !ok {
 			h.Counters.Inc("icrc_drops", 1)
 			h.params.observe(h.sim.Now(), ObsCRCDrop, h.name, d)
 			return

@@ -121,10 +121,19 @@ func CRC16(data []byte) uint16 {
 // is computed over exactly this region, so the tag — like the ICRC it
 // replaces — survives switch traversal end to end.
 func InvariantRegion(wire []byte) ([]byte, error) {
+	return AppendInvariantRegion(nil, wire)
+}
+
+// AppendInvariantRegion appends the invariant region of wire to dst and
+// returns the extended slice, so a caller holding a scratch buffer can
+// mask variant fields without allocating per packet (see Verifier).
+func AppendInvariantRegion(dst, wire []byte) ([]byte, error) {
 	if len(wire) < packet.LRHSize+packet.BTHSize+packet.ICRCSize+packet.VCRCSize {
 		return nil, fmt.Errorf("icrc: wire buffer too short (%d bytes)", len(wire))
 	}
-	region := append([]byte(nil), wire[:len(wire)-packet.ICRCSize-packet.VCRCSize]...)
+	base := len(dst)
+	region := append(dst, wire[:len(wire)-packet.ICRCSize-packet.VCRCSize]...)
+	region = region[base:]
 
 	// LRH byte 0 bits 7-4: VL is variant (switches may remap VLs).
 	region[0] |= 0xF0
@@ -174,24 +183,96 @@ func VCRC(wire []byte) (uint16, error) {
 // packet. If p.BTH.AuthID is non-zero the ICRC field is presumed to hold
 // an authentication tag already (set by the mac package) and only the VCRC
 // is recomputed — this is the paper's Fig. 4(b) packet format.
+//
+// Seal serializes the packet exactly once: the CRC trailer bytes are
+// patched into the wire image in place, and the finished image is left
+// installed as the packet's cache (packet.Wire), so downstream hops never
+// marshal again. Use Verifier.Seal on a hot path to avoid the per-call
+// invariant-region allocation as well.
 func Seal(p *packet.Packet) error {
+	var v Verifier
+	return v.Seal(p)
+}
+
+// Verifier computes and checks packet CRCs using an internal scratch
+// buffer for the masked invariant region, so steady-state verification
+// allocates nothing per packet. The zero value is ready to use. A
+// Verifier is not safe for concurrent use — give each HCA/endpoint its
+// own (the experiment runner executes whole simulations in parallel, so
+// package-global scratch would race).
+type Verifier struct {
+	scratch []byte
+}
+
+// region masks wire's invariant region into the scratch buffer. The
+// returned slice is valid until the next call on this Verifier.
+func (v *Verifier) region(wire []byte) ([]byte, error) {
+	r, err := AppendInvariantRegion(v.scratch[:0], wire)
+	if err != nil {
+		return nil, err
+	}
+	v.scratch = r
+	return r, nil
+}
+
+// InvariantRegion is InvariantRegion backed by the Verifier's scratch
+// buffer: no allocation, but the result is only valid until the next
+// call on this Verifier. Callers that retain the region must copy it.
+func (v *Verifier) InvariantRegion(wire []byte) ([]byte, error) {
+	return v.region(wire)
+}
+
+// ICRC computes the Invariant CRC of a marshaled packet without
+// allocating.
+func (v *Verifier) ICRC(wire []byte) (uint32, error) {
+	region, err := v.region(wire)
+	if err != nil {
+		return 0, err
+	}
+	return CRC32(region), nil
+}
+
+// VerifyICRC reports whether the stored ICRC matches the computed one,
+// allocating nothing.
+func (v *Verifier) VerifyICRC(wire []byte) (bool, error) {
+	want, err := v.ICRC(wire)
+	if err != nil {
+		return false, err
+	}
+	off := len(wire) - packet.ICRCSize - packet.VCRCSize
+	got := uint32(wire[off])<<24 | uint32(wire[off+1])<<16 | uint32(wire[off+2])<<8 | uint32(wire[off+3])
+	return got == want, nil
+}
+
+// Seal is Seal using the Verifier's scratch buffer; the only allocation
+// left is the packet's own wire image, which Seal installs as the cache
+// every later hop reads.
+func (v *Verifier) Seal(p *packet.Packet) error {
 	if err := p.Finalize(); err != nil {
 		return err
 	}
-	wire := p.Marshal()
+	p.InvalidateWire()
+	wire := p.Wire()
 	if p.BTH.AuthID == 0 {
-		ic, err := ICRC(wire)
+		ic, err := v.ICRC(wire)
 		if err != nil {
 			return err
 		}
 		p.ICRC = ic
-		wire = p.Marshal()
+		off := len(wire) - packet.ICRCSize - packet.VCRCSize
+		wire[off] = byte(ic >> 24)
+		wire[off+1] = byte(ic >> 16)
+		wire[off+2] = byte(ic >> 8)
+		wire[off+3] = byte(ic)
 	}
 	vc, err := VCRC(wire)
 	if err != nil {
 		return err
 	}
 	p.VCRC = vc
+	off := len(wire) - packet.VCRCSize
+	wire[off] = byte(vc >> 8)
+	wire[off+1] = byte(vc)
 	return nil
 }
 

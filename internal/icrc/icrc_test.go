@@ -1,6 +1,7 @@
 package icrc
 
 import (
+	"bytes"
 	"hash/crc32"
 	"math/rand"
 	"testing"
@@ -253,5 +254,120 @@ func BenchmarkICRCSeal(b *testing.B) {
 		if err := Seal(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkVerifyICRC is the receive-side per-packet ICRC verification —
+// the path every tainted (and, with authentication, every delivered)
+// packet takes. It uses a Verifier, as each HCA does, so the masked
+// invariant region lives in a reused scratch buffer. Tracked by
+// scripts/bench.sh in BENCH_simcore.json.
+func BenchmarkVerifyICRC(b *testing.B) {
+	p := mkPacket(1024, false)
+	if err := Seal(p); err != nil {
+		b.Fatal(err)
+	}
+	wire := p.Marshal()
+	var v Verifier
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := v.VerifyICRC(wire)
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// The Verifier's scratch-backed paths must be bit-identical to the
+// allocating package-level functions.
+func TestVerifierMatchesPackageFunctions(t *testing.T) {
+	var v Verifier
+	for _, grh := range []bool{false, true} {
+		for _, n := range []int{0, 1, 255, 1024} {
+			p := mkPacket(n, grh)
+			if err := Seal(p); err != nil {
+				t.Fatal(err)
+			}
+			wire := p.Marshal()
+			wantRegion, err := InvariantRegion(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRegion, err := v.InvariantRegion(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantRegion, gotRegion) {
+				t.Fatalf("grh=%v n=%d: Verifier region differs", grh, n)
+			}
+			want, err := ICRC(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := v.ICRC(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("grh=%v n=%d: Verifier ICRC %#x, want %#x", grh, n, got, want)
+			}
+			ok, err := v.VerifyICRC(wire)
+			if err != nil || !ok {
+				t.Fatalf("grh=%v n=%d: Verifier.VerifyICRC ok=%v err=%v", grh, n, ok, err)
+			}
+		}
+	}
+	// Error paths must match too.
+	if _, err := v.InvariantRegion(make([]byte, 4)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := v.ICRC(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+}
+
+// Seal must leave the packet's cached wire image exactly equal to a
+// fresh Marshal — trailer patching included — so downstream hops can
+// trust the cache.
+func TestSealInstallsConsistentWireCache(t *testing.T) {
+	for _, grh := range []bool{false, true} {
+		p := mkPacket(700, grh)
+		if err := Seal(p); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p.Wire(), p.Marshal()) {
+			t.Fatalf("grh=%v: sealed wire cache differs from fresh Marshal", grh)
+		}
+		if ok, err := VerifyICRC(p.Wire()); err != nil || !ok {
+			t.Fatalf("grh=%v: sealed cache fails ICRC: ok=%v err=%v", grh, ok, err)
+		}
+		if ok, err := VerifyVCRC(p.Wire()); err != nil || !ok {
+			t.Fatalf("grh=%v: sealed cache fails VCRC: ok=%v err=%v", grh, ok, err)
+		}
+	}
+}
+
+// AllocsPerRun guard on the tentpole claim: once a Verifier's scratch
+// buffer has grown to packet size, ICRC verification allocates nothing.
+func TestVerifierZeroAllocSteadyState(t *testing.T) {
+	p := mkPacket(1024, false)
+	if err := Seal(p); err != nil {
+		t.Fatal(err)
+	}
+	wire := p.Marshal()
+	var v Verifier
+	if ok, err := v.VerifyICRC(wire); err != nil || !ok {
+		t.Fatalf("warmup: ok=%v err=%v", ok, err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ok, err := v.VerifyICRC(wire)
+		if err != nil || !ok {
+			t.Fatalf("ok=%v err=%v", ok, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ICRC verification allocated %.1f times per packet, want 0", allocs)
 	}
 }

@@ -22,6 +22,12 @@ type Packet struct {
 	Payload []byte
 	ICRC    uint32 // invariant CRC or authentication tag
 	VCRC    uint16
+
+	// wire caches the marshalled image so a packet crossing many hops is
+	// serialized once, not once per hop. It is maintained by Wire/SetWire
+	// and must be dropped (InvalidateWire) whenever a header or payload
+	// field changes after it was built.
+	wire []byte
 }
 
 // Errors returned by Unmarshal.
@@ -142,6 +148,29 @@ func (p *Packet) Marshal() []byte {
 	return b
 }
 
+// Wire returns the packet's marshalled image, serializing it on first
+// use and returning the cached bytes thereafter. The returned slice is
+// shared: callers must treat it as read-only (use Marshal for a private
+// copy). Any mutation of the packet after Wire must be followed by
+// InvalidateWire, or the cache will misrepresent the packet.
+func (p *Packet) Wire() []byte {
+	if p.wire == nil {
+		p.wire = p.Marshal()
+	}
+	return p.wire
+}
+
+// SetWire installs b as the cached wire image. The caller asserts that b
+// is exactly what Marshal would produce and hands over ownership of the
+// backing array. Used by the seal path, which builds the image once and
+// patches the CRC trailer in place.
+func (p *Packet) SetWire(b []byte) { p.wire = b }
+
+// InvalidateWire drops the cached wire image; the next Wire call
+// re-serializes. Call it after mutating any field of an already-cached
+// packet.
+func (p *Packet) InvalidateWire() { p.wire = nil }
+
 // Unmarshal parses a wire buffer into p, replacing its contents.
 func (p *Packet) Unmarshal(b []byte) error {
 	*p = Packet{}
@@ -210,9 +239,12 @@ func (p *Packet) Unmarshal(b []byte) error {
 	return nil
 }
 
-// Clone returns a deep copy of the packet.
+// Clone returns a deep copy of the packet. The wire cache is not
+// carried over: the clone exists to be mutated, so it re-serializes on
+// first use instead of aliasing the original's image.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.wire = nil
 	if p.GRH != nil {
 		g := *p.GRH
 		q.GRH = &g

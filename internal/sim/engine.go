@@ -5,24 +5,44 @@ import (
 	"fmt"
 )
 
-// Event is a scheduled callback. Events are created by Simulator.Schedule
-// and may be cancelled before they fire.
-type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	index     int // heap index, -1 once removed
-	cancelled bool
+// slabBlock is the number of event slots carved out per allocation when
+// the free list runs dry. One block comfortably covers a switch radix's
+// worth of in-flight arrivals, so even short-lived simulators make a
+// handful of allocations instead of one per scheduled event.
+const slabBlock = 64
+
+// eventSlot is the pooled storage behind an Event handle. Slots cycle
+// queue -> fired/cancelled -> free list -> queue; gen increments every
+// time a slot leaves the queue, so a stale handle held across that
+// transition can never touch the slot's next occupant.
+type eventSlot struct {
+	at    Time
+	seq   uint64
+	gen   uint64
+	fn    func()
+	index int32 // heap index, -1 once removed
 }
 
-// At returns the simulation time at which the event fires (or would have
-// fired, if cancelled).
-func (e *Event) At() Time { return e.at }
+// Event is a handle to a scheduled callback, returned by Schedule. It is
+// a small value, cheap to copy and store; the zero Event is valid and
+// refers to nothing. A handle stays usable after its event fires or is
+// cancelled — Pending just reports false — because the underlying slot
+// is generation-checked before any access.
+type Event struct {
+	slot *eventSlot
+	gen  uint64
+	at   Time
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// At returns the simulation time at which the event fires (or fired, or
+// would have fired if cancelled). Zero for the zero Event.
+func (e Event) At() Time { return e.at }
 
-type eventHeap []*Event
+// Pending reports whether the event is still queued: it has neither
+// fired nor been cancelled. Safe on the zero Event.
+func (e Event) Pending() bool { return e.slot != nil && e.slot.gen == e.gen }
+
+type eventHeap []*eventSlot
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -33,12 +53,12 @@ func (h eventHeap) Less(i, j int) bool {
 }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+	h[i].index = int32(i)
+	h[j].index = int32(j)
 }
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
+	e := x.(*eventSlot)
+	e.index = int32(len(*h))
 	*h = append(*h, e)
 }
 func (h *eventHeap) Pop() any {
@@ -58,6 +78,8 @@ type Simulator struct {
 	now     Time
 	seq     uint64
 	queue   eventHeap
+	free    []*eventSlot
+	block   []eventSlot // tail of the current slab block, carved lazily
 	fired   uint64
 	stopped bool
 }
@@ -74,10 +96,34 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 // Pending returns the number of events still queued.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
+func (s *Simulator) alloc() *eventSlot {
+	if n := len(s.free); n > 0 {
+		sl := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return sl
+	}
+	if len(s.block) == 0 {
+		s.block = make([]eventSlot, slabBlock)
+	}
+	sl := &s.block[0]
+	s.block = s.block[1:]
+	return sl
+}
+
+// release returns a slot to the free list after bumping its generation,
+// which atomically (from the single-threaded caller's point of view)
+// invalidates every outstanding handle to it.
+func (s *Simulator) release(sl *eventSlot) {
+	sl.gen++
+	sl.fn = nil
+	s.free = append(s.free, sl)
+}
+
 // Schedule queues fn to run after delay. A negative delay panics: the past
 // is immutable in a discrete-event simulation. Events scheduled for the
 // same instant run in the order they were scheduled.
-func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+func (s *Simulator) Schedule(delay Time, fn func()) Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
@@ -86,30 +132,44 @@ func (s *Simulator) Schedule(delay Time, fn func()) *Event {
 
 // ScheduleAt queues fn to run at absolute time at, which must not precede
 // the current time.
-func (s *Simulator) ScheduleAt(at Time, fn func()) *Event {
+func (s *Simulator) ScheduleAt(at Time, fn func()) Event {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn}
+	sl := s.alloc()
+	sl.at = at
+	sl.seq = s.seq
+	sl.fn = fn
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	heap.Push(&s.queue, sl)
+	return Event{slot: sl, gen: sl.gen, at: at}
 }
 
-// Cancel removes a pending event so it never fires. Cancelling an event
-// that already fired or was already cancelled is a no-op.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.cancelled || e.index < 0 {
-		if e != nil {
-			e.cancelled = true
-		}
-		return
+// Cancel removes a pending event so it never fires, reporting whether it
+// did. Cancelling an event that already fired, was already cancelled, or
+// a zero Event is a no-op returning false.
+func (s *Simulator) Cancel(e Event) bool {
+	sl := e.slot
+	if sl == nil || sl.gen != e.gen || sl.index < 0 {
+		return false
 	}
-	e.cancelled = true
-	heap.Remove(&s.queue, e.index)
+	heap.Remove(&s.queue, int(sl.index))
+	s.release(sl)
+	return true
+}
+
+// shrinkQueue gives back the heap slice's slack after a burst drains, so
+// a simulator that once held tens of thousands of in-flight events does
+// not pin that memory for the rest of a long run.
+func (s *Simulator) shrinkQueue() {
+	if cap(s.queue) >= 1024 && len(s.queue)*4 <= cap(s.queue) {
+		q := make(eventHeap, len(s.queue), len(s.queue)*2)
+		copy(q, s.queue)
+		s.queue = q
+	}
 }
 
 // Step fires the next event, advancing the clock to it. It returns false
@@ -118,10 +178,16 @@ func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	s.now = e.at
+	sl := heap.Pop(&s.queue).(*eventSlot)
+	s.now = sl.at
 	s.fired++
-	e.fn()
+	fn := sl.fn
+	// Release before running fn: the handle is already invalidated, so a
+	// callback cancelling its own event is a safe no-op, and the slot is
+	// immediately reusable by anything fn schedules.
+	s.release(sl)
+	s.shrinkQueue()
+	fn()
 	return true
 }
 
@@ -153,7 +219,7 @@ func (s *Simulator) Every(period Time, fn func()) (cancel func()) {
 	if period <= 0 {
 		panic("sim: non-positive period")
 	}
-	var ev *Event
+	var ev Event
 	stopped := false
 	var tick func()
 	tick = func() {

@@ -93,26 +93,151 @@ func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
 	e := s.Schedule(10, func() { fired = true })
-	s.Cancel(e)
+	if !e.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	if !s.Cancel(e) {
+		t.Fatal("Cancel of a pending event returned false")
+	}
 	s.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
 	}
-	// Cancelling twice and cancelling a fired event must be harmless.
-	s.Cancel(e)
+	// Cancelling twice, cancelling a fired event, and cancelling the zero
+	// Event must be harmless no-ops that report false.
+	if s.Cancel(e) {
+		t.Fatal("second Cancel returned true")
+	}
 	e2 := s.Schedule(1, func() {})
 	s.Run()
-	s.Cancel(e2)
-	s.Cancel(nil)
+	if s.Cancel(e2) {
+		t.Fatal("Cancel of a fired event returned true")
+	}
+	if s.Cancel(Event{}) {
+		t.Fatal("Cancel of the zero Event returned true")
+	}
+}
+
+// Regression test for the old Cancel semantics, where cancelling an
+// already-fired event still set its cancelled flag, so Cancelled()
+// claimed a callback that actually ran never did. A fired event must
+// read as not pending, and a late Cancel must not rewrite history.
+func TestCancelAfterFireDoesNotLie(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.Schedule(5, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if e.Pending() {
+		t.Fatal("fired event reports pending")
+	}
+	if s.Cancel(e) {
+		t.Fatal("Cancel claimed to cancel an event that already ran")
+	}
+	if e.At() != 5 {
+		t.Fatalf("At = %v after fire, want 5", e.At())
+	}
+}
+
+// A handle held across its event's firing must not be able to cancel
+// whatever new event gets recycled into the same pooled slot.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	s := New()
+	var stale []Event
+	for i := 0; i < 10*slabBlock; i++ {
+		stale = append(stale, s.Schedule(Time(i), func() {}))
+	}
+	s.Run()
+	// Every slot in the pool has now cycled at least once; fresh events
+	// necessarily reuse slots some stale handle still points at.
+	fired := 0
+	for i := 0; i < 10*slabBlock; i++ {
+		s.Schedule(Time(i), func() { fired++ })
+	}
+	for _, e := range stale {
+		if e.Pending() {
+			t.Fatal("stale handle reports pending")
+		}
+		if s.Cancel(e) {
+			t.Fatal("stale handle cancelled a recycled slot's event")
+		}
+	}
+	s.Run()
+	if fired != 10*slabBlock {
+		t.Fatalf("fired %d of %d fresh events", fired, 10*slabBlock)
+	}
+}
+
+// An event callback cancelling its own (already invalidated) handle must
+// be a no-op, even though the slot has returned to the free list.
+func TestSelfCancelInsideCallback(t *testing.T) {
+	s := New()
+	var e Event
+	ran := false
+	e = s.Schedule(1, func() {
+		ran = true
+		if s.Cancel(e) {
+			t.Error("event cancelled itself while running")
+		}
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+}
+
+// Steady-state Schedule->Step on a warmed simulator must not allocate:
+// slots come from the free list and the heap slice has capacity. This is
+// the guard on the tentpole's zero-alloc claim.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 4*slabBlock; i++ {
+		s.Schedule(Time(i), fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			s.Schedule(Time(i)*Nanosecond, fn)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule/Step allocated %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// After a large burst drains, the heap slice must give back its slack
+// rather than pin peak-burst memory for the rest of the run.
+func TestQueueShrinksAfterBurst(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 20000; i++ {
+		s.Schedule(Time(i), fn)
+	}
+	if cap(s.queue) < 20000 {
+		t.Fatalf("burst did not grow the queue: cap %d", cap(s.queue))
+	}
+	s.Run()
+	// Trickle a small steady load through; the shrink check runs in Step.
+	for i := 0; i < 10; i++ {
+		s.Schedule(Time(i), fn)
+	}
+	s.Run()
+	if cap(s.queue) >= 1024 {
+		t.Fatalf("queue cap %d after burst drained, want < 1024", cap(s.queue))
+	}
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []int
-	var events []*Event
+	var events []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, s.Schedule(Time(i+1)*Nanosecond, func() { got = append(got, i) }))
@@ -274,7 +399,7 @@ func TestPropertyCancelExactness(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		s := New()
 		fired := map[int]bool{}
-		var evs []*Event
+		var evs []Event
 		n := 1 + rng.Intn(100)
 		for i := 0; i < n; i++ {
 			i := i

@@ -140,26 +140,34 @@ func (a *SwitchAgent) HandleMAD(sw *fabric.Switch, inPort int, d *fabric.Deliver
 	if !isDRSMP(d) {
 		return false // not ours: fall through to LID routing
 	}
+	fr, err := parseSMP(d.Pkt.Payload)
+	if err != nil {
+		// Truncated or hop-field-corrupted SMP: consuming it here (rather
+		// than indexing the path arrays with unchecked bytes) keeps a
+		// hostile MAD from crashing the switch.
+		sw.Counters.Inc("smp_malformed", 1)
+		d.ReturnCredit()
+		return true
+	}
 	pl := d.Pkt.Payload
-	hopCnt, hopPtr := int(pl[smpOffHopCnt]), int(pl[smpOffHopPtr])
-	switch pl[smpOffDir] {
+	switch fr.Dir {
 	case 0: // outbound
-		if hopPtr < hopCnt {
+		if fr.HopPtr < fr.HopCnt {
 			// Transit hop: record the return port and forward along
 			// the initial path.
-			pl[smpOffRet+hopPtr] = byte(inPort)
-			pl[smpOffHopPtr] = byte(hopPtr + 1)
+			pl[smpOffRet+fr.HopPtr] = byte(inPort)
+			pl[smpOffHopPtr] = byte(fr.HopPtr + 1)
 			reseal(d)
-			sw.SendRaw(int(pl[smpOffInit+hopPtr]), d)
+			sw.SendRaw(int(pl[smpOffInit+fr.HopPtr]), d)
 			return true
 		}
 		// This switch is the target.
-		a.execute(sw, inPort, d)
+		a.execute(sw, inPort, d, fr)
 		return true
 	default: // returning
-		if hopPtr > 0 {
-			pl[smpOffHopPtr] = byte(hopPtr - 1)
-			out := int(pl[smpOffRet+hopPtr-1])
+		if fr.HopPtr > 0 {
+			pl[smpOffHopPtr] = byte(fr.HopPtr - 1)
+			out := int(pl[smpOffRet+fr.HopPtr-1])
 			reseal(d)
 			sw.SendRaw(out, d)
 			return true
@@ -174,7 +182,7 @@ func (a *SwitchAgent) HandleMAD(sw *fabric.Switch, inPort int, d *fabric.Deliver
 
 // execute runs a Get/Set against this switch and sends the response back
 // through the ingress port.
-func (a *SwitchAgent) execute(sw *fabric.Switch, inPort int, d *fabric.Delivery) {
+func (a *SwitchAgent) execute(sw *fabric.Switch, inPort int, d *fabric.Delivery, fr smpFrame) {
 	pl := d.Pkt.Payload
 	resp := make([]byte, len(pl))
 	copy(resp, pl)
@@ -184,21 +192,21 @@ func (a *SwitchAgent) execute(sw *fabric.Switch, inPort int, d *fabric.Delivery)
 	// Record the target's own ingress port in the return-path slot after
 	// the transit hops: the SM needs it to know which of this switch's
 	// ports points back toward it.
-	resp[smpOffRet+pl[smpOffHopCnt]] = byte(inPort)
+	resp[smpOffRet+fr.HopCnt] = byte(inPort)
 	data := resp[smpOffData:]
 	for i := range data {
 		data[i] = 0
 	}
 
 	switch {
-	case pl[smpOffMethod] == smpMethodGet && pl[smpOffAttr] == smpAttrNodeInfo:
+	case fr.Method == smpMethodGet && fr.Attr == smpAttrNodeInfo:
 		data[0] = nodeTypeSwitch
 		data[1] = byte(sw.NumPorts())
 		binary.BigEndian.PutUint64(data[2:], sw.GUID())
 		sw.Counters.Inc("smp_nodeinfo", 1)
 
-	case pl[smpOffMethod] == smpMethodSet && pl[smpOffAttr] == smpAttrSetRoute:
-		if keys.MKey(binary.BigEndian.Uint64(pl[smpOffMKey:])) != a.MKey {
+	case fr.Method == smpMethodSet && fr.Attr == smpAttrSetRoute:
+		if fr.MKey != a.MKey {
 			resp[smpOffStatus] = smpStatusBadMKey
 			sw.Counters.Inc("smp_mkey_violations", 1)
 			break
@@ -244,8 +252,13 @@ func (a *NodeAgent) deliver(d *fabric.Delivery) {
 		}
 		return
 	}
+	fr, err := parseSMP(d.Pkt.Payload)
+	if err != nil {
+		a.HCA.Counters.Inc("smp_malformed", 1)
+		return
+	}
 	pl := d.Pkt.Payload
-	if int(pl[smpOffHopPtr]) != int(pl[smpOffHopCnt]) {
+	if fr.HopPtr != fr.HopCnt {
 		a.HCA.Counters.Inc("smp_misrouted", 1)
 		return
 	}
@@ -260,14 +273,14 @@ func (a *NodeAgent) deliver(d *fabric.Delivery) {
 	}
 
 	switch {
-	case pl[smpOffMethod] == smpMethodGet && pl[smpOffAttr] == smpAttrNodeInfo:
+	case fr.Method == smpMethodGet && fr.Attr == smpAttrNodeInfo:
 		data[0] = nodeTypeCA
 		data[1] = 1
 		binary.BigEndian.PutUint64(data[2:], a.HCA.GUID())
 		binary.BigEndian.PutUint16(data[10:], uint16(a.HCA.LID()))
 
-	case pl[smpOffMethod] == smpMethodSet && pl[smpOffAttr] == smpAttrSetLID:
-		if keys.MKey(binary.BigEndian.Uint64(pl[smpOffMKey:])) != a.MKey {
+	case fr.Method == smpMethodSet && fr.Attr == smpAttrSetLID:
+		if fr.MKey != a.MKey {
 			resp[smpOffStatus] = smpStatusBadMKey
 			a.HCA.Counters.Inc("smp_mkey_violations", 1)
 			break
@@ -347,7 +360,7 @@ type Discoverer struct {
 
 type probe struct {
 	cb    func(status byte, data []byte, retPath []byte)
-	timer *sim.Event
+	timer sim.Event
 }
 
 // NewDiscoverer prepares a sweep from hca, wrapping its delivery callback
@@ -377,16 +390,20 @@ func (d *Discoverer) deliver(dv *fabric.Delivery) {
 		}
 		return
 	}
+	fr, err := parseSMP(dv.Pkt.Payload)
+	if err != nil {
+		d.hca.Counters.Inc("smp_malformed", 1)
+		return
+	}
 	pl := dv.Pkt.Payload
-	txID := binary.BigEndian.Uint32(pl[smpOffTxID:])
-	pr, ok := d.pending[txID]
+	pr, ok := d.pending[fr.TxID]
 	if !ok {
 		return // late response after timeout
 	}
-	delete(d.pending, txID)
+	delete(d.pending, fr.TxID)
 	d.sim.Cancel(pr.timer)
 	retPath := append([]byte(nil), pl[smpOffRet:smpOffRet+smpMaxHops]...)
-	pr.cb(pl[smpOffStatus], pl[smpOffData:], retPath)
+	pr.cb(fr.Status, pl[smpOffData:], retPath)
 }
 
 // send issues one SMP and registers its callback; cb receives status

@@ -12,7 +12,6 @@
 package sm
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -276,15 +275,13 @@ func (m *SubnetManager) sendTrap(victim int, victimHCA *fabric.HCA, d *fabric.De
 	m.trapSeen[k] = m.sim.Now()
 	m.Counters.Inc("traps_sent", 1)
 
-	payload := make([]byte, trapPayloadSize)
-	payload[0] = trapTypePKeyViolation
-	binary.BigEndian.PutUint16(payload[1:3], uint16(d.Pkt.LRH.SLID))
-	binary.BigEndian.PutUint16(payload[3:5], uint16(d.Pkt.BTH.PKey))
+	tr := trapMAD{Offender: d.Pkt.LRH.SLID, PKey: d.Pkt.BTH.PKey}
+	payload := encodeTrap(tr)
 
 	if victim == m.cfg.Node {
 		// Local violation: no fabric transit.
 		arrived := m.sim.Now()
-		m.sim.Schedule(0, func() { m.processTrap(payload, arrived) })
+		m.sim.Schedule(0, func() { m.processTrap(tr, arrived) })
 		return
 	}
 	p := &packet.Packet{
@@ -308,14 +305,14 @@ func (m *SubnetManager) sendTrap(victim int, victimHCA *fabric.HCA, d *fabric.De
 // (DestQP 0). It returns true if the packet was consumed. The core layer
 // calls this from the SM node's delivery dispatch.
 func (m *SubnetManager) HandleManagement(d *fabric.Delivery) bool {
-	if d.Pkt.BTH.DestQP != 0 || len(d.Pkt.Payload) < trapPayloadSize {
+	if d.Pkt.BTH.DestQP != 0 {
 		return false
 	}
-	if d.Pkt.Payload[0] != trapTypePKeyViolation {
+	tr, err := parseTrap(d.Pkt.Payload)
+	if err != nil {
 		return false
 	}
 	m.Counters.Inc("traps_received", 1)
-	payload := append([]byte(nil), d.Pkt.Payload[:trapPayloadSize]...)
 	// The SM is a serial processor: a flood of management packets
 	// queues up (the management-DoS vector of section 7).
 	arrived := m.sim.Now()
@@ -324,16 +321,15 @@ func (m *SubnetManager) HandleManagement(d *fabric.Delivery) bool {
 		start = m.busyUntil
 	}
 	m.busyUntil = start + m.cfg.ProcessingDelay
-	m.sim.ScheduleAt(m.busyUntil, func() { m.processTrap(payload, arrived) })
+	m.sim.ScheduleAt(m.busyUntil, func() { m.processTrap(tr, arrived) })
 	return true
 }
 
 // processTrap applies the SIF registration after the configuration MAD
 // reaches the offender's ingress switch. arrived is when the trap reached
 // the SM, for registration-latency accounting.
-func (m *SubnetManager) processTrap(payload []byte, arrived sim.Time) {
-	offender := packet.LID(binary.BigEndian.Uint16(payload[1:3]))
-	pk := packet.PKey(binary.BigEndian.Uint16(payload[3:5]))
+func (m *SubnetManager) processTrap(tr trapMAD, arrived sim.Time) {
+	offender, pk := tr.Offender, tr.PKey
 	node := m.mesh.NodeByLID(offender)
 	if node < 0 {
 		m.Counters.Inc("traps_unlocatable", 1)

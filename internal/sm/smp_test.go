@@ -1,0 +1,95 @@
+package sm
+
+import (
+	"bytes"
+	"testing"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/keys"
+	"ibasec/internal/sim"
+	"ibasec/internal/topology"
+)
+
+// FuzzMADParse feeds arbitrary bytes to the management-datagram parsers.
+// parseSMP's acceptance invariants are exactly the bounds the SMP agents
+// rely on when they index the hop-path arrays, so any accepted frame
+// that violates them is a crash an attacker could trigger with one
+// crafted MAD.
+func FuzzMADParse(f *testing.F) {
+	f.Add(newSMP(smpMethodGet, smpAttrNodeInfo, 7, keys.MKey(0x5EC0DE), []byte{1, 2, 3}))
+	resp := newSMP(smpMethodSet, smpAttrSetRoute, 9, keys.MKey(0xBAD), []byte{0, 1})
+	resp[smpOffDir] = 1
+	resp[smpOffHopPtr] = 2
+	f.Add(resp)
+	oversized := newSMP(smpMethodGet, smpAttrNodeInfo, 1, 0, nil)
+	oversized[smpOffHopCnt] = 200 // would index far past the path arrays
+	f.Add(oversized)
+	f.Add(newSMP(smpMethodGet, smpAttrNodeInfo, 1, 0, nil)[:smpHeaderSize]) // truncated data area
+	f.Add(encodeTrap(trapMAD{Offender: 5, PKey: 0x8003}))
+	f.Add([]byte{madTypeDRSMP})
+
+	f.Fuzz(func(t *testing.T, pl []byte) {
+		if fr, err := parseSMP(pl); err == nil {
+			if len(pl) < smpTotalSize {
+				t.Fatalf("accepted %d-byte SMP, need %d", len(pl), smpTotalSize)
+			}
+			if fr.HopCnt > smpMaxHops || fr.HopPtr > fr.HopCnt || fr.HopPtr < 0 {
+				t.Fatalf("accepted out-of-range hops: cnt=%d ptr=%d", fr.HopCnt, fr.HopPtr)
+			}
+			// The exact indices the agents touch must be inside the frame.
+			if fr.HopPtr < fr.HopCnt && smpOffInit+fr.HopPtr >= smpOffRet {
+				t.Fatalf("initial-path read at %d crosses into return path", smpOffInit+fr.HopPtr)
+			}
+			if smpOffRet+fr.HopCnt >= len(pl) {
+				t.Fatalf("return-path write at %d outside %d-byte frame", smpOffRet+fr.HopCnt, len(pl))
+			}
+			// Extracted fields must mirror the raw bytes.
+			if fr.Method != pl[smpOffMethod] || fr.Attr != pl[smpOffAttr] || fr.Dir != pl[smpOffDir] {
+				t.Fatal("frame fields disagree with payload bytes")
+			}
+		}
+		if tr, err := parseTrap(pl); err == nil {
+			if !bytes.Equal(encodeTrap(tr), pl[:trapPayloadSize]) {
+				t.Fatal("trap does not round-trip")
+			}
+		}
+	})
+}
+
+// Malformed SMPs injected into the fabric must be counted and dropped by
+// the switch agent — not crash it. Before parseSMP the hop fields were
+// used as raw array indices, so a hop count of 200 was a panic.
+func TestMalformedSMPDropped(t *testing.T) {
+	s := sim.New()
+	mesh := topology.NewBlankMesh(s, fabric.DefaultParams(), 2, 2)
+	AttachSwitchAgents(mesh, discMKey)
+
+	inject := func(mutate func([]byte) []byte) {
+		pl := newSMP(smpMethodGet, smpAttrNodeInfo, 1, discMKey, []byte{1})
+		mesh.HCA(0).Send(smpDelivery(0, mutate(pl)))
+	}
+	inject(func(pl []byte) []byte { pl[smpOffHopCnt] = 200; return pl })
+	inject(func(pl []byte) []byte { pl[smpOffHopPtr] = 17; pl[smpOffHopCnt] = 16; return pl })
+	inject(func(pl []byte) []byte { return pl[:smpHeaderSize+2] }) // truncated data area
+	s.Run()
+
+	sw := mesh.SwitchOf(0)
+	if got := sw.Counters.Get("smp_malformed"); got != 3 {
+		t.Fatalf("smp_malformed = %d, want 3", got)
+	}
+}
+
+// A malformed SMP that survives transit to a channel adapter is dropped
+// there by the same parser.
+func TestMalformedSMPDroppedByNodeAgent(t *testing.T) {
+	s := sim.New()
+	mesh := topology.NewBlankMesh(s, fabric.DefaultParams(), 2, 2)
+	agent := AttachNodeAgent(mesh.HCA(0), discMKey)
+
+	pl := newSMP(smpMethodGet, smpAttrNodeInfo, 1, discMKey, nil)
+	d := smpDelivery(0, pl[:smpHeaderSize+1])
+	agent.deliver(d)
+	if got := mesh.HCA(0).Counters.Get("smp_malformed"); got != 1 {
+		t.Fatalf("smp_malformed = %d, want 1", got)
+	}
+}

@@ -33,7 +33,7 @@ const (
 type rcState struct {
 	// Requester side.
 	unacked    []*pendingSend // PSN order
-	retryTimer *sim.Event
+	retryTimer sim.Event
 	retries    int
 	broken     bool
 	// lastProgress is when the window last advanced (send or ACK); a
@@ -97,7 +97,7 @@ func (e *Endpoint) retryTimeout() sim.Time {
 // armRetry starts the retransmission timer if it is not running.
 func (e *Endpoint) armRetry(q *QP) {
 	st := q.rc()
-	if st.retryTimer != nil && !st.retryTimer.Cancelled() {
+	if st.retryTimer.Pending() {
 		return
 	}
 	st.retryTimer = e.hca.Sim().Schedule(e.retryTimeout(), func() { e.onRetryTimeout(q) })
@@ -107,7 +107,6 @@ func (e *Endpoint) armRetry(q *QP) {
 // if a full retry period passed with no window progress.
 func (e *Endpoint) onRetryTimeout(q *QP) {
 	st := q.rc()
-	st.retryTimer = nil
 	if len(st.unacked) == 0 || st.broken {
 		return
 	}
@@ -227,10 +226,8 @@ func (e *Endpoint) handleRCAck(q *QP, p *packet.Packet) {
 	e.Counters.Inc("rc_acks_received", 1)
 	if len(st.unacked) == 0 {
 		st.recovering = false
-		if st.retryTimer != nil {
-			e.hca.Sim().Cancel(st.retryTimer)
-			st.retryTimer = nil
-		}
+		e.hca.Sim().Cancel(st.retryTimer)
+		st.retryTimer = sim.Event{}
 		return
 	}
 	// ACK-paced recovery: the responder discarded everything behind the

@@ -135,6 +135,10 @@ type Endpoint struct {
 	pendingReads map[uint32]func([]byte)
 
 	Counters *metrics.Counters
+
+	// verif holds this endpoint's CRC/auth scratch buffer; per-endpoint
+	// because simulations run concurrently under the experiment runner.
+	verif icrc.Verifier
 }
 
 // Errors returned by transport operations.
@@ -257,7 +261,7 @@ func (e *Endpoint) seal(p *packet.Packet, q *QP, dstLID packet.LID, dstQPN packe
 	sign := q.AuthRequired && e.cfg.AuthID != 0
 	if !sign {
 		p.BTH.AuthID = 0
-		return icrc.Seal(p)
+		return e.verif.Seal(p)
 	}
 	a, ok := e.cfg.Registry.Lookup(e.cfg.AuthID)
 	if !ok {
@@ -271,7 +275,9 @@ func (e *Endpoint) seal(p *packet.Packet, q *QP, dstLID packet.LID, dstQPN packe
 	if err := p.Finalize(); err != nil {
 		return err
 	}
-	region, err := icrc.InvariantRegion(p.Marshal())
+	p.InvalidateWire()
+	wire := p.Wire()
+	region, err := e.verif.InvariantRegion(wire)
 	if err != nil {
 		return err
 	}
@@ -282,7 +288,23 @@ func (e *Endpoint) seal(p *packet.Packet, q *QP, dstLID packet.LID, dstQPN packe
 	}
 	p.ICRC = tag
 	e.Counters.Inc("packets_signed", 1)
-	return icrc.Seal(p) // AuthID != 0: only the VCRC is recomputed
+	// AuthID != 0: the ICRC field carries the tag and only the VCRC needs
+	// computing, so patch the trailer into the image built above instead
+	// of marshalling a second time. The patched image stays installed as
+	// the packet's wire cache for every hop downstream.
+	off := len(wire) - packet.ICRCSize - packet.VCRCSize
+	wire[off] = byte(tag >> 24)
+	wire[off+1] = byte(tag >> 16)
+	wire[off+2] = byte(tag >> 8)
+	wire[off+3] = byte(tag)
+	vc, err := icrc.VCRC(wire)
+	if err != nil {
+		return err
+	}
+	p.VCRC = vc
+	wire[off+4] = byte(vc >> 8)
+	wire[off+5] = byte(vc)
+	return nil
 }
 
 // SendUD sends payload from a UD QP to (dstLID, dstQPN), writing the
@@ -467,7 +489,7 @@ func (e *Endpoint) verifyAuth(q *QP, d *fabric.Delivery) bool {
 		e.Counters.Inc("auth_no_key", 1)
 		return false
 	}
-	region, err := icrc.InvariantRegion(p.Marshal())
+	region, err := e.verif.InvariantRegion(p.Wire())
 	if err != nil {
 		e.Counters.Inc("auth_fail", 1)
 		return false

@@ -220,6 +220,7 @@ func TestTamperedPayloadRejected(t *testing.T) {
 	w.mesh.HCA(3).OnDeliver = func(d *fabric.Delivery) {
 		if len(d.Pkt.Payload) > 0 {
 			d.Pkt.Payload[0] ^= 0xFF
+			d.Pkt.InvalidateWire() // mutation contract: drop the cached image
 		}
 		inner(d)
 	}

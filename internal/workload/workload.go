@@ -125,7 +125,8 @@ type RawUDSender struct {
 	// Attack marks emitted deliveries as attack traffic.
 	Attack bool
 
-	psn uint32
+	psn   uint32
+	verif icrc.Verifier // per-sender CRC scratch; sims run in parallel
 }
 
 // Send builds, seals and injects one UD packet of the given payload size.
@@ -145,7 +146,7 @@ func (r *RawUDSender) SendPKey(dst int, size int, pk packet.PKey) {
 		Payload: make([]byte, size),
 	}
 	r.psn++
-	if err := icrc.Seal(p); err != nil {
+	if err := r.verif.Seal(p); err != nil {
 		panic(err)
 	}
 	r.HCA.Send(&fabric.Delivery{

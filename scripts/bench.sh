@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Simulator-core benchmark harness: runs the hot-path benchmark set with
+# -benchmem and feeds the results to scripts/benchgate, which checks
+# them against (or records them into) the BENCH_simcore.json envelope.
+#
+#   scripts/bench.sh             check against the recorded envelope
+#   scripts/bench.sh -update     refresh the "current" section
+#
+# BENCHTIME sets the micro-benchmark iteration budget and
+# HOTPATH_BENCHTIME the whole-simulation one (each op there is a full
+# 2x2-mesh run). The defaults are what CI uses; the envelope in
+# BENCH_simcore.json is recorded at the same budgets so the comparison
+# is apples-to-apples — short fixed counts inflate ns/op with warmup
+# effects, but they do so consistently, and allocs/op (the strict gate)
+# is deterministic at any count. Raise BENCHTIME (e.g. 1s) for stable
+# wall-clock numbers when measuring by hand.
+#
+# For a profile of the same hot path, use the CLI instead:
+#   go run ./cmd/ibsim -cpuprofile cpu.pprof -memprofile mem.pprof -jobs 1 fig5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=-check
+[ "${1:-}" = "-update" ] && mode=-update
+
+bench() { go test -run '^$' -benchmem "$@"; }
+
+{
+  bench -bench '^(BenchmarkScheduleRun|BenchmarkScheduleRunSteady)$' \
+        -benchtime "${BENCHTIME:-100x}" ./internal/sim
+  bench -bench '^(BenchmarkICRCSeal|BenchmarkVerifyICRC)$' \
+        -benchtime "${BENCHTIME:-100x}" ./internal/icrc
+  bench -bench '^(BenchmarkHotPath|BenchmarkHotPathAuth)$' \
+        -benchtime "${HOTPATH_BENCHTIME:-20x}" .
+} | tee /dev/stderr | go run ./scripts/benchgate "$mode"

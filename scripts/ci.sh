@@ -38,4 +38,11 @@ echo "== ibsim faults -quick (chaos smoke under the race detector)"
 go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/chaos" faults -bers 0,1e-5 -kills 0,2 >"$tmp/chaos.out"
 diff testdata/golden/faults_quick.csv "$tmp/chaos/faults.csv"
 
+echo "== fuzz smoke (wire parsers, 5s each)"
+go test -run '^$' -fuzz '^FuzzPacketUnmarshal$' -fuzztime 5s ./internal/packet
+go test -run '^$' -fuzz '^FuzzMADParse$' -fuzztime 5s ./internal/sm
+
+echo "== benchmark regression gate (allocs strict, time loose)"
+scripts/bench.sh
+
 echo "CI OK"
