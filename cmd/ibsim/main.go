@@ -16,6 +16,7 @@
 //	ibsim smdos                  ablation: management DoS against the SM
 //	ibsim scale                  ablation: DoS damage vs mesh size
 //	ibsim faults                 chaos: link kills + BER bursts vs self-healing SM
+//	ibsim failover               robustness: SM kill + standby election + key-epoch rotation
 //	ibsim trace                  dump a packet-lifecycle trace
 //	ibsim all                    everything above (trace bounded to its default scope)
 //
@@ -24,9 +25,11 @@
 // simulation points, default GOMAXPROCS), -results <dir> (append-only
 // JSON-lines result manifest, default "results"; empty disables it),
 // -resume (skip points already completed in the manifest — lets an
-// interrupted `ibsim all` pick up where it stopped), -cpuprofile /
-// -memprofile (write pprof profiles covering the whole run — profile
-// the simulator hot path with e.g.
+// interrupted `ibsim all` pick up where it stopped), -watchdog <dur>
+// (wall-clock budget per simulation point; a wedged point is abandoned
+// with a runner error naming it instead of hanging the sweep; 0
+// disables), -cpuprofile / -memprofile (write pprof profiles covering
+// the whole run — profile the simulator hot path with e.g.
 // `ibsim -cpuprofile cpu.pprof -jobs 1 fig5`).
 package main
 
@@ -58,6 +61,7 @@ var (
 	jobs       = flag.Int("jobs", 0, "parallel simulation points per sweep (0 = GOMAXPROCS)")
 	resultsDir = flag.String("results", "results", "directory for the result manifest; empty disables persistence")
 	resume     = flag.Bool("resume", false, "skip points already completed in the result manifest")
+	watchdog   = flag.Duration("watchdog", 0, "wall-clock budget per simulation point; a wedged point fails with attribution instead of hanging the sweep (0 disables)")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 )
@@ -119,7 +123,7 @@ func baseConfig() ibasec.Config {
 var sweepCommands = map[string]bool{
 	"fig1": true, "fig5": true, "fig6": true, "sweep": true,
 	"authrate": true, "smdos": true, "scale": true, "faults": true,
-	"all": true,
+	"failover": true, "all": true,
 }
 
 func main() {
@@ -188,6 +192,7 @@ func run() int {
 		Retries:  1,
 		Progress: os.Stderr,
 		Store:    store,
+		Watchdog: *watchdog,
 	})
 
 	var err error
@@ -216,6 +221,8 @@ func run() int {
 		err = runScale(args)
 	case "faults":
 		err = runFaults(args)
+	case "failover":
+		err = runFailover(args)
 	case "trace":
 		err = runTrace(args)
 	case "all":
@@ -532,6 +539,42 @@ func runFaults(args []string) error {
 	return writeTable(ibasec.FaultsCSV(rows))
 }
 
+func runFailover(args []string) error {
+	fs := flag.NewFlagSet("failover", flag.ExitOnError)
+	standbysFlag := fs.String("standbys", "0,1,2", "comma-separated standby SM counts (0 = no HA baseline)")
+	heartbeatsFlag := fs.String("heartbeats-us", "50,100", "comma-separated heartbeat intervals (us)")
+	rekeysFlag := fs.String("rekeys-us", "0,300", "comma-separated rekey periods (us); 0 disables rotation")
+	fs.Parse(args)
+
+	standbys, err := parseInts(*standbysFlag)
+	if err != nil {
+		return fmt.Errorf("failover: -standbys: %w", err)
+	}
+	heartbeats, err := parseInts(*heartbeatsFlag)
+	if err != nil {
+		return fmt.Errorf("failover: -heartbeats-us: %w", err)
+	}
+	rekeys, err := parseInts(*rekeysFlag)
+	if err != nil {
+		return fmt.Errorf("failover: -rekeys-us: %w", err)
+	}
+
+	base := baseConfig()
+	rows, err := ibasec.FailoverSweepCtx(runCtx, pool, standbys, heartbeats, rekeys, base)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Robustness. SM kill + standby election + online key-epoch rotation")
+	fmt.Println("  sb  hb(us)  rekey(us)  takeovers  elect(us)  takeover(us)  mads-rec  mads-lost  rollovers  forced  grace-miss  ok-grace  auth-fail  regs-pre/post")
+	for _, r := range rows {
+		fmt.Printf("  %2d  %6.0f  %9.0f  %9d  %9.1f  %12.1f  %8d  %9d  %9d  %6d  %10d  %8d  %9d  %6d/%d\n",
+			r.Standbys, r.HeartbeatUS, r.RekeyUS, r.Takeovers, r.ElectionUS, r.TakeoverUS,
+			r.MADsRecover, r.MADsLostDeadSM, r.Rollovers, r.ForcedRotations,
+			r.GraceMisses, r.AuthOKGrace, r.AuthFail, r.SIFRegsPre, r.SIFRegsPost)
+	}
+	return writeTable(ibasec.FailoverCSV(rows))
+}
+
 func runTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	events := fs.Int("events", 30, "how many trailing events to print")
@@ -585,6 +628,7 @@ func runAll() error {
 		{"smdos", func() error { return runSMDoS(nil) }},
 		{"scale", func() error { return runScale(nil) }},
 		{"faults", func() error { return runFaults(nil) }},
+		{"failover", func() error { return runFailover(nil) }},
 		{"trace", func() error { return runTrace(nil) }},
 	}
 	var failures []error

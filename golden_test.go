@@ -142,3 +142,27 @@ func TestGoldenRerunIdentical(t *testing.T) {
 		t.Fatalf("same-process rerun diverged:\n%s\n---\n%s", a, b)
 	}
 }
+
+// TestGoldenFailover pins the SM-failover / key-rotation sweep (the
+// exact configuration scripts/ci.sh race-smokes via `ibsim -quick ...
+// failover -standbys 1,2 -heartbeats-us 50 -rekeys-us 0,300`) and proves
+// serial/parallel equivalence: the same sweep through the worker pool
+// and through a nil (serial) pool must both match the golden bytes.
+func TestGoldenFailover(t *testing.T) {
+	parallel, err := FailoverSweepCtx(context.Background(), goldenPool(), []int{1, 2}, []int{50}, []int{0, 300}, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "failover_quick.csv", FailoverCSV(parallel))
+
+	if testing.Short() {
+		return
+	}
+	serial, err := FailoverSweepCtx(context.Background(), nil, []int{1, 2}, []int{50}, []int{0, 300}, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := FailoverCSV(parallel).Bytes(), FailoverCSV(serial).Bytes(); !bytes.Equal(a, b) {
+		t.Fatalf("serial sweep diverged from parallel:\n%s\n---\n%s", b, a)
+	}
+}

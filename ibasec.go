@@ -51,6 +51,12 @@ type (
 	Config = core.Config
 	// AuthConfig selects the authentication mechanism and key level.
 	AuthConfig = core.AuthConfig
+	// HAParams configures standby subnet managers and master election;
+	// the zero value runs the classic single SM.
+	HAParams = core.HAParams
+	// RekeyParams configures online key-epoch rotation; the zero value
+	// keeps every secret at epoch 0.
+	RekeyParams = core.RekeyParams
 	// Results holds a run's measurements (delays in microseconds).
 	Results = core.Results
 	// Cluster is a fully wired simulation instance (advanced use).
@@ -68,6 +74,7 @@ type (
 	SMFloodRow  = core.SMFloodRow
 	ScaleRow    = core.ScaleRow
 	FaultRow    = core.FaultRow
+	FailoverRow = core.FailoverRow
 	// AttackOutcome is one row of the Table 3 attack matrix.
 	AttackOutcome = attack.Outcome
 )
@@ -83,6 +90,10 @@ type (
 	SwitchKill = faults.SwitchKill
 	BERBurst   = faults.BERBurst
 	MADLoss    = faults.MADLoss
+	// SMKill kills the active subnet manager; KeyCompromise forces an
+	// out-of-cycle epoch rotation of one partition.
+	SMKill        = faults.SMKill
+	KeyCompromise = faults.KeyCompromise
 	// LinkID names one full-duplex link from its switch side.
 	LinkID = topology.LinkID
 	// Resweeper is the SM's periodic self-healing loop (Cluster.Resweeper
@@ -318,6 +329,20 @@ func FaultsSweepCtx(ctx context.Context, pool *Pool, bers []float64, kills []int
 	return core.FaultsSweepCtx(ctx, pool, bers, kills, base)
 }
 
+// FailoverSweep runs the SM-failover / key-rotation experiment: the
+// master SM is killed mid-run (and, when rotation is on, one partition
+// key force-rotated after a compromise), sweeping standby count ×
+// heartbeat interval × rekey period.
+func FailoverSweep(standbys []int, heartbeatsUS []int, rekeysUS []int, base Config) ([]FailoverRow, error) {
+	return core.FailoverSweep(standbys, heartbeatsUS, rekeysUS, base)
+}
+
+// FailoverSweepCtx is FailoverSweep with cancellation and an optional
+// worker pool.
+func FailoverSweepCtx(ctx context.Context, pool *Pool, standbys []int, heartbeatsUS []int, rekeysUS []int, base Config) ([]FailoverRow, error) {
+	return core.FailoverSweepCtx(ctx, pool, standbys, heartbeatsUS, rekeysUS, base)
+}
+
 // CSVTable is one experiment's rows rendered for an encoding/csv writer.
 // The renderers below are the single source of truth for experiment CSV
 // formatting: cmd/ibsim and the golden-determinism tests both go through
@@ -335,3 +360,6 @@ func Fig6CSV(rows []Fig6Row) CSVTable { return core.Fig6CSV(rows) }
 
 // FaultsCSV renders the chaos sweep (link kills + BER bursts).
 func FaultsCSV(rows []FaultRow) CSVTable { return core.FaultsCSV(rows) }
+
+// FailoverCSV renders the SM-failover / key-rotation sweep.
+func FailoverCSV(rows []FailoverRow) CSVTable { return core.FailoverCSV(rows) }

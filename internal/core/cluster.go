@@ -91,6 +91,14 @@ type Cluster struct {
 	// Injector is the installed fault plan's handle, non-nil when
 	// Config.FaultPlan != nil (wired during Simulate).
 	Injector *faults.Injector
+	// HA is the SM failover coordinator, non-nil when Config.HA has
+	// standbys or the fault plan schedules an SMKill.
+	HA *sm.Coordinator
+	// Standbys are the standby SM instances, in priority order.
+	Standbys []*sm.SubnetManager
+	// Rotator drives key-epoch rotation, non-nil when Config.Rekey is
+	// enabled (started during Simulate).
+	Rotator *sm.Rotator
 
 	res        *Results
 	healEvents []sm.HealEvent
@@ -211,10 +219,23 @@ func Build(cfg Config) (*Cluster, error) {
 			}
 		} else {
 			manager.Authority = keys.NewPartitionAuthority(rngCrypto, dir)
-			manager.InstallSecret = func(node int, pk packet.PKey, k keys.SecretKey) {
-				if ep := cl.Endpoints[node]; ep != nil {
-					ep.Store.InstallPartitionSecret(pk, k)
-				}
+		}
+		// Distribution hooks: the SM (and any standby promoted in its
+		// place) reaches member key stores through these closures.
+		manager.InstallSecret = func(node int, pk packet.PKey, k keys.SecretKey, epoch uint32) {
+			if ep := cl.Endpoints[node]; ep != nil {
+				ep.Store.InstallPartitionEpoch(pk, epoch, k)
+			}
+		}
+		manager.RetireSecret = func(node int, pk packet.PKey, epoch uint32) {
+			if ep := cl.Endpoints[node]; ep != nil {
+				ep.Store.RetirePartitionEpoch(pk, epoch)
+			}
+		}
+		manager.WipeSecrets = func(node int, pk packet.PKey) {
+			if ep := cl.Endpoints[node]; ep != nil {
+				ep.Store.WipePartitionSecret(pk)
+				ep.Store.WipeQPSecrets()
 			}
 		}
 		// Transport endpoints (created before partitions so secret
@@ -270,15 +291,82 @@ func Build(cfg Config) (*Cluster, error) {
 		manager.AttachTraps()
 	}
 
-	// Choose attackers among non-SM nodes.
+	// Standby SM placement: the highest-index nodes, skipping the
+	// master's, in priority order. Deterministic by construction and
+	// independent of the RNG streams, so enabling HA cannot move
+	// attackers or reshuffle partitions.
+	standbyNodes := make([]int, 0, cfg.HA.Standbys)
+	standbySet := make(map[int]bool)
+	for node := n - 1; node >= 0 && len(standbyNodes) < cfg.HA.Standbys; node-- {
+		if node == cfg.SM.Node {
+			continue
+		}
+		standbyNodes = append(standbyNodes, node)
+		standbySet[node] = true
+	}
+
+	// Choose attackers among non-SM (and, with HA, non-standby) nodes.
 	candidates := make([]int, 0, n-1)
 	for _, node := range rngSetup.Perm(n) {
-		if node != cfg.SM.Node {
+		if node != cfg.SM.Node && !standbySet[node] {
 			candidates = append(candidates, node)
 		}
 	}
 	for i := 0; i < cfg.Attackers; i++ {
 		cl.AttackSet[candidates[i]] = true
+	}
+
+	// HA ensemble: standby SMs share the master's filter and key
+	// authority, run on their own nodes with every periodic duty parked,
+	// and are seeded with the initial partition state (the coordinator's
+	// in-band state-sync MADs keep them fresh thereafter). A coordinator
+	// also exists with zero standbys when the plan kills the SM, so the
+	// unrecovered-loss baseline is measured through the same machinery.
+	if cfg.HA.Enabled() || (cfg.FaultPlan != nil && len(cfg.FaultPlan.SMKills) > 0) {
+		for _, node := range standbyNodes {
+			sbCfg := cfg.SM
+			sbCfg.Node = node
+			sb := sm.NewStandby(s, mesh, filter, sbCfg)
+			sb.Authority = manager.Authority
+			sb.InstallSecret = manager.InstallSecret
+			sb.RetireSecret = manager.RetireSecret
+			sb.WipeSecrets = manager.WipeSecrets
+			sb.AdoptPartitions(manager.PartitionSnapshot())
+			cl.Standbys = append(cl.Standbys, sb)
+		}
+		haCfg := sm.HAConfig{
+			Standbys:  standbyNodes,
+			Heartbeat: cfg.HA.Heartbeat,
+			Lease:     cfg.HA.Lease,
+		}
+		if haCfg.Heartbeat <= 0 {
+			haCfg.Heartbeat = 50 * sim.Microsecond
+		}
+		if haCfg.Lease <= 0 {
+			haCfg.Lease = 3 * haCfg.Heartbeat
+		}
+		coord, err := sm.NewCoordinator(s, mesh, haCfg, cfg.SM.MKey, manager, cl.Standbys)
+		if err != nil {
+			return nil, fmt.Errorf("core: building HA coordinator: %w", err)
+		}
+		cl.HA = coord
+	}
+
+	// Key-epoch rotation (partition-level only; Validate enforces it).
+	if cfg.Rekey.Enabled() {
+		rot := sm.RotationConfig{
+			Period:            cfg.Rekey.Period,
+			Grace:             cfg.Rekey.Grace,
+			DistributionDelay: cfg.Rekey.DistributionDelay,
+		}
+		if rot.Grace == 0 {
+			rot.Grace = rot.Period / 4
+		}
+		r, err := sm.NewRotator(s, manager, rot)
+		if err != nil {
+			return nil, fmt.Errorf("core: building key rotator: %w", err)
+		}
+		cl.Rotator = r
 	}
 	return cl, nil
 }
@@ -294,7 +382,7 @@ func (cl *Cluster) attachCollectors() {
 		}
 		hca.OnDeliver = func(d *fabric.Delivery) {
 			if d.Class == fabric.ClassManagement {
-				if cl.SM.HandleManagement(d) {
+				if cl.dispatchMgmt(i, d) {
 					return
 				}
 			} else if d.Attack {
@@ -324,6 +412,17 @@ func (cl *Cluster) attachCollectors() {
 	}
 }
 
+// dispatchMgmt routes a management-class delivery arriving at node. With
+// an HA coordinator the coordinator owns the routing (HA MADs, traps to
+// the active master, loss at a dead master); otherwise the single SM
+// handles it exactly as before.
+func (cl *Cluster) dispatchMgmt(node int, d *fabric.Delivery) bool {
+	if cl.HA != nil {
+		return cl.HA.Dispatch(node, d)
+	}
+	return cl.SM.HandleManagement(d)
+}
+
 // armResilience wires the self-healing management plane and installs the
 // fault plan. It must run after attachCollectors, which replaces every
 // HCA's OnDeliver wholesale: the SM agents wrap the collector chain, so
@@ -331,12 +430,18 @@ func (cl *Cluster) attachCollectors() {
 // measurement and transport.
 func (cl *Cluster) armResilience() {
 	cfg := cl.Cfg
-	if cfg.ResweepPeriod > 0 {
+	if cfg.ResweepPeriod > 0 || cl.HA != nil {
+		// Both the periodic re-sweep and a promoted standby's
+		// re-verification sweep need in-band agents answering SMPs on
+		// every switch and HCA.
 		mkey := cfg.SM.MKey
 		sm.AttachSwitchAgents(cl.Mesh, mkey)
 		for _, h := range cl.Mesh.HCAs {
 			sm.AttachNodeAgent(h, mkey)
 		}
+	}
+	if cfg.ResweepPeriod > 0 {
+		mkey := cfg.SM.MKey
 		// Probe deadline: an SMP round trip is a few µs, but VL15 waits
 		// behind at most one in-flight MTU per hop under load, so a
 		// healthy probe can take tens of µs; 25 µs with two retries
@@ -351,6 +456,21 @@ func (cl *Cluster) armResilience() {
 		r.Start()
 		cl.Resweeper = r
 	}
+	if cl.HA != nil {
+		cl.HA.OnTakeover = func(newMaster *sm.SubnetManager) {
+			// The promoted standby takes over every master duty that
+			// outlives the kill: key rotation rebinds to its membership
+			// view and restarts.
+			if cl.Rotator != nil {
+				cl.Rotator.Rebind(newMaster)
+				cl.Rotator.Start()
+			}
+		}
+		cl.HA.Start()
+	}
+	if cl.Rotator != nil {
+		cl.Rotator.Start()
+	}
 	if cfg.FaultPlan != nil {
 		inj, err := faults.Install(cl.Sim, cl.Mesh, cfg.Params, cfg.FaultPlan)
 		if err != nil {
@@ -358,6 +478,43 @@ func (cl *Cluster) armResilience() {
 			panic(fmt.Sprintf("core: installing fault plan: %v", err))
 		}
 		cl.Injector = inj
+
+		// Management-plane faults are scheduled here, not in
+		// faults.Install: they act on the SM coordinator and key
+		// rotator, which only the core layer holds.
+		for _, sk := range cfg.FaultPlan.SMKills {
+			sk := sk
+			cl.Sim.ScheduleAt(sk.At, func() {
+				if cl.Resweeper != nil {
+					cl.Resweeper.Stop() // the dead master's control loop
+				}
+				if cl.Rotator != nil {
+					cl.Rotator.Stop() // rotation is a master duty
+				}
+				if cl.HA != nil {
+					cl.HA.KillMaster()
+				} else {
+					cl.SM.Stop()
+				}
+			})
+		}
+		for _, kc := range cfg.FaultPlan.Compromises {
+			kc := kc
+			cl.Sim.ScheduleAt(kc.At, func() {
+				if cl.Rotator == nil {
+					return
+				}
+				// A dead management plane cannot respond: the
+				// compromised epoch stays live — the unprotected
+				// baseline the HA arms are measured against.
+				if cl.HA != nil && !cl.HA.MasterAlive() {
+					return
+				}
+				if err := cl.Rotator.ForceRotate(packet.PKey(kc.PKey)); err != nil {
+					panic(fmt.Sprintf("core: forced rotation: %v", err))
+				}
+			})
+		}
 	}
 }
 
@@ -427,6 +584,15 @@ func (cl *Cluster) Simulate() *Results {
 		a.Stop()
 	}
 	cl.SM.Stop()
+	for _, sb := range cl.Standbys {
+		sb.Stop()
+	}
+	if cl.HA != nil {
+		cl.HA.Stop()
+	}
+	if cl.Rotator != nil {
+		cl.Rotator.Stop()
+	}
 	if cl.Resweeper != nil {
 		cl.Resweeper.Stop()
 	}
@@ -441,6 +607,10 @@ func (cl *Cluster) Simulate() *Results {
 	}
 	cl.res.TrapsSent = cl.SM.Counters.Get("traps_sent")
 	cl.res.SIFRegistrations = cl.SM.Counters.Get("sif_registrations")
+	for _, sb := range cl.Standbys {
+		cl.res.TrapsSent += sb.Counters.Get("traps_sent")
+		cl.res.SIFRegistrations += sb.Counters.Get("sif_registrations")
+	}
 	for _, ep := range cl.Endpoints {
 		if ep != nil {
 			cl.res.KeyExchanges += ep.Counters.Get("qkey_established")

@@ -36,6 +36,42 @@ type AuthConfig struct {
 	ThroughputGbps float64
 }
 
+// HAParams configures subnet-manager high availability. The zero value
+// disables HA entirely (single SM, exactly the pre-HA behaviour).
+type HAParams struct {
+	// Standbys is how many standby SM instances to run. They are placed
+	// deterministically on the highest-index nodes (skipping the master's
+	// node) in priority order, receive heartbeat + state-sync MADs from
+	// the master, and elect a replacement on lease expiry.
+	Standbys int
+	// Heartbeat is the master's beacon period.
+	Heartbeat sim.Time
+	// Lease is the heartbeat-silence tolerance before takeover; it must
+	// be at least one heartbeat. Zero defaults to 3×Heartbeat.
+	Lease sim.Time
+}
+
+// Enabled reports whether any HA machinery should be wired.
+func (h HAParams) Enabled() bool { return h.Standbys > 0 }
+
+// RekeyParams configures online key-epoch rotation. The zero value
+// disables rotation (secrets stay at epoch 0 forever, exactly the
+// pre-rotation behaviour). Rotation requires partition-level
+// authentication.
+type RekeyParams struct {
+	// Period is the epoch rollover interval; zero disables rotation.
+	Period sim.Time
+	// Grace is how long receivers keep accepting the previous epoch
+	// after a rollover. Zero defaults to Period/4.
+	Grace sim.Time
+	// DistributionDelay models envelope-distribution latency between the
+	// authority minting epoch e+1 and members' stores holding it.
+	DistributionDelay sim.Time
+}
+
+// Enabled reports whether rotation should be wired.
+func (r RekeyParams) Enabled() bool { return r.Period > 0 }
+
 // Config describes one simulation run. The zero value is not runnable;
 // start from DefaultConfig.
 type Config struct {
@@ -115,6 +151,13 @@ type Config struct {
 
 	// SM configures the subnet manager.
 	SM sm.Config
+
+	// HA configures standby subnet managers and master election; the
+	// zero value runs the classic single SM.
+	HA HAParams
+	// Rekey configures online key-epoch rotation; the zero value keeps
+	// every secret at epoch 0 for the whole run.
+	Rekey RekeyParams
 }
 
 // DefaultConfig returns the paper's Table 1 testbed with no attackers,
@@ -174,6 +217,37 @@ func (c *Config) Validate() error {
 	}
 	if c.Params == nil {
 		return fmt.Errorf("core: nil fabric params")
+	}
+	if c.HA.Standbys < 0 || c.HA.Standbys >= n {
+		return fmt.Errorf("core: %d SM standbys for %d nodes", c.HA.Standbys, n)
+	}
+	if c.HA.Enabled() {
+		if c.HA.Heartbeat <= 0 {
+			return fmt.Errorf("core: HA requires a positive heartbeat")
+		}
+		if c.HA.Lease != 0 && c.HA.Lease < c.HA.Heartbeat {
+			return fmt.Errorf("core: HA lease %v shorter than heartbeat %v", c.HA.Lease, c.HA.Heartbeat)
+		}
+	}
+	if c.Rekey.Enabled() {
+		if !c.Auth.Enabled || c.Auth.Level != transport.PartitionLevel {
+			return fmt.Errorf("core: key rotation requires partition-level authentication")
+		}
+		grace := c.Rekey.Grace
+		if grace == 0 {
+			grace = c.Rekey.Period / 4
+		}
+		if grace <= 0 || grace >= c.Rekey.Period {
+			return fmt.Errorf("core: rekey grace %v must be in (0, period %v)", grace, c.Rekey.Period)
+		}
+		if c.Rekey.DistributionDelay < 0 || c.Rekey.DistributionDelay >= grace {
+			return fmt.Errorf("core: rekey distribution delay %v must be in [0, grace %v)", c.Rekey.DistributionDelay, grace)
+		}
+	}
+	if c.FaultPlan != nil {
+		if len(c.FaultPlan.Compromises) > 0 && !c.Rekey.Enabled() {
+			return fmt.Errorf("core: KeyCompromise faults require key rotation (Rekey.Period > 0)")
+		}
 	}
 	return c.Params.Validate()
 }

@@ -123,3 +123,31 @@ func FaultsCSV(rows []FaultRow) CSVTable {
 	}
 	return t
 }
+
+// FailoverCSV renders the SM-failover / key-rotation sweep.
+func FailoverCSV(rows []FailoverRow) CSVTable {
+	t := CSVTable{
+		Name: "failover",
+		Header: []string{
+			"standbys", "heartbeat_us", "rekey_us",
+			"takeovers", "election_us", "takeover_us",
+			"mads_recover", "mads_lost_dead_sm",
+			"rollovers", "forced_rotations", "grace_misses", "auth_ok_grace",
+			"auth_ok", "auth_fail", "traps_sent",
+			"sif_regs_pre", "sif_regs_post", "filter_dropped",
+			"sent", "delivered",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			Itoa(uint64(r.Standbys)), Ftoa(r.HeartbeatUS), Ftoa(r.RekeyUS),
+			Itoa(r.Takeovers), Ftoa(r.ElectionUS), Ftoa(r.TakeoverUS),
+			Itoa(r.MADsRecover), Itoa(r.MADsLostDeadSM),
+			Itoa(r.Rollovers), Itoa(r.ForcedRotations), Itoa(r.GraceMisses), Itoa(r.AuthOKGrace),
+			Itoa(r.AuthOK), Itoa(r.AuthFail), Itoa(r.TrapsSent),
+			Itoa(r.SIFRegsPre), Itoa(r.SIFRegsPost), Itoa(r.FilterDropped),
+			Itoa(r.Sent), Itoa(r.Delivered),
+		})
+	}
+	return t
+}

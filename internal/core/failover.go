@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ibasec/internal/enforce"
+	"ibasec/internal/fabric"
+	"ibasec/internal/faults"
+	"ibasec/internal/runner"
+	"ibasec/internal/sim"
+	"ibasec/internal/transport"
+)
+
+// FailoverRow is one point of the SM-failover / key-rotation experiment:
+// the master SM is killed a third of the way into the run and one
+// partition's key is declared compromised at the halfway mark, for one
+// (standby count, heartbeat interval, rekey period) cell.
+type FailoverRow struct {
+	Standbys    int
+	HeartbeatUS float64
+	RekeyUS     float64 // 0: rotation disabled for this arm
+
+	// Failover: all latencies are measured from the kill instant.
+	Takeovers  uint64
+	ElectionUS float64 // kill -> a standby declares itself master
+	TakeoverUS float64 // kill -> re-sweep done, tables + traps re-installed
+	// MADsRecover counts the SMPs the winning standby's bounded re-sweep
+	// spent re-verifying fabric state.
+	MADsRecover uint64
+	// MADsLostDeadSM counts management packets (violation traps) that
+	// arrived at the dead master and were lost — the detection window's
+	// cost.
+	MADsLostDeadSM uint64
+
+	// Rotation.
+	Rollovers       uint64 // whole-fabric epoch rollover rounds
+	ForcedRotations uint64 // KeyCompromise responses
+	GraceMisses     uint64 // packets MAC'd under a retired epoch (rejected)
+	AuthOKGrace     uint64 // packets accepted under the previous epoch
+
+	// Enforcement continuity across the failover.
+	AuthOK        uint64
+	AuthFail      uint64
+	TrapsSent     uint64
+	SIFRegsPre    uint64 // SIF registrations performed by the original master
+	SIFRegsPost   uint64 // SIF registrations performed by promoted standbys
+	FilterDropped uint64
+
+	Sent      uint64
+	Delivered uint64
+}
+
+// FailoverSweep sweeps standby count × heartbeat interval × rekey period
+// under an SMKill + KeyCompromise fault plan. heartbeatsUS and rekeysUS
+// are in microseconds; a rekey of 0 runs that arm with rotation disabled.
+func FailoverSweep(standbys []int, heartbeatsUS []int, rekeysUS []int, base Config) ([]FailoverRow, error) {
+	return FailoverSweepCtx(context.Background(), nil, standbys, heartbeatsUS, rekeysUS, base)
+}
+
+// FailoverSweepCtx is FailoverSweep with cancellation and an optional
+// worker pool; a nil pool runs the points serially.
+func FailoverSweepCtx(ctx context.Context, pool *runner.Pool, standbys []int, heartbeatsUS []int, rekeysUS []int, base Config) ([]FailoverRow, error) {
+	jobs := make([]runner.Job[FailoverRow], 0, len(standbys)*len(heartbeatsUS)*len(rekeysUS))
+	for _, sb := range standbys {
+		for _, hb := range heartbeatsUS {
+			for _, rk := range rekeysUS {
+				sb, hb, rk := sb, hb, rk
+				jobs = append(jobs, sweepJob("failover", len(jobs), base.Seed,
+					fmt.Sprintf("standbys=%d,heartbeat=%dus,rekey=%dus", sb, hb, rk),
+					func(context.Context) (FailoverRow, error) {
+						return runFailoverPoint(base, sb, hb, rk)
+					}))
+			}
+		}
+	}
+	return runner.Run(ctx, pool, jobs)
+}
+
+// runFailoverPoint runs one (standbys, heartbeat, rekey) cell.
+func runFailoverPoint(base Config, standbys, heartbeatUS, rekeyUS int) (FailoverRow, error) {
+	cfg := base
+	cfg.Enforcement = enforce.SIF
+	cfg.Auth = AuthConfig{Enabled: true, FuncID: cfg.Auth.FuncID, Level: transport.PartitionLevel}
+	cfg.RealtimeLoad = 0
+	cfg.BestEffortLoad = 0.3
+	// A single bursty attacker: each burst re-raises P_Key violations
+	// after the SIF auto-disable timer has cleared the previous
+	// registration, so trap -> SM -> registration round trips happen both
+	// before and after the kill — the continuity signal SIFRegsPre/Post
+	// report. The quiet gap between bursts (cycle × (1-duty)) must exceed
+	// twice the auto-disable period, or the violation counter never stalls
+	// for a full period and the registration never clears.
+	cfg.Attackers = 1
+	cfg.AttackDuty = 0.2
+	cfg.AttackCycle = cfg.Duration / 8
+	cfg.AttackClass = fabric.ClassBestEffort
+	cfg.SM.AutoDisablePeriod = cfg.Duration / 32
+
+	cfg.HA = HAParams{
+		Standbys:  standbys,
+		Heartbeat: sim.Time(heartbeatUS) * sim.Microsecond,
+	}
+	if rekeyUS > 0 {
+		period := sim.Time(rekeyUS) * sim.Microsecond
+		cfg.Rekey = RekeyParams{
+			Period:            period,
+			Grace:             period / 3,
+			DistributionDelay: 2 * sim.Microsecond,
+		}
+	}
+
+	killAt := cfg.Duration / 3
+	plan := &faults.Plan{
+		Seed:    cfg.Seed,
+		SMKills: []faults.SMKill{{At: killAt}},
+	}
+	if rekeyUS > 0 {
+		plan.Compromises = []faults.KeyCompromise{{PKey: 0x8001, At: cfg.Duration / 2}}
+	}
+	cfg.FaultPlan = plan
+
+	cl, err := Build(cfg)
+	if err != nil {
+		return FailoverRow{}, err
+	}
+	res := cl.Simulate()
+
+	row := FailoverRow{
+		Standbys:    standbys,
+		HeartbeatUS: (sim.Time(heartbeatUS) * sim.Microsecond).Microseconds(),
+		RekeyUS:     (sim.Time(rekeyUS) * sim.Microsecond).Microseconds(),
+		AuthOK:      res.AuthOK,
+		AuthFail:    res.AuthFail,
+		TrapsSent:   res.TrapsSent,
+		Sent:        res.SentLegit,
+		Delivered:   res.DeliveredUD,
+	}
+	if cl.Filter != nil {
+		row.FilterDropped = cl.Filter.Dropped
+	}
+	row.SIFRegsPre = cl.SM.Counters.Get("sif_registrations")
+	for _, sb := range cl.Standbys {
+		row.SIFRegsPost += sb.Counters.Get("sif_registrations")
+	}
+	for _, ep := range cl.Endpoints {
+		if ep != nil {
+			row.GraceMisses += ep.Counters.Get("auth_epoch_expired")
+			row.AuthOKGrace += ep.Counters.Get("auth_ok_grace")
+		}
+	}
+	if cl.HA != nil {
+		row.Takeovers = cl.HA.Counters.Get("takeovers")
+		row.MADsLostDeadSM = cl.HA.Counters.Get("mads_to_dead_sm")
+		if len(cl.HA.Events) > 0 {
+			ev := cl.HA.Events[0]
+			row.ElectionUS = (ev.ElectedAt - killAt).Microseconds()
+			row.TakeoverUS = (ev.HealedAt - killAt).Microseconds()
+			row.MADsRecover = uint64(ev.ProbeMADs)
+		}
+	}
+	if cl.Rotator != nil {
+		row.Rollovers = cl.Rotator.Counters.Get("epoch_rollovers")
+		row.ForcedRotations = cl.Rotator.Counters.Get("forced_rotations")
+	}
+	return row, nil
+}

@@ -55,6 +55,25 @@ type MADLoss struct {
 	Until    sim.Time
 }
 
+// SMKill kills the active (master) subnet manager at time At. With HA
+// standbys configured, lease expiry and election recover the management
+// plane; without them, traps and rekeying stop for the rest of the run.
+// The event targets whichever SM is master at At, so a second SMKill
+// after a failover kills the newly elected master.
+type SMKill struct {
+	At sim.Time
+}
+
+// KeyCompromise declares one partition's current secret compromised at
+// time At. The response is a forced out-of-cycle epoch rotation of that
+// partition; after the grace window, packets MAC'd under the compromised
+// epoch are rejected.
+type KeyCompromise struct {
+	// PKey is the full-membership P_Key of the compromised partition.
+	PKey uint16
+	At   sim.Time
+}
+
 // Plan is a complete, deterministic fault schedule for one run.
 type Plan struct {
 	// Seed drives every random draw the plan makes at run time (MAD
@@ -64,6 +83,11 @@ type Plan struct {
 	Switches []SwitchKill
 	BER      []BERBurst
 	MAD      *MADLoss
+	// SMKills and Compromises are management-plane faults; the core
+	// layer schedules them against its SM coordinator and key rotator
+	// (Install only validates them — they have no fabric-level effect).
+	SMKills     []SMKill
+	Compromises []KeyCompromise
 }
 
 // Validate checks the plan against a mesh's geometry.
@@ -88,6 +112,19 @@ func (p *Plan) Validate(m *topology.Mesh) error {
 	}
 	if p.MAD != nil && (p.MAD.DropProb < 0 || p.MAD.DropProb > 1) {
 		return fmt.Errorf("faults: MAD drop probability %v outside [0,1]", p.MAD.DropProb)
+	}
+	for _, sk := range p.SMKills {
+		if sk.At < 0 {
+			return fmt.Errorf("faults: SM kill at negative time %v", sk.At)
+		}
+	}
+	for _, kc := range p.Compromises {
+		if kc.At < 0 {
+			return fmt.Errorf("faults: key compromise at negative time %v", kc.At)
+		}
+		if kc.PKey&0x7FFF == 0 {
+			return fmt.Errorf("faults: key compromise with zero P_Key base")
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package keys
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -158,5 +159,108 @@ func TestIssueQPSecret(t *testing.T) {
 	}
 	if _, _, err := IssueQPSecret(rng, dir, "stranger"); err == nil {
 		t.Fatal("issued to unknown node")
+	}
+}
+
+func TestEpochEnvelopeRoundTrip(t *testing.T) {
+	rng := testRNG()
+	kp, _ := GenerateNodeKeyPair(rng)
+	secret, _ := NewSecretKey(rng)
+	env, err := SealEpoch(rng, kp.Public(), secret, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, epoch, err := kp.OpenEpoch(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret || epoch != 7 {
+		t.Fatalf("opened %v epoch %d", got, epoch)
+	}
+}
+
+// TestOpenerTamperVsReplayCounters is the ISSUE's distribution-path fault
+// drill: a bit-flipped epoch-e+1 envelope must be rejected as tampering,
+// a replayed retired epoch-e envelope as a replay, and the two outcomes
+// must land on distinct error counters.
+func TestOpenerTamperVsReplayCounters(t *testing.T) {
+	rng := testRNG()
+	kp, _ := GenerateNodeKeyPair(rng)
+	o := NewEnvelopeOpener(kp)
+	const pkBase = uint16(5)
+
+	sE, _ := NewSecretKey(rng)
+	envE, _ := SealEpoch(rng, kp.Public(), sE, 1)
+	sE1, _ := NewSecretKey(rng)
+	envE1, _ := SealEpoch(rng, kp.Public(), sE1, 2)
+
+	// Normal rollover: epoch e then e+1 both open.
+	for i, env := range []Envelope{envE, envE1} {
+		if _, _, err := o.Open(pkBase, env); err != nil {
+			t.Fatalf("envelope %d rejected: %v", i, err)
+		}
+	}
+
+	// Bit-flip the fresh e+1 envelope in flight.
+	bad := Envelope{Ciphertext: append([]byte(nil), envE1.Ciphertext...)}
+	bad.Ciphertext[11] ^= 0x80
+	if _, _, err := o.Open(pkBase, bad); !errors.Is(err, ErrEnvelopeTampered) {
+		t.Fatalf("tampered envelope: err = %v", err)
+	}
+
+	// Epoch e retires; an attacker replays its captured envelope.
+	o.Retire(pkBase, 2)
+	if _, _, err := o.Open(pkBase, envE); !errors.Is(err, ErrEnvelopeReplayed) {
+		t.Fatalf("replayed envelope: err = %v", err)
+	}
+	// But the same retirement must not block the live epoch, nor leak
+	// into other partitions.
+	if _, _, err := o.Open(pkBase, envE1); err != nil {
+		t.Fatalf("live epoch rejected after retire: %v", err)
+	}
+	if _, _, err := o.Open(pkBase+1, envE); err != nil {
+		t.Fatalf("retirement leaked across partitions: %v", err)
+	}
+
+	for name, want := range map[string]uint64{
+		"envelope_tampered": 1,
+		"envelope_replayed": 1,
+		"envelope_opened":   4,
+	} {
+		if got := o.Counters.Get(name); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestEnvelopeForEpochFeedsOpener(t *testing.T) {
+	rng := testRNG()
+	kp, _ := GenerateNodeKeyPair(rng)
+	dir := NewDirectory()
+	dir.Register("node3", kp.Public())
+	a := NewPartitionAuthority(rng, dir)
+	pk := packet.PKey(0x8004)
+	if _, err := a.EnsureSecret(pk); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.RotateEpoch(pk); err != nil {
+		t.Fatal(err)
+	}
+
+	env, epoch, err := a.EnvelopeForEpoch(pk, "node3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("authority epoch = %d, want 1 after one rotation", epoch)
+	}
+	o := NewEnvelopeOpener(kp)
+	got, gotEpoch, err := o.Open(pk.Base(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.EnsureSecret(pk)
+	if got != want || gotEpoch != 1 {
+		t.Fatalf("opened secret/epoch mismatch: epoch %d", gotEpoch)
 	}
 }

@@ -220,3 +220,95 @@ func TestStoreQPSecrets(t *testing.T) {
 		t.Fatalf("Counts = %d,%d,%d", p, r, snd)
 	}
 }
+
+func TestStoreEpochLifecycle(t *testing.T) {
+	s := NewStore()
+	var k0, k1, k2 SecretKey
+	k0[0], k1[0], k2[0] = 1, 2, 3
+	pk := packet.PKey(0x8005)
+
+	s.InstallPartitionEpoch(pk, 0, k0)
+	s.InstallPartitionEpoch(pk, 1, k1)
+
+	// Current moved to epoch 1; epoch 0 is held for the grace window.
+	if got, _ := s.PartitionSecret(pk); got != k1 {
+		t.Fatal("current secret not at epoch 1")
+	}
+	if e, ok := s.PartitionEpoch(pk); !ok || e != 1 {
+		t.Fatalf("PartitionEpoch = %d, %v", e, ok)
+	}
+	cur, prev, havePrev, ok := s.PartitionVerifyKeys(pk)
+	if !ok || cur.Epoch != 1 || cur.Key != k1 || !havePrev || prev.Epoch != 0 || prev.Key != k0 {
+		t.Fatalf("verify keys = %+v / %+v (havePrev=%v)", cur, prev, havePrev)
+	}
+	if _, retired := s.RetiredPartitionKey(pk); retired {
+		t.Fatal("retired key before retirement")
+	}
+
+	// Retirement ends the grace window and leaves a tombstone, so a
+	// receiver can tell "signed under a dead epoch" from a forgery.
+	if !s.RetirePartitionEpoch(pk, 0) {
+		t.Fatal("retire of grace epoch refused")
+	}
+	if _, _, havePrev, _ := s.PartitionVerifyKeys(pk); havePrev {
+		t.Fatal("grace key survived retirement")
+	}
+	if rk, ok := s.RetiredPartitionKey(pk); !ok || rk.Epoch != 0 || rk.Key != k0 {
+		t.Fatalf("tombstone = %+v, %v", rk, ok)
+	}
+
+	// Stale installs (duplicate or out-of-order distribution) are ignored.
+	s.InstallPartitionEpoch(pk, 0, k0)
+	if e, _ := s.PartitionEpoch(pk); e != 1 {
+		t.Fatal("older epoch overwrote current")
+	}
+	// Same-epoch reinstall refreshes the key without shifting epochs.
+	s.InstallPartitionEpoch(pk, 1, k2)
+	if got, _ := s.PartitionSecret(pk); got != k2 {
+		t.Fatal("same-epoch reinstall ignored")
+	}
+}
+
+func TestStoreRetireOnlyAfterRollover(t *testing.T) {
+	s := NewStore()
+	var k SecretKey
+	k[0] = 9
+	pk := packet.PKey(0x8003)
+	s.InstallPartitionEpoch(pk, 0, k)
+	// Nothing in grace yet: a retire for a future epoch must not touch
+	// the current key.
+	if s.RetirePartitionEpoch(pk, 0) {
+		t.Fatal("retired with no grace-window key held")
+	}
+	if got, ok := s.PartitionSecret(pk); !ok || got != k {
+		t.Fatal("current key lost by early retire")
+	}
+}
+
+func TestStoreWipes(t *testing.T) {
+	s := NewStore()
+	var k SecretKey
+	k[0] = 7
+	pk := packet.PKey(0x8002)
+	s.InstallPartitionEpoch(pk, 0, k)
+	s.InstallPartitionEpoch(pk, 1, k)
+	s.InstallRecvQPSecret(packet.QKey(0x42), 7, 4, k)
+	s.InstallSendQPSecret(4, 9, 2, k)
+
+	s.WipePartitionSecret(pk)
+	if _, ok := s.PartitionSecret(pk); ok {
+		t.Fatal("partition secret survived wipe")
+	}
+	if _, _, _, ok := s.PartitionVerifyKeys(pk); ok {
+		t.Fatal("verify keys survived wipe")
+	}
+	if n := s.WipeQPSecrets(); n != 2 {
+		t.Fatalf("WipeQPSecrets = %d, want 2", n)
+	}
+	if _, ok := s.RecvQPSecret(packet.QKey(0x42), 7, 4); ok {
+		t.Fatal("recv QP secret survived wipe")
+	}
+	if _, ok := s.SendQPSecret(4, 9, 2); ok {
+		t.Fatal("send QP secret survived wipe")
+	}
+}

@@ -8,11 +8,32 @@ import (
 	"ibasec/internal/packet"
 )
 
+// EpochKey is an epoch-tagged authentication secret. Epochs order the
+// generations of one partition's secret under online rotation: the SM
+// re-issues the secret at epoch e+1 while receivers keep accepting epoch
+// e for a grace window, then retire it.
+type EpochKey struct {
+	Key   SecretKey
+	Epoch uint32
+}
+
+// partitionSecrets is one partition's epoch state in a Store: the
+// current secret, the previous epoch while its grace window is open, and
+// the most recently retired epoch. The retired key is kept only so the
+// verification path can distinguish "signed under a retired epoch"
+// (a grace-window miss, its own counter) from a plain forgery.
+type partitionSecrets struct {
+	current EpochKey
+	prev    *EpochKey
+	retired *EpochKey
+}
+
 // Store is a Channel Adapter's table of installed authentication secrets,
 // covering both management schemes:
 //
 //   - Partition-level (paper Fig. 2): one secret per partition, indexed by
-//     the P_Key base value. All QPs in the partition share it.
+//     the P_Key base value. All QPs in the partition share it. Secrets are
+//     epoch-tagged; without rotation everything stays at epoch 0.
 //   - QP-level (paper Fig. 3): per-QP secrets. On the receive side a
 //     secret is indexed by (Q_Key, source QP) because one datagram QP may
 //     issue distinct secrets to many requesters; on the send side it is
@@ -21,7 +42,7 @@ import (
 // Store is safe for concurrent use.
 type Store struct {
 	mu        sync.RWMutex
-	partition map[uint16]SecretKey
+	partition map[uint16]*partitionSecrets
 	recvQP    map[recvIndex]SecretKey
 	sendQP    map[pairIndex]SecretKey
 }
@@ -41,25 +62,129 @@ type pairIndex struct {
 // NewStore returns an empty secret-key store.
 func NewStore() *Store {
 	return &Store{
-		partition: make(map[uint16]SecretKey),
+		partition: make(map[uint16]*partitionSecrets),
 		recvQP:    make(map[recvIndex]SecretKey),
 		sendQP:    make(map[pairIndex]SecretKey),
 	}
 }
 
-// InstallPartitionSecret stores the shared secret for a partition.
+// InstallPartitionSecret stores the shared secret for a partition at
+// epoch 0, resetting any rotation state (the pre-rotation installation
+// path).
 func (s *Store) InstallPartitionSecret(pk packet.PKey, k SecretKey) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.partition[pk.Base()] = k
+	s.partition[pk.Base()] = &partitionSecrets{current: EpochKey{Key: k}}
 }
 
-// PartitionSecret returns the secret for pk's partition.
+// InstallPartitionEpoch installs the partition secret for one epoch. A
+// newer epoch displaces the current secret into the grace window; an
+// equal epoch replaces the key in place; an older epoch is ignored (a
+// late re-delivery must not roll the store backwards).
+func (s *Store) InstallPartitionEpoch(pk packet.PKey, epoch uint32, k SecretKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.partition[pk.Base()]
+	if !ok {
+		s.partition[pk.Base()] = &partitionSecrets{current: EpochKey{Key: k, Epoch: epoch}}
+		return
+	}
+	switch {
+	case epoch > ps.current.Epoch:
+		old := ps.current
+		ps.prev = &old
+		ps.current = EpochKey{Key: k, Epoch: epoch}
+	case epoch == ps.current.Epoch:
+		ps.current.Key = k
+	}
+}
+
+// RetirePartitionEpoch closes the grace window: the previous epoch, if it
+// is at or below the given epoch, stops verifying and becomes the retired
+// tombstone. It reports whether a key was actually retired.
+func (s *Store) RetirePartitionEpoch(pk packet.PKey, epoch uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.partition[pk.Base()]
+	if !ok || ps.prev == nil || ps.prev.Epoch > epoch {
+		return false
+	}
+	ps.retired = ps.prev
+	ps.prev = nil
+	return true
+}
+
+// PartitionSecret returns the current-epoch secret for pk's partition
+// (the send-path key).
 func (s *Store) PartitionSecret(pk packet.PKey) (SecretKey, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	k, ok := s.partition[pk.Base()]
-	return k, ok
+	ps, ok := s.partition[pk.Base()]
+	if !ok {
+		return SecretKey{}, false
+	}
+	return ps.current.Key, true
+}
+
+// PartitionEpoch returns the current epoch of pk's partition secret.
+func (s *Store) PartitionEpoch(pk packet.PKey) (uint32, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps, ok := s.partition[pk.Base()]
+	if !ok {
+		return 0, false
+	}
+	return ps.current.Epoch, true
+}
+
+// PartitionVerifyKeys returns the acceptable verification keys for pk:
+// the current epoch and, while a grace window is open, the previous
+// epoch. ok is false when no secret is installed at all.
+func (s *Store) PartitionVerifyKeys(pk packet.PKey) (cur, prev EpochKey, havePrev, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps, found := s.partition[pk.Base()]
+	if !found {
+		return EpochKey{}, EpochKey{}, false, false
+	}
+	if ps.prev != nil {
+		return ps.current, *ps.prev, true, true
+	}
+	return ps.current, EpochKey{}, false, true
+}
+
+// RetiredPartitionKey returns the most recently retired epoch key for pk,
+// kept so verification can attribute "signed under a retired epoch"
+// rejects to their own counter.
+func (s *Store) RetiredPartitionKey(pk packet.PKey) (EpochKey, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps, ok := s.partition[pk.Base()]
+	if !ok || ps.retired == nil {
+		return EpochKey{}, false
+	}
+	return *ps.retired, true
+}
+
+// WipePartitionSecret removes every epoch of pk's partition secret
+// (including the retired tombstone), as done when this CA is evicted from
+// the partition.
+func (s *Store) WipePartitionSecret(pk packet.PKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.partition, pk.Base())
+}
+
+// WipeQPSecrets clears every QP-level send and receive secret, returning
+// how many entries were destroyed. Eviction calls this so a removed node
+// retains no per-QP credentials that rotation could otherwise resurrect.
+func (s *Store) WipeQPSecrets() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.recvQP) + len(s.sendQP)
+	s.recvQP = make(map[recvIndex]SecretKey)
+	s.sendQP = make(map[pairIndex]SecretKey)
+	return n
 }
 
 // InstallRecvQPSecret stores a secret this CA issued for datagram packets
@@ -109,64 +234,93 @@ func (s *Store) Counts() (partition, recvQP, sendQP int) {
 }
 
 // PartitionAuthority is the Subnet Manager side of partition-level key
-// management (paper section 4.2): it owns one secret per partition and
-// seals it to each member CA's public key. It is safe for concurrent use.
+// management (paper section 4.2): it owns one epoch-tagged secret per
+// partition and seals it to each member CA's public key. It is safe for
+// concurrent use.
 type PartitionAuthority struct {
 	mu      sync.Mutex
 	rng     io.Reader
 	dir     *Directory
-	secrets map[uint16]SecretKey
+	secrets map[uint16]EpochKey
 }
 
 // NewPartitionAuthority returns an authority drawing randomness from rng
 // and resolving node public keys through dir.
 func NewPartitionAuthority(rng io.Reader, dir *Directory) *PartitionAuthority {
-	return &PartitionAuthority{rng: rng, dir: dir, secrets: make(map[uint16]SecretKey)}
+	return &PartitionAuthority{rng: rng, dir: dir, secrets: make(map[uint16]EpochKey)}
 }
 
-// EnsureSecret returns the partition's secret, generating it on first use
-// (the paper: "When the SM creates a partition, it generates a secret key
-// for that partition").
+// EnsureSecret returns the partition's current secret, generating it at
+// epoch 0 on first use (the paper: "When the SM creates a partition, it
+// generates a secret key for that partition").
 func (a *PartitionAuthority) EnsureSecret(pk packet.PKey) (SecretKey, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if k, ok := a.secrets[pk.Base()]; ok {
-		return k, nil
+		return k.Key, nil
 	}
 	k, err := NewSecretKey(a.rng)
 	if err != nil {
 		return SecretKey{}, err
 	}
-	a.secrets[pk.Base()] = k
+	a.secrets[pk.Base()] = EpochKey{Key: k}
 	return k, nil
+}
+
+// Epoch returns the partition secret's current epoch (0 when the secret
+// has never been generated or rotated).
+func (a *PartitionAuthority) Epoch(pk packet.PKey) uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.secrets[pk.Base()].Epoch
 }
 
 // Rotate replaces the partition's secret, e.g. after membership change.
 func (a *PartitionAuthority) Rotate(pk packet.PKey) (SecretKey, error) {
+	k, _, err := a.RotateEpoch(pk)
+	return k, err
+}
+
+// RotateEpoch replaces the partition's secret and advances its epoch,
+// returning the fresh key and the new epoch.
+func (a *PartitionAuthority) RotateEpoch(pk packet.PKey) (SecretKey, uint32, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	k, err := NewSecretKey(a.rng)
 	if err != nil {
-		return SecretKey{}, err
+		return SecretKey{}, 0, err
 	}
-	a.secrets[pk.Base()] = k
-	return k, nil
+	next := a.secrets[pk.Base()].Epoch + 1
+	a.secrets[pk.Base()] = EpochKey{Key: k, Epoch: next}
+	return k, next, nil
 }
 
 // EnvelopeFor seals the partition secret to the named node's public key
 // for secure distribution.
 func (a *PartitionAuthority) EnvelopeFor(pk packet.PKey, node string) (Envelope, error) {
+	env, _, err := a.EnvelopeForEpoch(pk, node)
+	return env, err
+}
+
+// EnvelopeForEpoch seals the current partition secret, epoch-tagged, to
+// the named node's public key, returning the envelope and the epoch it
+// carries.
+func (a *PartitionAuthority) EnvelopeForEpoch(pk packet.PKey, node string) (Envelope, uint32, error) {
 	pub, ok := a.dir.Lookup(node)
 	if !ok {
-		return Envelope{}, fmt.Errorf("keys: node %q not in public-key directory", node)
+		return Envelope{}, 0, fmt.Errorf("keys: node %q not in public-key directory", node)
 	}
-	k, err := a.EnsureSecret(pk)
-	if err != nil {
-		return Envelope{}, err
+	if _, err := a.EnsureSecret(pk); err != nil {
+		return Envelope{}, 0, err
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return Seal(a.rng, pub, k)
+	ek := a.secrets[pk.Base()]
+	env, err := SealEpoch(a.rng, pub, ek.Key, ek.Epoch)
+	if err != nil {
+		return Envelope{}, 0, err
+	}
+	return env, ek.Epoch, nil
 }
 
 // IssueQPSecret implements the QP-level issuance step (paper section 4.3):

@@ -29,9 +29,9 @@ func FuzzPacketUnmarshal(f *testing.F) {
 		VCRC:    0x5A5A,
 	}))
 	f.Add(mustWire(f, &Packet{
-		LRH: LRH{SLID: 9, DLID: 4},
-		GRH: &GRH{HopLmt: 64},
-		BTH: BTH{OpCode: RCSendOnly, PKey: 0xFFFF, DestQP: 1, PSN: 1},
+		LRH:     LRH{SLID: 9, DLID: 4},
+		GRH:     &GRH{HopLmt: 64},
+		BTH:     BTH{OpCode: RCSendOnly, PKey: 0xFFFF, DestQP: 1, PSN: 1},
 		Payload: bytes.Repeat([]byte{0xA5}, 33), // exercises padding
 	}))
 	f.Add(mustWire(f, &Packet{

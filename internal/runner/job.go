@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"time"
 )
 
 // Job is one self-describing unit of work: a single simulation point of
@@ -66,6 +67,22 @@ func (e *JobError) Error() string {
 }
 
 func (e *JobError) Unwrap() error { return e.Err }
+
+// WatchdogError reports that one job attempt exceeded the pool's
+// per-attempt wall-clock budget and was abandoned. It is always wrapped
+// in a *JobError, which attributes the overrun to a specific
+// (experiment, key) point.
+type WatchdogError struct {
+	// Limit is the configured watchdog budget.
+	Limit time.Duration
+	// Elapsed is how long the attempt had been running when abandoned.
+	Elapsed time.Duration
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("runner: attempt exceeded watchdog budget %v (ran %v, abandoned)",
+		e.Limit, e.Elapsed.Round(time.Millisecond))
+}
 
 // PanicError wraps a panic recovered from a job's Run function so that
 // one panicking point cannot kill the worker pool.

@@ -47,6 +47,12 @@ type Options struct {
 	// Store, when non-nil, persists every job outcome and serves
 	// already-completed points on resume.
 	Store *Store
+	// Watchdog, when positive, is the wall-clock budget for a single job
+	// attempt. An attempt that exceeds it is abandoned (its goroutine
+	// leaks — simulation jobs have no preemption points) and fails
+	// terminally with a *WatchdogError naming the job, so one wedged
+	// point cannot hang a whole sweep. Zero disables the watchdog.
+	Watchdog time.Duration
 }
 
 // Pool executes jobs with bounded concurrency. A Pool may be shared
@@ -177,7 +183,7 @@ func executeJob[T any](ctx context.Context, p *Pool, job *Job[T]) (T, error) {
 	backoff := p.opts.Backoff
 	start := time.Now()
 	for attempt := 1; ; attempt++ {
-		v, err := runOnce(ctx, job)
+		v, err := runGuarded(ctx, p, job)
 		if err == nil {
 			p.counters.Inc("jobs_completed", 1)
 			recordOutcome(p, job, Record{
@@ -190,6 +196,23 @@ func executeJob[T any](ctx context.Context, p *Pool, job *Job[T]) (T, error) {
 		var pe *PanicError
 		if errors.As(err, &pe) {
 			p.counters.Inc("job_panics", 1)
+		}
+		// A watchdog abort is terminal: the wedged attempt's goroutine is
+		// still running, and retrying a job that has proven it won't
+		// finish would only stack leaks.
+		var we *WatchdogError
+		if errors.As(err, &we) {
+			p.counters.Inc("job_watchdog_aborts", 1)
+			p.counters.Inc("jobs_failed", 1)
+			jerr := &JobError{Experiment: job.Experiment, Key: job.Key,
+				Index: job.Index, Attempts: attempt, Err: err}
+			recordOutcome(p, job, Record{
+				Status:    StatusFailed,
+				Attempts:  attempt,
+				ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+				Error:     err.Error(),
+			}, zero)
+			return zero, jerr
 		}
 		// Cancellation is not a job fault: don't retry, don't record.
 		if ctx.Err() != nil {
@@ -216,6 +239,36 @@ func executeJob[T any](ctx context.Context, p *Pool, job *Job[T]) (T, error) {
 				Index: job.Index, Attempts: attempt, Err: ctx.Err()}
 		}
 		backoff *= 2
+	}
+}
+
+// runGuarded runs one attempt under the pool's watchdog. With no
+// watchdog the job runs on the worker goroutine directly; with one, it
+// runs on its own goroutine and an attempt that outlives the budget is
+// abandoned in favour of a *WatchdogError (the goroutine leaks by
+// design — see Options.Watchdog).
+func runGuarded[T any](ctx context.Context, p *Pool, job *Job[T]) (T, error) {
+	if p.opts.Watchdog <= 0 {
+		return runOnce(ctx, job)
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		v, err := runOnce(ctx, job)
+		done <- outcome{v, err}
+	}()
+	timer := time.NewTimer(p.opts.Watchdog)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.v, o.err
+	case <-timer.C:
+		var zero T
+		return zero, &WatchdogError{Limit: p.opts.Watchdog, Elapsed: time.Since(start)}
 	}
 }
 

@@ -186,3 +186,58 @@ func TestEmptyJobList(t *testing.T) {
 		t.Fatalf("empty run: %v, %v", got, err)
 	}
 }
+
+func TestWatchdogAbortsWedgedJob(t *testing.T) {
+	wedge := make(chan struct{})
+	defer close(wedge)
+	jobs := intJobs(4, func(i int) (int, error) {
+		if i == 2 {
+			<-wedge // never closes during the run: the job is wedged
+		}
+		return i * 10, nil
+	})
+	p := New(Options{Workers: 2, Retries: 3, Backoff: time.Millisecond,
+		Watchdog: 30 * time.Millisecond})
+	got, err := Run(context.Background(), p, jobs)
+	if err == nil {
+		t.Fatal("wedged job not aborted")
+	}
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("want WatchdogError, got %v", err)
+	}
+	var je *JobError
+	if !errors.As(err, &je) || je.Key != "i=2" {
+		t.Fatalf("abort not attributed to the wedged point: %v", err)
+	}
+	// The healthy points still completed, in order.
+	for i, want := range []int{0, 10, 0, 30} {
+		if got[i] != want {
+			t.Fatalf("results[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+	// Terminal: no retries were burned on a job that cannot finish.
+	if n := p.Counters().Get("job_watchdog_aborts"); n != 1 {
+		t.Fatalf("job_watchdog_aborts = %d, want 1", n)
+	}
+	if n := p.Counters().Get("job_retries"); n != 0 {
+		t.Fatalf("job_retries = %d, want 0", n)
+	}
+}
+
+func TestWatchdogLeavesFastJobsAlone(t *testing.T) {
+	jobs := intJobs(6, func(i int) (int, error) { return i * 10, nil })
+	p := New(Options{Workers: 3, Watchdog: time.Second})
+	got, err := Run(context.Background(), p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i*10 {
+			t.Fatalf("results[%d] = %d", i, got[i])
+		}
+	}
+	if n := p.Counters().Get("job_watchdog_aborts"); n != 0 {
+		t.Fatalf("spurious aborts: %d", n)
+	}
+}

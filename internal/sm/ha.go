@@ -1,0 +1,518 @@
+package sm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/icrc"
+	"ibasec/internal/keys"
+	"ibasec/internal/metrics"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+	"ibasec/internal/topology"
+)
+
+// HA MAD payload types, continuing the trap numbering (type 1). Both ride
+// VL 15 as management-class UD packets to DestQP 0, so MAD-loss fault
+// injection applies to them exactly as to traps.
+const (
+	haTypeHeartbeat = 2
+	haTypeStateSync = 3
+
+	heartbeatPayloadSize = 11 // type, master node, seq, digest tail
+)
+
+// Parse errors for HA MADs — sentinels, like the trap/SMP ones, so
+// rejecting hostile input allocates nothing.
+var (
+	errHAShort = fmt.Errorf("sm: truncated HA MAD")
+	errHAType  = fmt.Errorf("sm: unknown HA MAD type")
+)
+
+// heartbeatMAD is the master's liveness beacon.
+type heartbeatMAD struct {
+	Master uint16 // mesh node index of the sender
+	Seq    uint32
+	Digest uint32 // FNV-1a over the master's partition state (drift check)
+}
+
+func encodeHeartbeat(h heartbeatMAD) []byte {
+	pl := make([]byte, heartbeatPayloadSize)
+	pl[0] = haTypeHeartbeat
+	binary.BigEndian.PutUint16(pl[1:3], h.Master)
+	binary.BigEndian.PutUint32(pl[3:7], h.Seq)
+	binary.BigEndian.PutUint32(pl[7:11], h.Digest)
+	return pl
+}
+
+func parseHeartbeat(pl []byte) (heartbeatMAD, error) {
+	if len(pl) < heartbeatPayloadSize {
+		return heartbeatMAD{}, errHAShort
+	}
+	if pl[0] != haTypeHeartbeat {
+		return heartbeatMAD{}, errHAType
+	}
+	return heartbeatMAD{
+		Master: binary.BigEndian.Uint16(pl[1:3]),
+		Seq:    binary.BigEndian.Uint32(pl[3:7]),
+		Digest: binary.BigEndian.Uint32(pl[7:11]),
+	}, nil
+}
+
+// stateSyncMAD carries the master's partition state to a standby:
+// membership plus the current key epoch per partition, and a digest of
+// the public-key directory so a standby can detect divergence.
+type stateSyncMAD struct {
+	Master     uint16
+	DirDigest  uint32
+	Partitions []syncPartition
+}
+
+type syncPartition struct {
+	Base    uint16
+	Epoch   uint32
+	Members []uint16
+}
+
+// encodeStateSync renders: type, master(2), dirDigest(4), count(2), then
+// per partition base(2), epoch(4), nMembers(2), members(2 each).
+func encodeStateSync(m stateSyncMAD) []byte {
+	n := 9
+	for _, p := range m.Partitions {
+		n += 8 + 2*len(p.Members)
+	}
+	pl := make([]byte, n)
+	pl[0] = haTypeStateSync
+	binary.BigEndian.PutUint16(pl[1:3], m.Master)
+	binary.BigEndian.PutUint32(pl[3:7], m.DirDigest)
+	binary.BigEndian.PutUint16(pl[7:9], uint16(len(m.Partitions)))
+	off := 9
+	for _, p := range m.Partitions {
+		binary.BigEndian.PutUint16(pl[off:], p.Base)
+		binary.BigEndian.PutUint32(pl[off+2:], p.Epoch)
+		binary.BigEndian.PutUint16(pl[off+6:], uint16(len(p.Members)))
+		off += 8
+		for _, mem := range p.Members {
+			binary.BigEndian.PutUint16(pl[off:], mem)
+			off += 2
+		}
+	}
+	return pl
+}
+
+// parseStateSync validates and decodes a state-sync payload. Every length
+// is checked before the indexed reads so a truncated or hostile MAD
+// cannot drive the decoder out of bounds.
+func parseStateSync(pl []byte) (stateSyncMAD, error) {
+	if len(pl) < 9 {
+		return stateSyncMAD{}, errHAShort
+	}
+	if pl[0] != haTypeStateSync {
+		return stateSyncMAD{}, errHAType
+	}
+	m := stateSyncMAD{
+		Master:    binary.BigEndian.Uint16(pl[1:3]),
+		DirDigest: binary.BigEndian.Uint32(pl[3:7]),
+	}
+	count := int(binary.BigEndian.Uint16(pl[7:9]))
+	off := 9
+	for i := 0; i < count; i++ {
+		if off+8 > len(pl) {
+			return stateSyncMAD{}, errHAShort
+		}
+		p := syncPartition{
+			Base:  binary.BigEndian.Uint16(pl[off:]),
+			Epoch: binary.BigEndian.Uint32(pl[off+2:]),
+		}
+		nm := int(binary.BigEndian.Uint16(pl[off+6:]))
+		off += 8
+		if off+2*nm > len(pl) {
+			return stateSyncMAD{}, errHAShort
+		}
+		for j := 0; j < nm; j++ {
+			p.Members = append(p.Members, binary.BigEndian.Uint16(pl[off:]))
+			off += 2
+		}
+		m.Partitions = append(m.Partitions, p)
+	}
+	return m, nil
+}
+
+// fnv1a32 is the digest both sides compute over synced state.
+func fnv1a32(parts []syncPartition) uint32 {
+	h := uint32(2166136261)
+	mix := func(b byte) { h = (h ^ uint32(b)) * 16777619 }
+	for _, p := range parts {
+		mix(byte(p.Base >> 8))
+		mix(byte(p.Base))
+		mix(byte(p.Epoch >> 24))
+		mix(byte(p.Epoch >> 16))
+		mix(byte(p.Epoch >> 8))
+		mix(byte(p.Epoch))
+		for _, m := range p.Members {
+			mix(byte(m >> 8))
+			mix(byte(m))
+		}
+	}
+	return h
+}
+
+// HAConfig tunes subnet-manager high availability.
+type HAConfig struct {
+	// Standbys lists standby SM node indices in priority order: on master
+	// death the first live entry wins the election.
+	Standbys []int
+	// Heartbeat is the master's beacon period (also the standbys' lease
+	// check period).
+	Heartbeat sim.Time
+	// Lease is how long a standby tolerates heartbeat silence before
+	// starting its (priority-staggered) takeover countdown.
+	Lease sim.Time
+	// ResweepTimeout bounds each probe of the post-election re-sweep;
+	// zero selects a default of 25µs.
+	ResweepTimeout sim.Time
+}
+
+// TakeoverEvent records one completed failover.
+type TakeoverEvent struct {
+	// DetectedAt is when the winning standby's lease expired.
+	DetectedAt sim.Time
+	// ElectedAt is when it declared itself master (staggered by priority
+	// rank so exactly one standby wins deterministically).
+	ElectedAt sim.Time
+	// HealedAt is when the re-sweep finished and switch P_Key tables and
+	// traps were re-installed — full enforcement restored.
+	HealedAt sim.Time
+	// NewMaster is the winning standby's mesh node index.
+	NewMaster int
+	// ProbeMADs counts the SMPs the bounded re-sweep spent re-verifying
+	// fabric state before reprogramming.
+	ProbeMADs int
+}
+
+// Coordinator wires a master SM and its standbys into the heartbeat /
+// lease / election protocol. All scheduling rides the deterministic sim
+// clock; heartbeat and state-sync MADs are real management packets, so
+// fabric faults (MAD loss, link kills) perturb failover exactly as they
+// would in a physical subnet.
+type Coordinator struct {
+	sim  *sim.Simulator
+	mesh *topology.Mesh
+	cfg  HAConfig
+	mkey keys.MKey
+
+	sms   []*SubnetManager // [0] = initial master, then standbys in priority order
+	nodes []int            // mesh node per sms entry
+	names []string         // HCA names, for Delivery.Source
+
+	active    int // index into sms of the current master
+	dead      []bool
+	lastHeard []sim.Time
+	hbSeq     uint32
+
+	stopHB     func()
+	stopLeases []func()
+
+	// OnTakeover, when non-nil, runs after a standby finishes promotion
+	// (the core layer rebinds the key rotator here).
+	OnTakeover func(newMaster *SubnetManager)
+
+	Events   []TakeoverEvent
+	Counters *metrics.Counters
+}
+
+// NewCoordinator builds the HA ensemble. master must be the currently
+// authoritative SM; standbys must be in cfg.Standbys priority order and
+// share the master's mesh, filter and key authority.
+func NewCoordinator(s *sim.Simulator, mesh *topology.Mesh, cfg HAConfig, mkey keys.MKey, master *SubnetManager, standbys []*SubnetManager) (*Coordinator, error) {
+	if cfg.Heartbeat <= 0 {
+		return nil, fmt.Errorf("sm: HA heartbeat must be positive")
+	}
+	if cfg.Lease < cfg.Heartbeat {
+		return nil, fmt.Errorf("sm: HA lease %v shorter than heartbeat %v", cfg.Lease, cfg.Heartbeat)
+	}
+	if len(standbys) != len(cfg.Standbys) {
+		return nil, fmt.Errorf("sm: %d standby SMs for %d configured nodes", len(standbys), len(cfg.Standbys))
+	}
+	c := &Coordinator{
+		sim:      s,
+		mesh:     mesh,
+		cfg:      cfg,
+		mkey:     mkey,
+		Counters: metrics.NewCounters(),
+	}
+	c.sms = append([]*SubnetManager{master}, standbys...)
+	c.nodes = append([]int{master.Node()}, cfg.Standbys...)
+	for i, n := range c.nodes {
+		if n < 0 || n >= mesh.NumNodes() {
+			return nil, fmt.Errorf("sm: HA node %d out of range", n)
+		}
+		c.names = append(c.names, mesh.HCA(n).Name())
+		for j := 0; j < i; j++ {
+			if c.nodes[j] == n {
+				return nil, fmt.Errorf("sm: HA node %d listed twice", n)
+			}
+		}
+	}
+	c.dead = make([]bool, len(c.sms))
+	c.lastHeard = make([]sim.Time, len(c.sms))
+	c.stopLeases = make([]func(), len(c.sms))
+	return c, nil
+}
+
+// Active returns the current master SM.
+func (c *Coordinator) Active() *SubnetManager { return c.sms[c.active] }
+
+// ActiveNode returns the current master's mesh node index.
+func (c *Coordinator) ActiveNode() int { return c.nodes[c.active] }
+
+// MasterAlive reports whether the currently active SM has not been
+// killed. It is false only in the window between an SMKill and a
+// successful takeover — or forever, with no standbys left to elect.
+func (c *Coordinator) MasterAlive() bool { return !c.dead[c.active] }
+
+// Start launches the master's heartbeats and every standby's lease
+// checker, seeding each lease at the current sim time.
+func (c *Coordinator) Start() {
+	now := c.sim.Now()
+	for i := range c.lastHeard {
+		c.lastHeard[i] = now
+	}
+	c.startHeartbeats()
+	for i := 1; i < len(c.sms); i++ {
+		i := i
+		c.stopLeases[i] = c.sim.Every(c.cfg.Heartbeat, func() { c.checkLease(i) })
+	}
+}
+
+// Stop cancels every timer the coordinator owns.
+func (c *Coordinator) Stop() {
+	if c.stopHB != nil {
+		c.stopHB()
+		c.stopHB = nil
+	}
+	for i, stop := range c.stopLeases {
+		if stop != nil {
+			stop()
+			c.stopLeases[i] = nil
+		}
+	}
+}
+
+// KillMaster models the active master dying at the current sim time: its
+// timers stop, its traps go unanswered, and no further heartbeats are
+// emitted. Recovery, if any standby is configured, happens through lease
+// expiry and election.
+func (c *Coordinator) KillMaster() {
+	if c.dead[c.active] {
+		return
+	}
+	c.dead[c.active] = true
+	c.Counters.Inc("master_kills", 1)
+	if c.stopHB != nil {
+		c.stopHB()
+		c.stopHB = nil
+	}
+	c.sms[c.active].Stop()
+}
+
+// startHeartbeats begins the active master's periodic beacon + state
+// sync to every live standby.
+func (c *Coordinator) startHeartbeats() {
+	if c.stopHB != nil {
+		c.stopHB()
+	}
+	c.stopHB = c.sim.Every(c.cfg.Heartbeat, c.beat)
+}
+
+// beat sends one heartbeat and one state-sync MAD from the master to each
+// live standby.
+func (c *Coordinator) beat() {
+	if c.dead[c.active] {
+		return
+	}
+	c.hbSeq++
+	master := c.sms[c.active]
+	sync := stateSyncMAD{Master: uint16(c.nodes[c.active])}
+	for _, base := range master.PartitionBases() {
+		p := syncPartition{Base: base}
+		if master.Authority != nil {
+			p.Epoch = master.Authority.Epoch(packet.PKey(0x8000 | base))
+		}
+		for _, mem := range master.Members(packet.PKey(0x8000 | base)) {
+			p.Members = append(p.Members, uint16(mem))
+		}
+		sync.Partitions = append(sync.Partitions, p)
+	}
+	digest := fnv1a32(sync.Partitions)
+	sync.DirDigest = digest
+	hb := encodeHeartbeat(heartbeatMAD{Master: uint16(c.nodes[c.active]), Seq: c.hbSeq, Digest: digest})
+	ss := encodeStateSync(sync)
+	for i := 1; i < len(c.sms); i++ {
+		if c.dead[i] || i == c.active {
+			continue
+		}
+		c.sendMAD(c.nodes[i], hb)
+		c.sendMAD(c.nodes[i], ss)
+		c.Counters.Inc("heartbeats_sent", 1)
+	}
+}
+
+// sendMAD emits a management-class UD packet from the active master's HCA
+// to the given node, exactly like a violation trap: VL 15, DestQP 0,
+// default P_Key, ICRC-sealed.
+func (c *Coordinator) sendMAD(dst int, payload []byte) {
+	src := c.mesh.HCA(c.nodes[c.active])
+	p := &packet.Packet{
+		LRH:  packet.LRH{SLID: src.LID(), DLID: topology.LIDOf(dst), VL: fabric.VLManagement},
+		BTH:  packet.BTH{OpCode: packet.UDSendOnly, PKey: 0xFFFF, DestQP: 0},
+		DETH: &packet.DETH{QKey: 0, SrcQP: 0},
+	}
+	p.Payload = payload
+	if err := icrc.Seal(p); err != nil {
+		panic(err)
+	}
+	src.Send(&fabric.Delivery{
+		Pkt:    p,
+		Class:  fabric.ClassManagement,
+		VL:     fabric.VLManagement,
+		Source: src.Name(),
+	})
+}
+
+// Dispatch routes a management delivery arriving at node. It consumes HA
+// MADs (updating the receiving standby's lease and synced state), hands
+// traps to the active master, and swallows traps addressed to a dead
+// master (the window the failover experiment measures). It returns true
+// when the delivery was consumed.
+func (c *Coordinator) Dispatch(node int, d *fabric.Delivery) bool {
+	if d.Pkt.BTH.DestQP != 0 || len(d.Pkt.Payload) == 0 {
+		return false
+	}
+	switch d.Pkt.Payload[0] {
+	case haTypeHeartbeat:
+		hb, err := parseHeartbeat(d.Pkt.Payload)
+		if err != nil {
+			return false
+		}
+		if i := c.indexOfNode(node); i > 0 && !c.dead[i] {
+			c.lastHeard[i] = c.sim.Now()
+			c.Counters.Inc("heartbeats_received", 1)
+			_ = hb
+		}
+		return true
+	case haTypeStateSync:
+		sync, err := parseStateSync(d.Pkt.Payload)
+		if err != nil {
+			return false
+		}
+		if i := c.indexOfNode(node); i > 0 && !c.dead[i] {
+			c.lastHeard[i] = c.sim.Now()
+			snap := make(map[uint16][]int, len(sync.Partitions))
+			for _, p := range sync.Partitions {
+				members := make([]int, len(p.Members))
+				for j, m := range p.Members {
+					members[j] = int(m)
+				}
+				snap[p.Base] = members
+			}
+			c.sms[i].AdoptPartitions(snap)
+			if fnv1a32(sync.Partitions) != sync.DirDigest {
+				c.Counters.Inc("sync_digest_mismatch", 1)
+			} else {
+				c.Counters.Inc("syncs_adopted", 1)
+			}
+		}
+		return true
+	}
+	// Anything else (traps) belongs to the active master.
+	if i := c.indexOfNode(node); i >= 0 {
+		if c.dead[i] {
+			c.Counters.Inc("mads_to_dead_sm", 1)
+			return true // the dead SM consumes nothing, the packet is lost
+		}
+		if i == c.active {
+			return c.sms[i].HandleManagement(d)
+		}
+	}
+	return false
+}
+
+func (c *Coordinator) indexOfNode(node int) int {
+	for i, n := range c.nodes {
+		if n == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkLease is standby i's periodic liveness check. The takeover
+// threshold is staggered by live-priority rank, so when several standbys
+// all see the master dead, the highest-priority one's lease expires a
+// full heartbeat before the next one's — by which time its heartbeats
+// have already refreshed the others' leases. Election therefore needs no
+// extra message round and stays deterministic.
+func (c *Coordinator) checkLease(i int) {
+	if c.dead[i] || i == c.active {
+		return
+	}
+	// Rank counts every live higher-priority standby, including one
+	// that was just elected: its promotion must keep suppressing junior
+	// takeovers until its heartbeats arrive, or an election and a junior
+	// lease check landing on the same tick double-elect.
+	rank := 0
+	for j := 1; j < i; j++ {
+		if !c.dead[j] {
+			rank++
+		}
+	}
+	deadline := c.lastHeard[i] + c.cfg.Lease + sim.Time(rank)*c.cfg.Heartbeat
+	if c.sim.Now() < deadline {
+		return
+	}
+	c.takeover(i)
+}
+
+// takeover promotes standby i: it re-verifies fabric state with a bounded
+// re-sweep from its own HCA, then re-programs every switch P_Key table,
+// re-attaches violation traps to itself, resumes the SIF auto-disable
+// duty, and starts heartbeating the surviving standbys.
+func (c *Coordinator) takeover(i int) {
+	detected := c.lastHeard[i] + c.cfg.Lease
+	elected := c.sim.Now()
+	c.active = i
+	c.Counters.Inc("takeovers", 1)
+	m := c.sms[i]
+
+	// Assert mastership immediately: one beat now and the periodic
+	// beacon from here on. Without this the surviving standbys hear
+	// nothing for the whole re-sweep — longer than their one-heartbeat
+	// election stagger — and cascade into takeovers of their own.
+	c.beat()
+	c.startHeartbeats()
+
+	timeout := c.cfg.ResweepTimeout
+	if timeout <= 0 {
+		timeout = 25 * sim.Microsecond
+	}
+	disc := NewDiscoverer(c.sim, c.mesh.HCA(c.nodes[i]), c.mkey, timeout)
+	disc.MaxRetries = 1
+	disc.Probe(func(topo *DiscoveredTopology) {
+		m.ProgramSwitchTables()
+		m.AttachTraps()
+		m.ResumeTimers()
+		healed := c.sim.Now()
+		c.Events = append(c.Events, TakeoverEvent{
+			DetectedAt: detected,
+			ElectedAt:  elected,
+			HealedAt:   healed,
+			NewMaster:  c.nodes[i],
+			ProbeMADs:  topo.Probes,
+		})
+		if c.OnTakeover != nil {
+			c.OnTakeover(m)
+		}
+	})
+}

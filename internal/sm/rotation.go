@@ -1,0 +1,138 @@
+package sm
+
+import (
+	"fmt"
+
+	"ibasec/internal/metrics"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+)
+
+// RotationConfig tunes online key-epoch rotation (partition-level
+// management only: QP-level secrets are issued per connection and die
+// with it, so periodic re-issue applies to the long-lived partition
+// secrets).
+type RotationConfig struct {
+	// Period is the rollover interval: every Period the SM rotates every
+	// partition secret to epoch e+1.
+	Period sim.Time
+	// Grace is how long after a rollover receivers keep accepting the
+	// previous epoch. It must cover DistributionDelay plus packet flight
+	// time or in-flight traffic signed under epoch e is rejected
+	// (counted as auth_epoch_expired — a grace-window miss).
+	Grace sim.Time
+	// DistributionDelay models the envelope-distribution latency: the
+	// time between the authority minting epoch e+1 and every member's
+	// store holding it.
+	DistributionDelay sim.Time
+}
+
+// Rotator drives periodic and forced (KeyCompromise) key-epoch rotation
+// through a SubnetManager's authority and distribution hooks. It survives
+// SM failover via Rebind: the HA coordinator points it at the newly
+// elected master, and the shared authority keeps epochs monotonic across
+// the handover.
+type Rotator struct {
+	sim *sim.Simulator
+	m   *SubnetManager
+	cfg RotationConfig
+
+	stop func()
+
+	// Counters: epoch_rollovers (whole-fabric rotation rounds),
+	// epochs_issued (per-partition rotations), forced_rotations
+	// (KeyCompromise responses), retires_scheduled.
+	Counters *metrics.Counters
+}
+
+// NewRotator prepares rotation driven by m's authority. Start launches
+// the periodic rollover.
+func NewRotator(s *sim.Simulator, m *SubnetManager, cfg RotationConfig) (*Rotator, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("sm: rotation period must be positive")
+	}
+	if cfg.Grace <= 0 || cfg.Grace >= cfg.Period {
+		return nil, fmt.Errorf("sm: rotation grace %v must be in (0, period %v)", cfg.Grace, cfg.Period)
+	}
+	if cfg.DistributionDelay < 0 || cfg.DistributionDelay >= cfg.Grace {
+		return nil, fmt.Errorf("sm: distribution delay %v must be in [0, grace %v)", cfg.DistributionDelay, cfg.Grace)
+	}
+	if m.Authority == nil {
+		return nil, fmt.Errorf("sm: rotation requires a partition authority")
+	}
+	return &Rotator{sim: s, m: m, cfg: cfg, Counters: metrics.NewCounters()}, nil
+}
+
+// Start begins periodic rollover; Stop cancels it.
+func (r *Rotator) Start() {
+	if r.stop == nil {
+		r.stop = r.sim.Every(r.cfg.Period, r.rotateAll)
+	}
+}
+
+// Stop cancels the periodic rollover (already-scheduled installs and
+// retires still fire).
+func (r *Rotator) Stop() {
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+}
+
+// Rebind points the rotator at a newly elected master SM so subsequent
+// rollovers use its membership view and distribution hooks.
+func (r *Rotator) Rebind(m *SubnetManager) { r.m = m }
+
+// ForceRotate is the KeyCompromise response path: rotate a single
+// partition out-of-cycle. The grace window still applies, so holders of
+// the compromised epoch retain access only until retirement.
+func (r *Rotator) ForceRotate(pk packet.PKey) error {
+	r.Counters.Inc("forced_rotations", 1)
+	return r.rotate(pk)
+}
+
+// rotateAll rolls every partition to its next epoch, in ascending P_Key
+// order for determinism.
+func (r *Rotator) rotateAll() {
+	r.Counters.Inc("epoch_rollovers", 1)
+	for _, base := range r.m.PartitionBases() {
+		if err := r.rotate(packet.PKey(0x8000 | base)); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// rotate mints epoch e+1 for one partition, schedules its installation on
+// every member after DistributionDelay, and schedules retirement of epoch
+// e after Grace.
+func (r *Rotator) rotate(pk packet.PKey) error {
+	m := r.m
+	if m.Authority == nil {
+		return fmt.Errorf("sm: rotation requires a partition authority")
+	}
+	fresh, epoch, err := m.Authority.RotateEpoch(pk)
+	if err != nil {
+		return err
+	}
+	r.Counters.Inc("epochs_issued", 1)
+	members := m.Members(pk)
+	r.sim.Schedule(r.cfg.DistributionDelay, func() {
+		if m.InstallSecret == nil {
+			return
+		}
+		for _, n := range members {
+			m.InstallSecret(n, pk, fresh, epoch)
+		}
+	})
+	prev := epoch - 1
+	r.Counters.Inc("retires_scheduled", 1)
+	r.sim.Schedule(r.cfg.Grace, func() {
+		if m.RetireSecret == nil {
+			return
+		}
+		for _, n := range members {
+			m.RetireSecret(n, pk, prev)
+		}
+	})
+	return nil
+}

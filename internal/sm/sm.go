@@ -14,6 +14,7 @@ package sm
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"ibasec/internal/enforce"
 	"ibasec/internal/fabric"
@@ -77,9 +78,17 @@ type SubnetManager struct {
 	// partition secrets are generated and distributed at partition
 	// creation (paper section 4.2).
 	Authority *keys.PartitionAuthority
-	// InstallSecret delivers a partition secret to a member node's key
-	// store; wired by the core layer.
-	InstallSecret func(node int, pk packet.PKey, k keys.SecretKey)
+	// InstallSecret delivers an epoch-tagged partition secret to a member
+	// node's key store; wired by the core layer.
+	InstallSecret func(node int, pk packet.PKey, k keys.SecretKey, epoch uint32)
+	// RetireSecret closes a member node's grace window for the given
+	// epoch (rotation's final step); wired by the core layer.
+	RetireSecret func(node int, pk packet.PKey, epoch uint32)
+	// WipeSecrets destroys every secret an evicted node holds for the
+	// partition — its copy of the partition secret and all QP-level
+	// send/recv secrets — so rotation can never resurrect stale
+	// credentials; wired by the core layer.
+	WipeSecrets func(node int, pk packet.PKey)
 
 	partitions map[uint16][]int
 	busyUntil  sim.Time
@@ -101,7 +110,17 @@ type trapKey struct {
 // New creates a Subnet Manager for the mesh. filter may be nil when no
 // switch enforcement is in use.
 func New(s *sim.Simulator, mesh *topology.Mesh, filter *enforce.Filter, cfg Config) *SubnetManager {
-	m := &SubnetManager{
+	m := NewStandby(s, mesh, filter, cfg)
+	m.ResumeTimers()
+	return m
+}
+
+// NewStandby creates an SM with every periodic duty parked: identical to
+// New except the SIF auto-disable timer does not start until the SM is
+// promoted to master (ResumeTimers). HA standbys are built this way so N
+// instances never run N duplicate timers.
+func NewStandby(s *sim.Simulator, mesh *topology.Mesh, filter *enforce.Filter, cfg Config) *SubnetManager {
+	return &SubnetManager{
 		cfg:        cfg,
 		sim:        s,
 		mesh:       mesh,
@@ -110,11 +129,19 @@ func New(s *sim.Simulator, mesh *topology.Mesh, filter *enforce.Filter, cfg Conf
 		trapSeen:   make(map[trapKey]sim.Time),
 		Counters:   metrics.NewCounters(),
 	}
-	if filter != nil && filter.Mode() == enforce.SIF && cfg.AutoDisablePeriod > 0 {
-		m.stopTimer = filter.StartAutoDisable(s, cfg.AutoDisablePeriod)
-	}
-	return m
 }
+
+// ResumeTimers starts the SM's periodic duties (the SIF auto-disable
+// check) if they are not already running — called on the initial master
+// at construction and on a standby at promotion. Idempotent.
+func (m *SubnetManager) ResumeTimers() {
+	if m.stopTimer == nil && m.filter != nil && m.filter.Mode() == enforce.SIF && m.cfg.AutoDisablePeriod > 0 {
+		m.stopTimer = m.filter.StartAutoDisable(m.sim, m.cfg.AutoDisablePeriod)
+	}
+}
+
+// Node returns the mesh node index the SM runs on.
+func (m *SubnetManager) Node() int { return m.cfg.Node }
 
 // Stop cancels the SM's periodic timers so a simulation can drain.
 func (m *SubnetManager) Stop() {
@@ -164,7 +191,7 @@ func (m *SubnetManager) CreatePartition(mkey keys.MKey, pk packet.PKey, members 
 			return err
 		}
 		if haveSecret && m.InstallSecret != nil {
-			m.InstallSecret(n, pk, secret)
+			m.InstallSecret(n, pk, secret, m.Authority.Epoch(pk))
 		}
 	}
 	m.Counters.Inc("partitions_created", 1)
@@ -200,19 +227,61 @@ func (m *SubnetManager) RemoveFromPartition(mkey keys.MKey, pk packet.PKey, node
 	m.mesh.HCA(node).PKeyTable.Remove(pk)
 	m.Counters.Inc("members_removed", 1)
 
+	// Destroy everything the evicted node holds before rotating: its copy
+	// of the partition secret and its QP-level send/recv secrets, which
+	// the rotation below would otherwise leave behind as live stale
+	// credentials.
+	if m.WipeSecrets != nil {
+		m.WipeSecrets(node, pk)
+		m.Counters.Inc("secrets_wiped", 1)
+	}
+
 	if m.Authority != nil {
-		fresh, err := m.Authority.Rotate(pk)
+		fresh, epoch, err := m.Authority.RotateEpoch(pk)
 		if err != nil {
 			return err
 		}
 		if m.InstallSecret != nil {
 			for _, n := range m.partitions[pk.Base()] {
-				m.InstallSecret(n, pk, fresh)
+				m.InstallSecret(n, pk, fresh, epoch)
 			}
 		}
 		m.Counters.Inc("secrets_rotated", 1)
 	}
 	return nil
+}
+
+// PartitionBases returns the base P_Key values of all partitions in
+// ascending order — the deterministic iteration order rotation and HA
+// state sync both need.
+func (m *SubnetManager) PartitionBases() []uint16 {
+	bases := make([]uint16, 0, len(m.partitions))
+	for b := range m.partitions {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases
+}
+
+// PartitionSnapshot returns a deep copy of the partition membership map,
+// used as HA state-sync payload.
+func (m *SubnetManager) PartitionSnapshot() map[uint16][]int {
+	out := make(map[uint16][]int, len(m.partitions))
+	for b, members := range m.partitions {
+		out[b] = append([]int(nil), members...)
+	}
+	return out
+}
+
+// AdoptPartitions replaces the SM's partition membership map with a
+// synced snapshot — the standby side of HA state sync. It does not touch
+// HCA tables or secrets: the master already programmed those, the standby
+// only needs the bookkeeping to act on after election.
+func (m *SubnetManager) AdoptPartitions(snap map[uint16][]int) {
+	m.partitions = make(map[uint16][]int, len(snap))
+	for b, members := range snap {
+		m.partitions[b] = append([]int(nil), members...)
+	}
 }
 
 // ProgramSwitchTables installs the per-switch valid-P_Key tables the

@@ -101,7 +101,7 @@ func TestCreatePartitionDistributesSecrets(t *testing.T) {
 	dir := keys.NewDirectory()
 	r.m.Authority = keys.NewPartitionAuthority(rng, dir)
 	installed := map[int]keys.SecretKey{}
-	r.m.InstallSecret = func(node int, pk packet.PKey, k keys.SecretKey) {
+	r.m.InstallSecret = func(node int, pk packet.PKey, k keys.SecretKey, epoch uint32) {
 		installed[node] = k
 	}
 	if err := r.m.CreatePartition(DefaultConfig().MKey, testPKey, []int{2, 3}); err != nil {
@@ -294,7 +294,7 @@ func TestRemoveFromPartitionRotatesSecret(t *testing.T) {
 	dir := keys.NewDirectory()
 	r.m.Authority = keys.NewPartitionAuthority(rng, dir)
 	installed := map[int]keys.SecretKey{}
-	r.m.InstallSecret = func(node int, pk packet.PKey, k keys.SecretKey) { installed[node] = k }
+	r.m.InstallSecret = func(node int, pk packet.PKey, k keys.SecretKey, epoch uint32) { installed[node] = k }
 	mkey := DefaultConfig().MKey
 	if err := r.m.CreatePartition(mkey, testPKey, []int{2, 3, 5}); err != nil {
 		t.Fatal(err)
@@ -342,7 +342,7 @@ func TestEvictedNodeCannotAuthenticate(t *testing.T) {
 	dir := keys.NewDirectory()
 	r.m.Authority = keys.NewPartitionAuthority(rng, dir)
 	secrets := map[int]keys.SecretKey{}
-	r.m.InstallSecret = func(node int, pk packet.PKey, k keys.SecretKey) { secrets[node] = k }
+	r.m.InstallSecret = func(node int, pk packet.PKey, k keys.SecretKey, epoch uint32) { secrets[node] = k }
 	mkey := DefaultConfig().MKey
 	r.m.CreatePartition(mkey, testPKey, []int{1, 4})
 	r.m.RemoveFromPartition(mkey, testPKey, 4)

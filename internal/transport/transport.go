@@ -484,6 +484,9 @@ func (e *Endpoint) verifyAuth(q *QP, d *fabric.Delivery) bool {
 		e.Counters.Inc("auth_unsupported", 1)
 		return false
 	}
+	if e.cfg.KeyLevel == PartitionLevel {
+		return e.verifyPartitionAuth(a, q, p)
+	}
 	key, ok := e.verifyKey(q, p)
 	if !ok {
 		e.Counters.Inc("auth_no_key", 1)
@@ -494,13 +497,7 @@ func (e *Endpoint) verifyAuth(q *QP, d *fabric.Delivery) bool {
 		e.Counters.Inc("auth_fail", 1)
 		return false
 	}
-	srcQP := packet.QPN(0)
-	if p.DETH != nil {
-		srcQP = p.DETH.SrcQP
-	} else if q.Service == packet.ServiceRC || q.Service == packet.ServiceUC {
-		srcQP = q.RemoteQPN
-	}
-	nonce := nonceFor(p.BTH.OpCode, srcQP, q.N, p.BTH.PSN)
+	nonce := nonceFor(p.BTH.OpCode, e.peerQPN(q, p), q.N, p.BTH.PSN)
 	valid, err := mac.Verify(a, key[:], region, nonce, p.ICRC)
 	if err != nil || !valid {
 		e.Counters.Inc("auth_fail", 1)
@@ -508,6 +505,64 @@ func (e *Endpoint) verifyAuth(q *QP, d *fabric.Delivery) bool {
 	}
 	e.Counters.Inc("auth_ok", 1)
 	return true
+}
+
+// verifyPartitionAuth checks a tag under the partition's epoch-tagged
+// secrets: the current epoch, then — while a rotation grace window is
+// open — the previous epoch (counted separately as auth_ok_grace). A tag
+// that only verifies under the retired epoch is a grace-window miss and
+// is rejected under its own counter, auth_epoch_expired, so sweeps can
+// tell stale-key traffic from forgeries. With rotation disabled only the
+// single epoch-0 key exists and this is behaviourally identical to the
+// pre-epoch path.
+func (e *Endpoint) verifyPartitionAuth(a mac.Authenticator, q *QP, p *packet.Packet) bool {
+	cur, prev, havePrev, ok := e.Store.PartitionVerifyKeys(p.BTH.PKey)
+	if !ok {
+		e.Counters.Inc("auth_no_key", 1)
+		return false
+	}
+	region, err := e.verif.InvariantRegion(p.Wire())
+	if err != nil {
+		e.Counters.Inc("auth_fail", 1)
+		return false
+	}
+	nonce := nonceFor(p.BTH.OpCode, e.peerQPN(q, p), q.N, p.BTH.PSN)
+	valid, err := mac.Verify(a, cur.Key[:], region, nonce, p.ICRC)
+	if err != nil {
+		e.Counters.Inc("auth_fail", 1)
+		return false
+	}
+	if valid {
+		e.Counters.Inc("auth_ok", 1)
+		return true
+	}
+	if havePrev {
+		if valid, _ = mac.Verify(a, prev.Key[:], region, nonce, p.ICRC); valid {
+			e.Counters.Inc("auth_ok", 1)
+			e.Counters.Inc("auth_ok_grace", 1)
+			return true
+		}
+	}
+	if ret, okRet := e.Store.RetiredPartitionKey(p.BTH.PKey); okRet {
+		if valid, _ = mac.Verify(a, ret.Key[:], region, nonce, p.ICRC); valid {
+			e.Counters.Inc("auth_epoch_expired", 1)
+			return false
+		}
+	}
+	e.Counters.Inc("auth_fail", 1)
+	return false
+}
+
+// peerQPN resolves the nonce's source-QP component for an arriving
+// packet: the DETH source for datagrams, the connected remote for RC/UC.
+func (e *Endpoint) peerQPN(q *QP, p *packet.Packet) packet.QPN {
+	if p.DETH != nil {
+		return p.DETH.SrcQP
+	}
+	if q.Service == packet.ServiceRC || q.Service == packet.ServiceUC {
+		return q.RemoteQPN
+	}
+	return 0
 }
 
 // replayOK updates the per-source PSN floor and rejects non-advancing

@@ -11,8 +11,8 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test -race"
-go test -race ./...
+echo "== go test -race -shuffle=on"
+go test -race -shuffle=on ./...
 
 echo "== ibsim all -quick -jobs 2 (runner end-to-end smoke)"
 tmp="$(mktemp -d)"
@@ -37,6 +37,13 @@ echo "== ibsim faults -quick (chaos smoke under the race detector)"
 # byte-for-byte against the committed golden CSV.
 go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/chaos" faults -bers 0,1e-5 -kills 0,2 >"$tmp/chaos.out"
 diff testdata/golden/faults_quick.csv "$tmp/chaos/faults.csv"
+
+echo "== ibsim failover -quick (SM kill + rekey smoke under the race detector)"
+# Master-SM kill, standby election, bounded re-sweep and key-epoch
+# rotation on a race-instrumented binary, byte-for-byte against the
+# committed golden CSV (the same sweep TestGoldenFailover pins serially).
+go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/failover" failover -standbys 1,2 -heartbeats-us 50 -rekeys-us 0,300 >"$tmp/failover.out"
+diff testdata/golden/failover_quick.csv "$tmp/failover/failover.csv"
 
 echo "== fuzz smoke (wire parsers, 5s each)"
 go test -run '^$' -fuzz '^FuzzPacketUnmarshal$' -fuzztime 5s ./internal/packet
