@@ -17,10 +17,12 @@
 //	ibsim scale                  ablation: DoS damage vs mesh size
 //	ibsim faults                 chaos: link kills + BER bursts vs self-healing SM
 //	ibsim failover               robustness: SM kill + standby election + key-epoch rotation
+//	ibsim apm                    robustness: RC NAK recovery + automatic path migration
 //	ibsim trace                  dump a packet-lifecycle trace
 //	ibsim all                    everything above (trace bounded to its default scope)
 //
 // Global flags (before the subcommand): -seed, -duration-ms, -quick,
+// -list (print the available experiment names and exit),
 // -csv <dir> (export each experiment's rows as CSV), -jobs N (parallel
 // simulation points, default GOMAXPROCS), -results <dir> (append-only
 // JSON-lines result manifest, default "results"; empty disables it),
@@ -64,6 +66,7 @@ var (
 	watchdog   = flag.Duration("watchdog", 0, "wall-clock budget per simulation point; a wedged point fails with attribution instead of hanging the sweep (0 disables)")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+	listFlag   = flag.Bool("list", false, "print the available experiment names, one per line, and exit")
 )
 
 // runCtx and pool are the run-wide cancellation context and worker pool
@@ -123,7 +126,15 @@ func baseConfig() ibasec.Config {
 var sweepCommands = map[string]bool{
 	"fig1": true, "fig5": true, "fig6": true, "sweep": true,
 	"authrate": true, "smdos": true, "scale": true, "faults": true,
-	"failover": true, "all": true,
+	"failover": true, "apm": true, "all": true,
+}
+
+// commands is every subcommand, in the order `ibsim -list` prints them
+// (and `ibsim all` runs the sweepable ones).
+var commands = []string{
+	"config", "fig1", "fig5", "fig6", "table2", "table4", "attacks",
+	"sweep", "authrate", "smdos", "scale", "faults", "failover", "apm",
+	"trace", "all",
 }
 
 func main() {
@@ -162,6 +173,12 @@ func run() int {
 		}()
 	}
 
+	if *listFlag {
+		for _, c := range commands {
+			fmt.Println(c)
+		}
+		return 0
+	}
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		flag.Usage()
@@ -223,6 +240,8 @@ func run() int {
 		err = runFaults(args)
 	case "failover":
 		err = runFailover(args)
+	case "apm":
+		err = runAPM(args)
 	case "trace":
 		err = runTrace(args)
 	case "all":
@@ -575,6 +594,37 @@ func runFailover(args []string) error {
 	return writeTable(ibasec.FailoverCSV(rows))
 }
 
+func runAPM(args []string) error {
+	fs := flag.NewFlagSet("apm", flag.ExitOnError)
+	bersFlag := fs.String("bers", "0,1e-5", "comma-separated bit-error rates")
+	killsFlag := fs.String("kills", "0,1", "comma-separated primary-path link-kill counts")
+	fs.Parse(args)
+
+	bers, err := parseFloats(*bersFlag)
+	if err != nil {
+		return fmt.Errorf("apm: -bers: %w", err)
+	}
+	kills, err := parseInts(*killsFlag)
+	if err != nil {
+		return fmt.Errorf("apm: -kills: %w", err)
+	}
+
+	base := baseConfig()
+	rows, err := ibasec.APMSweepCtx(runCtx, pool, bers, kills, base)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Robustness. RC recovery: NAK, backoff, and automatic path migration vs primary-path kills")
+	fmt.Println("  arm        ber      kills  rc-del/sent  delivered  broken  naks  migr  rearm  retrans  storm  alt-drop  p99(us)  max(us)")
+	for _, r := range rows {
+		fmt.Printf("  %-9s  %-7g  %5d  %5d/%-5d  %8.4f%%  %6d  %4d  %4d  %5d  %7d  %5d  %8d  %7.1f  %7.1f\n",
+			r.Arm, r.BER, r.LinkKills, r.RCDelivered, r.RCSent, r.DeliveredFrac*100, r.RCBroken,
+			r.NAKs, r.Migrations, r.Rearms, r.Retrans, r.StormMax, r.AltDropped,
+			r.RCLatencyP99US, r.RCLatencyMaxUS)
+	}
+	return writeTable(ibasec.APMCSV(rows))
+}
+
 func runTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	events := fs.Int("events", 30, "how many trailing events to print")
@@ -629,6 +679,7 @@ func runAll() error {
 		{"scale", func() error { return runScale(nil) }},
 		{"faults", func() error { return runFaults(nil) }},
 		{"failover", func() error { return runFailover(nil) }},
+		{"apm", func() error { return runAPM(nil) }},
 		{"trace", func() error { return runTrace(nil) }},
 	}
 	var failures []error

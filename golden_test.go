@@ -166,3 +166,26 @@ func TestGoldenFailover(t *testing.T) {
 		t.Fatalf("serial sweep diverged from parallel:\n%s\n---\n%s", b, a)
 	}
 }
+
+// TestGoldenAPM pins the RC recovery / path-migration sweep (the exact
+// configuration scripts/ci.sh race-smokes via `ibsim -quick ... apm
+// -bers 0,1e-5 -kills 0,1`) and proves serial/parallel equivalence the
+// same way TestGoldenFailover does.
+func TestGoldenAPM(t *testing.T) {
+	parallel, err := APMSweepCtx(context.Background(), goldenPool(), []float64{0, 1e-5}, []int{0, 1}, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "apm_quick.csv", APMCSV(parallel))
+
+	if testing.Short() {
+		return
+	}
+	serial, err := APMSweepCtx(context.Background(), nil, []float64{0, 1e-5}, []int{0, 1}, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := APMCSV(parallel).Bytes(), APMCSV(serial).Bytes(); !bytes.Equal(a, b) {
+		t.Fatalf("serial sweep diverged from parallel:\n%s\n---\n%s", b, a)
+	}
+}

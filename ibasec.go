@@ -75,8 +75,22 @@ type (
 	ScaleRow    = core.ScaleRow
 	FaultRow    = core.FaultRow
 	FailoverRow = core.FailoverRow
+	APMRow      = core.APMRow
 	// AttackOutcome is one row of the Table 3 attack matrix.
 	AttackOutcome = attack.Outcome
+)
+
+// APMArm is one recovery configuration of the apm experiment.
+type APMArm = core.APMArm
+
+// Recovery arms: plain timeout, explicit NAK, NAK plus path migration
+// with the migrating sources SIF-registered, and the same without
+// registration (the enforcement drop cliff).
+const (
+	ArmTimeout         = core.ArmTimeout
+	ArmNAK             = core.ArmNAK
+	ArmAPMRegistered   = core.ArmAPMRegistered
+	ArmAPMUnregistered = core.ArmAPMUnregistered
 )
 
 // Deterministic fault injection and self-healing (internal/faults and the
@@ -343,6 +357,19 @@ func FailoverSweepCtx(ctx context.Context, pool *Pool, standbys []int, heartbeat
 	return core.FailoverSweepCtx(ctx, pool, standbys, heartbeatsUS, rekeysUS, base)
 }
 
+// APMSweep runs the RC recovery experiment: a mid-run primary-path link
+// kill (plus optional BER bursts) against RC probe flows, sweeping BER ×
+// link kills × recovery arm (timeout-only, explicit NAK, NAK+APM with
+// SIF-registered alternate sources, NAK+APM unregistered).
+func APMSweep(bers []float64, kills []int, base Config) ([]APMRow, error) {
+	return core.APMSweep(bers, kills, base)
+}
+
+// APMSweepCtx is APMSweep with cancellation and an optional worker pool.
+func APMSweepCtx(ctx context.Context, pool *Pool, bers []float64, kills []int, base Config) ([]APMRow, error) {
+	return core.APMSweepCtx(ctx, pool, bers, kills, base)
+}
+
 // CSVTable is one experiment's rows rendered for an encoding/csv writer.
 // The renderers below are the single source of truth for experiment CSV
 // formatting: cmd/ibsim and the golden-determinism tests both go through
@@ -363,3 +390,6 @@ func FaultsCSV(rows []FaultRow) CSVTable { return core.FaultsCSV(rows) }
 
 // FailoverCSV renders the SM-failover / key-rotation sweep.
 func FailoverCSV(rows []FailoverRow) CSVTable { return core.FailoverCSV(rows) }
+
+// APMCSV renders the RC recovery / path-migration sweep.
+func APMCSV(rows []APMRow) CSVTable { return core.APMCSV(rows) }

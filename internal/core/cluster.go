@@ -99,6 +99,10 @@ type Cluster struct {
 	// Rotator drives key-epoch rotation, non-nil when Config.Rekey is
 	// enabled (started during Simulate).
 	Rotator *sm.Rotator
+	// OnHeal, when non-nil, observes every re-sweep healing event (set
+	// before Simulate; the apm experiment uses it to rearm migrated RC
+	// connections once the primary path heals).
+	OnHeal func(sm.HealEvent)
 
 	res        *Results
 	healEvents []sm.HealEvent
@@ -452,7 +456,12 @@ func (cl *Cluster) armResilience() {
 		disc.SetTimeoutMult = 10
 		r := sm.NewResweeper(cl.Sim, disc, cfg.ResweepPeriod)
 		r.PrimeStatic(cl.Mesh)
-		r.OnEvent = func(ev sm.HealEvent) { cl.healEvents = append(cl.healEvents, ev) }
+		r.OnEvent = func(ev sm.HealEvent) {
+			cl.healEvents = append(cl.healEvents, ev)
+			if cl.OnHeal != nil {
+				cl.OnHeal(ev)
+			}
+		}
 		r.Start()
 		cl.Resweeper = r
 	}

@@ -124,6 +124,30 @@ func FaultsCSV(rows []FaultRow) CSVTable {
 	return t
 }
 
+// APMCSV renders the RC recovery / path-migration sweep.
+func APMCSV(rows []APMRow) CSVTable {
+	t := CSVTable{
+		Name: "apm",
+		Header: []string{
+			"arm", "ber", "kills",
+			"rc_sent", "rc_delivered", "delivered_frac", "rc_broken",
+			"naks", "migrations", "rearms",
+			"retrans", "retrans_bytes", "storm_max", "alt_dropped",
+			"p99_us", "max_us",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Arm.String(), Gtoa(r.BER), Itoa(uint64(r.LinkKills)),
+			Itoa(r.RCSent), Itoa(r.RCDelivered), Ftoa(r.DeliveredFrac), Itoa(r.RCBroken),
+			Itoa(r.NAKs), Itoa(r.Migrations), Itoa(r.Rearms),
+			Itoa(r.Retrans), Itoa(r.RetransBytes), Itoa(r.StormMax), Itoa(r.AltDropped),
+			Ftoa(r.RCLatencyP99US), Ftoa(r.RCLatencyMaxUS),
+		})
+	}
+	return t
+}
+
 // FailoverCSV renders the SM-failover / key-rotation sweep.
 func FailoverCSV(rows []FailoverRow) CSVTable {
 	t := CSVTable{

@@ -66,6 +66,11 @@ type switchState struct {
 	violations    uint64          // Ingress P_Key Violation Counter
 	lastViolCount uint64          // snapshot for the auto-disable timer
 	autoDisable   func()
+
+	// altSources holds the source LIDs registered as legitimate users of
+	// alternate-path (APM) addresses through this switch; nil until the
+	// SM registers the first one.
+	altSources map[packet.LID]bool
 }
 
 // Filter implements fabric.Filter for all four modes. One Filter instance
@@ -84,6 +89,12 @@ type Filter struct {
 	mu       sync.Mutex
 	switches map[*fabric.Switch]*switchState
 
+	// altBase, when non-zero, arms SIF source-identity checking for
+	// migrated traffic: every non-management packet addressed at or
+	// above altBase (an alternate-path LID) must carry a source LID
+	// registered on each switch it crosses, or it is dropped.
+	altBase packet.LID
+
 	// Lookups counts partition-table lookup operations actually
 	// performed, the quantity Table 2 models as f(·) per packet.
 	Lookups uint64
@@ -91,6 +102,10 @@ type Filter struct {
 	Dropped uint64
 	// Activations counts SIF enable events.
 	Activations uint64
+	// AltDropped counts migrated-path packets discarded because their
+	// source identity was not registered on a switch along the alternate
+	// route (a subset of Dropped).
+	AltDropped uint64
 }
 
 // NewFilter returns a filter in the given mode.
@@ -162,6 +177,35 @@ func (f *Filter) RegisterInvalid(sw *fabric.Switch, pk packet.PKey) {
 	}
 }
 
+// EnableAltPathEnforcement arms the SIF source-identity check for
+// alternate-path (APM) traffic: packets addressed at or above altBase
+// are only forwarded by switches holding a registration for their
+// source LID. SIF mode only; in other modes this is a no-op, matching
+// the paper's framing that only stateful ingress filtering tracks
+// per-source state.
+func (f *Filter) EnableAltPathEnforcement(altBase packet.LID) {
+	if f.mode != SIF {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.altBase = altBase
+}
+
+// RegisterAltSource records src as a legitimate user of alternate-path
+// addresses through sw (the SM's action when it hands out a path record
+// and re-registers the connection's source identity along the alternate
+// route).
+func (f *Filter) RegisterAltSource(sw *fabric.Switch, src packet.LID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state(sw)
+	if st.altSources == nil {
+		st.altSources = make(map[packet.LID]bool)
+	}
+	st.altSources[src] = true
+}
+
 // Active reports whether SIF filtering is currently enabled at sw.
 func (f *Filter) Active(sw *fabric.Switch) bool {
 	f.mu.Lock()
@@ -215,6 +259,21 @@ func (f *Filter) Inspect(sw *fabric.Switch, _ int, ingress bool, d *fabric.Deliv
 	defer f.mu.Unlock()
 	st := f.state(sw)
 	pk := d.Pkt.BTH.PKey
+
+	// Migrated-path source-identity check (SIF + APM): a packet addressed
+	// to an alternate LID crosses switches the connection never
+	// registered with at setup time, so under stateful filtering each hop
+	// demands its own registration — this is the drop cliff the apm
+	// experiment measures when alternate paths are left unregistered.
+	if f.altBase != 0 && f.mode == SIF && d.Pkt.LRH.DLID >= f.altBase {
+		f.Lookups++
+		if !st.altSources[d.Pkt.LRH.SLID] {
+			f.Dropped++
+			f.AltDropped++
+			return true, f.lookupDelay(len(st.altSources) + 1)
+		}
+		// Registered: fall through to the normal SIF ingress check.
+	}
 
 	switch f.mode {
 	case NoFiltering:

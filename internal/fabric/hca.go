@@ -213,6 +213,13 @@ func (h *HCA) arrive(_ int, d *Delivery) {
 		}
 		return
 	}
+	if lid := h.LID(); lid != 0 && d.Pkt.LRH.DLID != lid {
+		// Addressed to one of this HCA's alternate (APM) LIDs — the
+		// fabric routes alternate addresses to the same port, and the
+		// transport layer uses the mismatch to mirror acknowledgements
+		// onto the alternate path.
+		h.Counters.Inc("alt_lid_arrivals", 1)
+	}
 	h.Counters.Inc("delivered", 1)
 	h.params.observe(h.sim.Now(), ObsDeliver, h.name, d)
 	if h.OnDeliver != nil {

@@ -280,6 +280,29 @@ func Chaos(seed int64, w, h, kills int, from, until sim.Time) *Plan {
 	return p
 }
 
+// PrimaryHopLink returns the first inter-switch link on the primary
+// (X-then-Y) route from node src to node dst in a w-wide mesh, and false
+// when the two nodes share a switch. Killing it severs the primary path
+// at its very first hop while leaving the Y-then-X alternate route
+// intact for any pair whose coordinates differ in both dimensions — the
+// targeted fault the apm experiment rides out via path migration.
+func PrimaryHopLink(w int, src, dst int) (topology.LinkID, bool) {
+	sx, sy := src%w, src/w
+	tx, ty := dst%w, dst/w
+	sw := sy*w + sx
+	switch {
+	case tx > sx:
+		return topology.LinkID{Switch: sw, Port: topology.PortEast}, true
+	case tx < sx:
+		return topology.LinkID{Switch: sw, Port: topology.PortWest}, true
+	case ty > sy:
+		return topology.LinkID{Switch: sw, Port: topology.PortSouth}, true
+	case ty < sy:
+		return topology.LinkID{Switch: sw, Port: topology.PortNorth}, true
+	}
+	return topology.LinkID{}, false
+}
+
 // meshConnectedWithout reports whether the W×H switch grid stays
 // connected after removing the given inter-switch links.
 func meshConnectedWithout(w, h int, dead []topology.LinkID) bool {

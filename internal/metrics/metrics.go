@@ -271,3 +271,45 @@ func (l *LatencySplit) AddSample(queuingUS, networkUS float64) {
 	l.Queuing.Add(queuingUS)
 	l.Network.Add(networkUS)
 }
+
+// Storm is a bucketed retry-storm gauge: events (retransmissions) are
+// counted into fixed windows of the timeline and the densest window is
+// tracked, so an experiment can report the peak retransmission rate a
+// recovery policy produced rather than just the total. Timestamps must
+// be non-decreasing (simulation order), which keeps it O(1) per event
+// with no per-event storage.
+type Storm struct {
+	window   float64
+	cur      int64
+	curCount uint64
+	max      uint64
+	total    uint64
+}
+
+// NewStorm creates a storm gauge with the given window size, in the
+// caller's time unit (conventionally microseconds).
+func NewStorm(window float64) *Storm {
+	if window <= 0 {
+		panic("metrics: non-positive storm window")
+	}
+	return &Storm{window: window, cur: -1}
+}
+
+// Add counts one event at time t.
+func (s *Storm) Add(t float64) {
+	idx := int64(t / s.window)
+	if idx != s.cur {
+		s.cur, s.curCount = idx, 0
+	}
+	s.curCount++
+	s.total++
+	if s.curCount > s.max {
+		s.max = s.curCount
+	}
+}
+
+// Max returns the highest event count observed in any single window.
+func (s *Storm) Max() uint64 { return s.max }
+
+// Total returns the total number of events counted.
+func (s *Storm) Total() uint64 { return s.total }

@@ -177,3 +177,66 @@ func TestRCRetransmissionStraddlesWrap(t *testing.T) {
 		t.Fatalf("acks sent = %d, want %d (go-back ACK suppressed at ePSN 0?)", acks, want)
 	}
 }
+
+// The explicit-NAK path at the wrap point: losing PSN 0 with ePSN == 0
+// makes the NAK name (ePSN-1) & mask == 0xFFFFFF — a legal cumulative
+// point one past the wrap. The requester must trim its pre-wrap sends by
+// that MSN, go back immediately, and drain the window without waiting
+// out a retry period.
+func TestRCNakRetransmissionAcrossWrap(t *testing.T) {
+	w := newWorld(t, 0, PartitionLevel, false)
+	for _, ep := range w.eps {
+		ep.cfg.EnableNAK = true
+	}
+	a, b := wrapRC(t, w, 0xFFFFFD)
+	var got []string
+	var doneAt sim.Time
+	b.OnRecv = func(p []byte, _ packet.LID, _ packet.QPN) {
+		got = append(got, string(p))
+		doneAt = w.s.Now()
+	}
+	w.mesh.SwitchOf(0).SetFilter(&dropPSNFilter{psn: 0, remaining: 1})
+
+	const n = 6 // PSNs 0xFFFFFD..0xFFFFFF, 0 (lost), 1, 2
+	start := w.s.Now()
+	for i := 0; i < n; i++ {
+		if err := w.eps[0].SendRC(a, []byte(fmt.Sprintf("m%d", i)), fabric.ClassBestEffort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.s.Run()
+
+	if len(got) != n {
+		t.Fatalf("delivered %d/%d: %v", len(got), n, got)
+	}
+	for i := range got {
+		if got[i] != fmt.Sprintf("m%d", i) {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+	if a.Broken() {
+		t.Fatal("connection broke on a NAK-recovered wrap")
+	}
+	if b.rc().ePSN != 3 {
+		t.Fatalf("responder ePSN = %#x, want 3", b.rc().ePSN)
+	}
+	if len(a.rc().unacked) != 0 {
+		t.Fatal("window not drained: the 0xFFFFFF MSN failed to release pre-wrap sends")
+	}
+	// One gap episode, one NAK — the later out-of-order arrivals (PSNs 1
+	// and 2) are coalesced into it.
+	if naks := w.eps[3].Counters.Get("rc_naks_sent"); naks != 1 {
+		t.Fatalf("naks sent = %d, want 1", naks)
+	}
+	if naks := w.eps[0].Counters.Get("rc_naks_received"); naks != 1 {
+		t.Fatalf("naks received = %d, want 1", naks)
+	}
+	if w.eps[0].Counters.Get("rc_retransmissions") == 0 {
+		t.Fatal("no retransmission despite the loss")
+	}
+	// NAK recovery is responder-clocked: the whole burst completes well
+	// inside one retry period.
+	if doneAt-start >= defaultRetryTimeout {
+		t.Fatalf("NAK recovery across the wrap took %v, expected under %v", doneAt-start, defaultRetryTimeout)
+	}
+}

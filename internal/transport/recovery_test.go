@@ -1,0 +1,431 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/mac"
+	"ibasec/internal/packet"
+	"ibasec/internal/sim"
+	"ibasec/internal/topology"
+)
+
+// enableNAK turns on explicit-NAK recovery on every endpoint of a world.
+func enableNAK(w *world) {
+	for _, ep := range w.eps {
+		ep.cfg.EnableNAK = true
+	}
+}
+
+// An explicit NAK turns loss recovery responder-clocked: the gap is
+// reported by the first out-of-order arrival, so the head is
+// retransmitted in link time instead of after a full retry period.
+func TestRCNakRecoversFasterThanTimeout(t *testing.T) {
+	run := func(nak bool) (recovery sim.Time, w *world, a *QP) {
+		w = newWorld(t, 0, PartitionLevel, false)
+		if nak {
+			enableNAK(w)
+		}
+		var b *QP
+		a, b = connectRC(t, w, false)
+		var got []string
+		var doneAt sim.Time
+		b.OnRecv = func(p []byte, _ packet.LID, _ packet.QPN) {
+			got = append(got, string(p))
+			doneAt = w.s.Now()
+		}
+		// Drop the third message (PSN 2); m0/m1 establish gotAny so the
+		// responder can name the last in-order PSN.
+		w.mesh.SwitchOf(0).SetFilter(&dropPSNFilter{psn: 2, remaining: 1})
+		start := w.s.Now()
+		for i := 0; i < 5; i++ {
+			if err := w.eps[0].SendRC(a, []byte(fmt.Sprintf("m%d", i)), fabric.ClassBestEffort); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.s.Run()
+		if len(got) != 5 {
+			t.Fatalf("nak=%v delivered %d/5: %v", nak, len(got), got)
+		}
+		for i := range got {
+			if got[i] != fmt.Sprintf("m%d", i) {
+				t.Fatalf("nak=%v order broken: %v", nak, got)
+			}
+		}
+		if a.Broken() {
+			t.Fatalf("nak=%v connection broken", nak)
+		}
+		return doneAt - start, w, a
+	}
+
+	slow, base, _ := run(false)
+	fast, nakw, nakQP := run(true)
+
+	if base.eps[3].Counters.Get("rc_naks_sent") != 0 {
+		t.Fatal("NAKs sent with EnableNAK off")
+	}
+	if n := nakw.eps[3].Counters.Get("rc_naks_sent"); n != 1 {
+		t.Fatalf("naks sent = %d, want 1 (one per gap episode, coalesced)", n)
+	}
+	if n := nakw.eps[0].Counters.Get("rc_naks_received"); n != 1 {
+		t.Fatalf("naks received = %d", n)
+	}
+	// m3 and m4 both arrived out of order, but only the first drew a NAK.
+	if ooo := nakw.eps[3].Counters.Get("rc_out_of_order"); ooo != 2 {
+		t.Fatalf("out of order = %d, want 2", ooo)
+	}
+	if slow < defaultRetryTimeout {
+		t.Fatalf("timeout-only recovery took %v, expected at least one retry period (%v)", slow, defaultRetryTimeout)
+	}
+	if fast >= defaultRetryTimeout {
+		t.Fatalf("NAK recovery took %v, expected well under the retry period (%v)", fast, defaultRetryTimeout)
+	}
+	// NAK-clocked retransmission must not consume the timeout retry budget.
+	if r := nakQP.rc().retries; r != 0 {
+		t.Fatalf("NAK recovery consumed %d timeout retries", r)
+	}
+}
+
+// A receiver with no posted buffers answers with RNR NAKs; the requester
+// waits out the advertised delay and replays until the receiver drains,
+// without consuming the transport retry budget.
+func TestRCRNRNakDelaysAndRecovers(t *testing.T) {
+	w := newWorld(t, 0, PartitionLevel, false)
+	enableNAK(w)
+	a, b := connectRC(t, w, false)
+	var got []byte
+	b.OnRecv = func(p []byte, _ packet.LID, _ packet.QPN) { got = p }
+	b.RNRDelay = 10 * sim.Microsecond
+	b.RNRUntil = w.s.Now() + 30*sim.Microsecond
+
+	if err := w.eps[0].SendRC(a, []byte("patience"), fabric.ClassBestEffort); err != nil {
+		t.Fatal(err)
+	}
+	w.s.Run()
+
+	if !bytes.Equal(got, []byte("patience")) {
+		t.Fatalf("payload %q", got)
+	}
+	if a.Broken() {
+		t.Fatal("connection broken by a transient RNR condition")
+	}
+	rnrs := w.eps[3].Counters.Get("rc_rnr_naks_sent")
+	if rnrs == 0 {
+		t.Fatal("receiver-not-ready window produced no RNR NAKs")
+	}
+	if recv := w.eps[0].Counters.Get("rc_rnr_naks_received"); recv != rnrs {
+		t.Fatalf("rnr naks received = %d, sent = %d", recv, rnrs)
+	}
+	st := a.rc()
+	if st.rnrRetries != 0 || st.retries != 0 {
+		t.Fatalf("budgets not reset after recovery: rnr=%d timeout=%d", st.rnrRetries, st.retries)
+	}
+	// The RNR NAK on a fresh responder (ePSN 0) must not acknowledge
+	// anything: the PSN-0 head stays in the window until delivered.
+	if w.eps[0].Counters.Get("rc_broken") != 0 {
+		t.Fatal("rc_broken counted")
+	}
+}
+
+// A receiver that never drains exhausts the separate RNR budget and the
+// connection breaks with the dedicated counter.
+func TestRCRNRExhaustionBreaks(t *testing.T) {
+	w := newWorld(t, 0, PartitionLevel, false)
+	enableNAK(w)
+	w.eps[0].cfg.RNRRetries = 3
+	a, b := connectRC(t, w, false)
+	n := 0
+	b.OnRecv = func([]byte, packet.LID, packet.QPN) { n++ }
+	b.RNRDelay = 10 * sim.Microsecond
+	b.RNRUntil = w.s.Now() + 10*sim.Millisecond // never drains in this test
+
+	if err := w.eps[0].SendRC(a, []byte("starved"), fabric.ClassBestEffort); err != nil {
+		t.Fatal(err)
+	}
+	w.s.Run()
+
+	if n != 0 {
+		t.Fatal("delivered through a permanently not-ready receiver")
+	}
+	if !a.Broken() {
+		t.Fatal("connection not marked broken")
+	}
+	if w.eps[0].Counters.Get("rc_rnr_exhausted") != 1 {
+		t.Fatal("rc_rnr_exhausted not counted")
+	}
+	if w.eps[0].Counters.Get("rc_broken") != 1 {
+		t.Fatal("rc_broken not counted")
+	}
+	// 3 replays allowed; the 4th RNR NAK exhausts the budget.
+	if got := w.eps[0].Counters.Get("rc_rnr_naks_received"); got != 4 {
+		t.Fatalf("rnr naks received = %d, want 4", got)
+	}
+	if got := w.eps[0].Counters.Get("rc_retransmissions"); got != 3 {
+		t.Fatalf("retransmissions = %d, want 3", got)
+	}
+}
+
+// retryDelay doubles per quiet timeout and saturates at the cap.
+func TestRCBackoffGrowsAndCaps(t *testing.T) {
+	w := newWorld(t, 0, PartitionLevel, false)
+	ep := w.eps[0]
+	ep.cfg.RetryTimeout = 10 * sim.Microsecond
+	a, _ := connectRC(t, w, false)
+	st := a.rc()
+
+	// Backoff off: constant period no matter the retry count.
+	st.retries = 5
+	if d := ep.retryDelay(a); d != 10*sim.Microsecond {
+		t.Fatalf("backoff off: delay = %v", d)
+	}
+
+	ep.cfg.RetryBackoff = true
+	// Default cap is backoffCapFactor x base.
+	for _, c := range []struct {
+		retries int
+		want    sim.Time
+	}{
+		{0, 10 * sim.Microsecond},
+		{1, 20 * sim.Microsecond},
+		{2, 40 * sim.Microsecond},
+		{3, 80 * sim.Microsecond},
+		{4, 80 * sim.Microsecond},
+		{20, 80 * sim.Microsecond},
+	} {
+		st.retries = c.retries
+		if d := ep.retryDelay(a); d != c.want {
+			t.Errorf("retries=%d: delay = %v, want %v", c.retries, d, c.want)
+		}
+	}
+
+	// An explicit cap clamps even when it is not a power-of-two multiple.
+	ep.cfg.MaxRetryTimeout = 25 * sim.Microsecond
+	st.retries = 2
+	if d := ep.retryDelay(a); d != 25*sim.Microsecond {
+		t.Fatalf("explicit cap: delay = %v, want 25us", d)
+	}
+	st.retries = 0
+}
+
+// End to end: with backoff the same retry budget probes a dead path over
+// a longer horizon, so the break happens later than at a fixed period.
+func TestRCBackoffStretchesRetryHorizon(t *testing.T) {
+	run := func(backoff bool) sim.Time {
+		w := newWorld(t, 0, PartitionLevel, false)
+		w.eps[0].cfg.RetryTimeout = 10 * sim.Microsecond
+		w.eps[0].cfg.MaxRetries = 3
+		w.eps[0].cfg.RetryBackoff = backoff
+		a, _ := connectRC(t, w, false)
+		w.mesh.SwitchOf(0).SetFilter(&dropFilter{remaining: 1 << 30})
+		start := w.s.Now()
+		if err := w.eps[0].SendRC(a, []byte("doomed"), fabric.ClassBestEffort); err != nil {
+			t.Fatal(err)
+		}
+		w.s.Run()
+		if !a.Broken() {
+			t.Fatalf("backoff=%v: connection not broken", backoff)
+		}
+		if got := w.eps[0].Counters.Get("rc_retransmissions"); got != 3 {
+			t.Fatalf("backoff=%v: retransmissions = %d, want 3", backoff, got)
+		}
+		return w.s.Now() - start
+	}
+	fixed := run(false)
+	stretched := run(true)
+	if stretched <= fixed {
+		t.Fatalf("backoff horizon %v not longer than fixed %v", stretched, fixed)
+	}
+}
+
+// lidDropFilter blackholes non-ACK packets addressed to one LID —
+// a primary path failure that leaves the alternate route intact.
+type lidDropFilter struct {
+	dlid packet.LID
+}
+
+func (f *lidDropFilter) Inspect(_ *fabric.Switch, _ int, _ bool, d *fabric.Delivery) (bool, sim.Time) {
+	if d.Pkt.LRH.DLID == f.dlid && d.Pkt.BTH.OpCode != packet.RCAck {
+		return true, 0
+	}
+	return false, 0
+}
+
+// APM end to end: after MigrateAfter quiet periods the requester fails
+// over to the alternate LID, traffic completes there, and a rearm
+// returns it to the healed primary.
+func TestRCAPMMigratesAndRearms(t *testing.T) {
+	w := newWorld(t, 0, PartitionLevel, false)
+	w.mesh.ProgramAlternatePaths()
+	w.eps[0].cfg.RetryTimeout = 10 * sim.Microsecond
+	a, b := connectRC(t, w, false)
+	a.SetAlternatePath(topology.AltLIDOf(3), 2)
+	var got []string
+	b.OnRecv = func(p []byte, _ packet.LID, _ packet.QPN) { got = append(got, string(p)) }
+
+	// Kill the primary: node 0's switch drops data addressed to LID(3);
+	// the Y-then-X alternate to AltLIDOf(3) does not match.
+	w.mesh.SwitchOf(0).SetFilter(&lidDropFilter{dlid: topology.LIDOf(3)})
+
+	if err := w.eps[0].SendRC(a, []byte("via alt"), fabric.ClassBestEffort); err != nil {
+		t.Fatal(err)
+	}
+	w.s.Run()
+
+	if len(got) != 1 || got[0] != "via alt" {
+		t.Fatalf("deliveries = %v", got)
+	}
+	if !a.Migrated() {
+		t.Fatal("QP did not migrate")
+	}
+	if a.Broken() {
+		t.Fatal("connection broken despite alternate path")
+	}
+	if w.eps[0].Counters.Get("rc_migrations") != 1 {
+		t.Fatalf("rc_migrations = %d", w.eps[0].Counters.Get("rc_migrations"))
+	}
+	if w.mesh.HCA(3).Counters.Get("alt_lid_arrivals") == 0 {
+		t.Fatal("no arrivals on the alternate LID")
+	}
+
+	// Primary heals; the SM-driven rearm returns the QP to Armed and new
+	// sends go back to the primary LID.
+	w.mesh.SwitchOf(0).SetFilter(nil)
+	w.eps[0].RearmAll()
+	if a.Migrated() {
+		t.Fatal("QP still migrated after rearm")
+	}
+	if w.eps[0].Counters.Get("rc_rearms") != 1 {
+		t.Fatalf("rc_rearms = %d", w.eps[0].Counters.Get("rc_rearms"))
+	}
+	altBefore := w.mesh.HCA(3).Counters.Get("alt_lid_arrivals")
+	if err := w.eps[0].SendRC(a, []byte("back on primary"), fabric.ClassBestEffort); err != nil {
+		t.Fatal(err)
+	}
+	w.s.Run()
+	if len(got) != 2 || got[1] != "back on primary" {
+		t.Fatalf("deliveries after rearm = %v", got)
+	}
+	if w.mesh.HCA(3).Counters.Get("alt_lid_arrivals") != altBefore {
+		t.Fatal("post-rearm traffic still used the alternate LID")
+	}
+	// Migration recovery must not have counted against rc_broken.
+	if w.eps[0].Counters.Get("rc_broken") != 0 {
+		t.Fatal("rc_broken counted")
+	}
+}
+
+// A migrated retransmission is re-sealed, so authenticated RC still
+// verifies when the DLID — inside the MAC-covered invariant region —
+// changes under it.
+func TestRCAPMMigratedResealAuthenticated(t *testing.T) {
+	w := newWorld(t, mac.IDUMAC32, QPLevel, false)
+	w.mesh.ProgramAlternatePaths()
+	w.eps[0].cfg.RetryTimeout = 10 * sim.Microsecond
+	a, b := connectRC(t, w, true)
+	a.SetAlternatePath(topology.AltLIDOf(3), 2)
+	var got []byte
+	b.OnRecv = func(p []byte, _ packet.LID, _ packet.QPN) { got = p }
+	w.mesh.SwitchOf(0).SetFilter(&lidDropFilter{dlid: topology.LIDOf(3)})
+
+	if err := w.eps[0].SendRC(a, []byte("signed detour"), fabric.ClassBestEffort); err != nil {
+		t.Fatal(err)
+	}
+	w.s.Run()
+
+	if !bytes.Equal(got, []byte("signed detour")) {
+		t.Fatalf("payload %q (reseal after DLID rewrite broken?)", got)
+	}
+	if !a.Migrated() {
+		t.Fatal("QP did not migrate")
+	}
+	if w.eps[3].Counters.Get("auth_fail") != 0 {
+		t.Fatalf("auth_fail = %d on migrated retransmission", w.eps[3].Counters.Get("auth_fail"))
+	}
+	if w.eps[0].Counters.Get("rc_reseal_failed") != 0 {
+		t.Fatal("reseal failed")
+	}
+}
+
+// Destroying a QP cancels its pending retry timer: no retransmissions
+// fire for a connection that no longer exists.
+func TestRCDestroyQPCancelsRetryTimer(t *testing.T) {
+	w := newWorld(t, 0, PartitionLevel, false)
+	a, _ := connectRC(t, w, false)
+	w.mesh.SwitchOf(0).SetFilter(&dropFilter{remaining: 1 << 30})
+
+	if err := w.eps[0].SendRC(a, []byte("orphan"), fabric.ClassBestEffort); err != nil {
+		t.Fatal(err)
+	}
+	st := a.rc()
+	if !st.retryTimer.Pending() {
+		t.Fatal("retry timer not armed after send")
+	}
+	w.eps[0].DestroyQP(a.N)
+	if st.retryTimer.Pending() {
+		t.Fatal("retry timer still pending after DestroyQP")
+	}
+	w.s.Run()
+	if got := w.eps[0].Counters.Get("rc_retransmissions"); got != 0 {
+		t.Fatalf("destroyed QP retransmitted %d times", got)
+	}
+	if w.eps[0].Counters.Get("rc_broken") != 0 {
+		t.Fatal("destroyed QP counted as broken")
+	}
+	// Destroy is idempotent and unknown QPNs are ignored.
+	w.eps[0].DestroyQP(a.N)
+	w.eps[0].DestroyQP(9999)
+}
+
+// A retry timeout that coincides with window progress must re-arm
+// strictly in the future — a zero-delay re-arm would re-enter the
+// handler at the same timestamp forever.
+func TestRCRetryRearmStrictlyFuture(t *testing.T) {
+	w := newWorld(t, 0, PartitionLevel, false)
+	ep := w.eps[0]
+	ep.cfg.RetryTimeout = 10 * sim.Microsecond
+	a, _ := connectRC(t, w, false)
+	w.mesh.SwitchOf(0).SetFilter(&dropFilter{remaining: 1 << 30})
+	if err := ep.SendRC(a, []byte("x"), fabric.ClassBestEffort); err != nil {
+		t.Fatal(err)
+	}
+	st := a.rc()
+
+	// Invoke the handler the way its timer would, at instants where the
+	// window progressed 0 .. retryDelay ticks ago. Every re-arm must land
+	// strictly after now (the clamp in onRetryTimeout guards the
+	// degenerate delay == 0 rounding), and offsets at or past the full
+	// period must retransmit instead.
+	for _, off := range []sim.Time{0, sim.Picosecond, 5 * sim.Microsecond, 10*sim.Microsecond - sim.Picosecond} {
+		w.s.Cancel(st.retryTimer)
+		st.retryTimer = sim.Event{}
+		st.lastProgress = w.s.Now() - off
+		before := ep.Counters.Get("rc_retransmissions")
+		ep.onRetryTimeout(a)
+		if got := ep.Counters.Get("rc_retransmissions"); got != before {
+			t.Fatalf("off=%v: retransmitted during a draining window", off)
+		}
+		if !st.retryTimer.Pending() {
+			t.Fatalf("off=%v: no timer re-armed", off)
+		}
+		if st.retryTimer.At() <= w.s.Now() {
+			t.Fatalf("off=%v: re-armed at %v, not strictly after now %v", off, st.retryTimer.At(), w.s.Now())
+		}
+	}
+
+	// At exactly one full quiet period, the handler retransmits.
+	w.s.Cancel(st.retryTimer)
+	st.retryTimer = sim.Event{}
+	st.lastProgress = w.s.Now() - 10*sim.Microsecond
+	before := ep.Counters.Get("rc_retransmissions")
+	ep.onRetryTimeout(a)
+	if got := ep.Counters.Get("rc_retransmissions"); got != before+1 {
+		t.Fatal("full quiet period did not retransmit")
+	}
+	if !st.retryTimer.Pending() || st.retryTimer.At() <= w.s.Now() {
+		t.Fatal("retransmission did not re-arm strictly in the future")
+	}
+	w.eps[0].DestroyQP(a.N)
+	w.s.Run()
+}

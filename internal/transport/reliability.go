@@ -22,11 +22,42 @@ import (
 // enforcement, authentication failures, or injected corruption — which is
 // how an attacker forging traffic against an authenticated QP shows up as
 // a stalled, not corrupted, connection.
+//
+// Three IBA recovery mechanisms layer on top, each behind a default-off
+// knob so the base protocol is bit-for-bit unchanged when disabled:
+//
+//   - Explicit NAK (Config.EnableNAK): a responder that sees a PSN gap
+//     sends one NAK (AETH syndrome 011) per gap episode naming the last
+//     in-order PSN, and a receiver that is temporarily not ready sends an
+//     RNR NAK (syndrome 001) carrying a timer code. The requester
+//     retransmits immediately (or after the advertised RNR delay) instead
+//     of waiting out a full retry period, and neither path consumes the
+//     transport retry budget — RNR has its own counter (Config.RNRRetries).
+//   - Exponential backoff (Config.RetryBackoff): the retry period doubles
+//     after every quiet timeout, capped at Config.MaxRetryTimeout, so a
+//     dead path is probed at a decaying rate instead of a fixed one.
+//   - Automatic Path Migration (QP.SetAlternatePath): after MigrateAfter
+//     consecutive quiet timeouts the requester rewrites the head of the
+//     window onto the pre-loaded alternate DLID and keeps sending there;
+//     Rearm returns it to the primary once the SM reports the fabric
+//     healed. Acknowledgements keep returning on the primary reverse
+//     route: in a 2D DOR mesh the Y-then-X alternate from the responder
+//     back would traverse exactly the links of the requester's broken
+//     X-then-Y primary (see apm.go), so the reverse primary is already
+//     the link-disjoint return path.
 
 // Reliability tuning, part of Config.
 const (
 	defaultRetryTimeout = 100 * sim.Microsecond
 	defaultMaxRetries   = 7
+	defaultRNRRetries   = 7
+	// backoffCapFactor bounds the doubled retry period when
+	// Config.MaxRetryTimeout is unset.
+	backoffCapFactor = 8
+	// rnrBaseDelay is the delay encoded by RNR timer code 0; each
+	// increment of the 5-bit code doubles it (a simplification of IBA
+	// table 45's fixed lattice that keeps encode/decode exact).
+	rnrBaseDelay = 10 * sim.Microsecond
 )
 
 // rcState tracks one RC QP's requester and responder progress.
@@ -46,6 +77,17 @@ type rcState struct {
 	// (the original copies behind a loss were dropped out-of-order at
 	// the responder and must all be resent).
 	recovering bool
+	// rnrRetries counts receiver-not-ready rounds since the last window
+	// progress; it is bounded by Config.RNRRetries, separately from the
+	// transport timeout budget (IBA 9.7.5.2.8).
+	rnrRetries int
+	// consecTimeouts counts quiet retry periods since the last ACK
+	// progress; reaching QP.MigrateAfter triggers path migration.
+	consecTimeouts int
+	// migrated is the APM state: false = Armed (primary path, alternate
+	// loaded), true = Migrated (data and retransmissions go to AltLID).
+	// Rearm returns to Armed.
+	migrated bool
 	// Responder side.
 	ePSN uint32 // next expected PSN
 	// gotAny records that at least one in-order request was delivered,
@@ -53,6 +95,11 @@ type rcState struct {
 	// re-acknowledged with. ePSN == 0 alone cannot distinguish a fresh
 	// responder from one whose sequence wrapped past 0xFFFFFF.
 	gotAny bool
+	// nakSent coalesces explicit NAKs to one per gap episode: set when a
+	// NAK goes out, cleared when ePSN next advances (IBA 9.7.5.2.4 —
+	// further out-of-sequence arrivals in the same episode are dropped
+	// silently).
+	nakSent bool
 }
 
 type pendingSend struct {
@@ -86,12 +133,35 @@ func (e *Endpoint) trackReliable(q *QP, p *packet.Packet, class fabric.Class) {
 	e.armRetry(q)
 }
 
-// retryTimeout returns the configured or default retry period.
+// retryTimeout returns the configured or default base retry period.
 func (e *Endpoint) retryTimeout() sim.Time {
 	if e.cfg.RetryTimeout > 0 {
 		return e.cfg.RetryTimeout
 	}
 	return defaultRetryTimeout
+}
+
+// retryDelay returns the current retry period for a QP: the base period,
+// or — with RetryBackoff — the base doubled per consecutive quiet
+// timeout, capped at MaxRetryTimeout.
+func (e *Endpoint) retryDelay(q *QP) sim.Time {
+	base := e.retryTimeout()
+	if !e.cfg.RetryBackoff {
+		return base
+	}
+	limit := e.cfg.MaxRetryTimeout
+	if limit <= 0 {
+		limit = backoffCapFactor * base
+	}
+	st := q.rc()
+	d := base
+	for i := 0; i < st.retries && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	return d
 }
 
 // armRetry starts the retransmission timer if it is not running.
@@ -100,21 +170,29 @@ func (e *Endpoint) armRetry(q *QP) {
 	if st.retryTimer.Pending() {
 		return
 	}
-	st.retryTimer = e.hca.Sim().Schedule(e.retryTimeout(), func() { e.onRetryTimeout(q) })
+	st.retryTimer = e.hca.Sim().Schedule(e.retryDelay(q), func() { e.onRetryTimeout(q) })
 }
 
-// onRetryTimeout retransmits every unacknowledged request (go-back-N)
-// if a full retry period passed with no window progress.
+// onRetryTimeout retransmits the head of the unacknowledged window
+// (go-back-N) if a full retry period passed with no window progress, and
+// runs the APM migration check.
 func (e *Endpoint) onRetryTimeout(q *QP) {
 	st := q.rc()
 	if len(st.unacked) == 0 || st.broken {
 		return
 	}
 	now := e.hca.Sim().Now()
-	if since := now - st.lastProgress; since < e.retryTimeout() {
+	if since := now - st.lastProgress; since < e.retryDelay(q) {
 		// Progress happened recently: push the deadline out instead of
-		// retransmitting a window that is still draining.
-		st.retryTimer = e.hca.Sim().Schedule(e.retryTimeout()-since, func() { e.onRetryTimeout(q) })
+		// retransmitting a window that is still draining. Clamp to one
+		// tick — lastProgress may coincide with the deadline, and a
+		// zero-delay event would re-enter this handler in the same
+		// timestamp.
+		delay := e.retryDelay(q) - since
+		if delay < sim.Picosecond {
+			delay = sim.Picosecond
+		}
+		st.retryTimer = e.hca.Sim().Schedule(delay, func() { e.onRetryTimeout(q) })
 		return
 	}
 	maxRetries := e.cfg.MaxRetries
@@ -122,26 +200,51 @@ func (e *Endpoint) onRetryTimeout(q *QP) {
 		maxRetries = defaultMaxRetries
 	}
 	st.retries++
+	st.consecTimeouts++
 	if st.retries > maxRetries {
 		st.broken = true
 		e.Counters.Inc("rc_broken", 1)
 		return
+	}
+	// APM: enough consecutive quiet periods prove the primary path dead;
+	// fail over to the pre-loaded alternate with a fresh retry budget
+	// (IBA 17.2.8: migration restarts the timeout sequence).
+	if !st.migrated && q.AltLID != 0 && q.MigrateAfter > 0 && st.consecTimeouts >= q.MigrateAfter {
+		st.migrated = true
+		st.retries = 0
+		e.Counters.Inc("rc_migrations", 1)
 	}
 	st.recovering = true
 	e.resendHead(q)
 	e.armRetry(q)
 }
 
-// resendHead retransmits the oldest unacknowledged request.
+// resendHead retransmits the oldest unacknowledged request, retargeting
+// it onto the current path first.
 func (e *Endpoint) resendHead(q *QP) {
 	st := q.rc()
 	if len(st.unacked) == 0 {
 		return
 	}
 	ps := st.unacked[0]
+	p := ps.pkt.Clone()
+	if dlid := q.dataDLID(); p.LRH.DLID != dlid {
+		// The DLID sits inside the ICRC/MAC-covered invariant region, so
+		// a retransmission crossing a migration (or a rearm) must be
+		// fully re-sealed, not just readdressed.
+		p.LRH.DLID = dlid
+		if err := e.seal(p, q, q.RemoteLID, q.RemoteQPN, q.N); err != nil {
+			e.Counters.Inc("rc_reseal_failed", 1)
+			return
+		}
+	}
 	e.Counters.Inc("rc_retransmissions", 1)
+	e.Counters.Inc("rc_retrans_bytes", uint64(len(ps.pkt.Payload)))
+	if e.Storm != nil {
+		e.Storm.Add(float64(e.hca.Sim().Now()) / float64(sim.Microsecond))
+	}
 	e.hca.Send(&fabric.Delivery{
-		Pkt:    ps.pkt.Clone(),
+		Pkt:    p,
 		Class:  ps.class,
 		VL:     ps.class.VL(),
 		Source: e.hca.Name(),
@@ -150,13 +253,21 @@ func (e *Endpoint) resendHead(q *QP) {
 
 // handleRCRequest runs the responder-side ordering check. It returns
 // true when the packet is the next expected one and should be delivered;
-// in every case it emits the appropriate cumulative acknowledgement.
+// in every case it emits the appropriate acknowledgement (or NAK).
 func (e *Endpoint) handleRCRequest(q *QP, p *packet.Packet, d *fabric.Delivery) bool {
 	st := q.rc()
 	switch {
 	case p.BTH.PSN == st.ePSN:
+		// Receiver not ready (e.g. no posted receive buffers): NAK with
+		// the advertised back-off delay and do not advance ePSN — the
+		// requester replays this PSN after the delay (IBA 9.7.5.2.8).
+		if now := e.hca.Sim().Now(); now < q.RNRUntil {
+			e.sendRNRNak(q, st)
+			return false
+		}
 		st.ePSN = (st.ePSN + 1) & 0xFFFFFF
 		st.gotAny = true
+		st.nakSent = false
 		// An RDMA read is acknowledged by its response (IBA 9.7.5.1.5);
 		// everything else gets an explicit cumulative ACK.
 		if p.BTH.OpCode != packet.RCRDMAReadReq {
@@ -170,13 +281,23 @@ func (e *Endpoint) handleRCRequest(q *QP, p *packet.Packet, d *fabric.Delivery) 
 		e.sendAck(q, (st.ePSN-1)&0xFFFFFF)
 		return false
 	default:
-		// Gap (an earlier request was discarded en route): drop and,
-		// when anything was delivered at all, re-acknowledge the last
-		// in-order PSN so the requester goes back.
+		// Gap (an earlier request was discarded en route): drop and tell
+		// the requester to go back. With explicit NAKs enabled, one NAK
+		// per gap episode triggers immediate retransmission; otherwise
+		// re-acknowledge the last in-order PSN so the stock timeout path
+		// still converges.
 		e.Counters.Inc("rc_out_of_order", 1)
-		if st.gotAny {
-			e.sendAck(q, (st.ePSN-1)&0xFFFFFF)
+		if !st.gotAny {
+			return false
 		}
+		if e.cfg.EnableNAK {
+			if !st.nakSent {
+				st.nakSent = true
+				e.sendNakSeq(q, (st.ePSN-1)&0xFFFFFF)
+			}
+			return false
+		}
+		e.sendAck(q, (st.ePSN-1)&0xFFFFFF)
 		return false
 	}
 }
@@ -189,25 +310,62 @@ func psnBefore(a, b uint32) bool {
 // sendAck emits a (possibly authenticated) cumulative acknowledgement
 // for PSN psn.
 func (e *Endpoint) sendAck(q *QP, psn uint32) {
+	e.sendAckSyndrome(q, psn, packet.AETHAck, "rc_acks_sent")
+}
+
+// sendNakSeq emits a PSN-sequence-error NAK naming the last in-order
+// PSN, so the requester goes back immediately instead of timing out.
+func (e *Endpoint) sendNakSeq(q *QP, psn uint32) {
+	e.sendAckSyndrome(q, psn, packet.AETHNAKSeq, "rc_naks_sent")
+}
+
+// sendRNRNak emits a receiver-not-ready NAK carrying the QP's advertised
+// delay. The MSN is (ePSN-1) mod 2^24 even on a fresh responder: with
+// ePSN == 0 that is 0xFFFFFF, whose cumulative window [.., 0xFFFFFF]
+// contains none of the requester's outstanding PSNs — i.e. "nothing
+// consumed". MSN 0 would instead falsely acknowledge (and discard) the
+// un-delivered PSN-0 head of the window.
+func (e *Endpoint) sendRNRNak(q *QP, st *rcState) {
+	e.sendAckSyndrome(q, (st.ePSN-1)&0xFFFFFF, packet.AETHRNRNak|rnrCode(q.RNRDelay), "rc_rnr_naks_sent")
+}
+
+// sendAckSyndrome builds, seals and sends one acknowledgement packet
+// with the given AETH syndrome, counting it under counter.
+func (e *Endpoint) sendAckSyndrome(q *QP, psn uint32, syndrome uint8, counter string) {
 	if q.RemoteLID == 0 {
 		return
 	}
 	p := &packet.Packet{
 		LRH:  packet.LRH{SLID: e.hca.LID(), DLID: q.RemoteLID},
 		BTH:  packet.BTH{OpCode: packet.RCAck, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: psn},
-		AETH: &packet.AETH{Syndrome: 0, MSN: psn},
+		AETH: &packet.AETH{Syndrome: syndrome, MSN: psn},
 	}
 	if err := e.seal(p, q, q.RemoteLID, q.RemoteQPN, q.N); err != nil {
 		e.Counters.Inc("rc_ack_seal_failed", 1)
 		return
 	}
-	e.Counters.Inc("rc_acks_sent", 1)
+	e.Counters.Inc(counter, 1)
 	e.hca.Send(&fabric.Delivery{
 		Pkt: p, Class: fabric.ClassBestEffort, VL: fabric.VLBestEffort, Source: e.hca.Name(),
 	})
 }
 
-// handleRCAck processes a cumulative acknowledgement at the requester.
+// rnrCode encodes an RNR delay as the smallest 5-bit timer code whose
+// decoded delay covers it (code c decodes to rnrBaseDelay << c).
+func rnrCode(d sim.Time) uint8 {
+	var c uint8
+	for c < 31 && rnrDelay(c) < d {
+		c++
+	}
+	return c
+}
+
+// rnrDelay decodes a 5-bit RNR timer code into a wait period.
+func rnrDelay(c uint8) sim.Time {
+	return rnrBaseDelay << c
+}
+
+// handleRCAck processes an acknowledgement (or NAK) at the requester.
 func (e *Endpoint) handleRCAck(q *QP, p *packet.Packet) {
 	st := q.rc()
 	acked := p.AETH.MSN
@@ -220,10 +378,20 @@ func (e *Endpoint) handleRCAck(q *QP, p *packet.Packet) {
 	progressed := len(kept) < len(st.unacked)
 	if progressed {
 		st.retries = 0 // forward progress
+		st.rnrRetries = 0
+		st.consecTimeouts = 0
 		st.lastProgress = e.hca.Sim().Now()
 	}
 	st.unacked = kept
 	e.Counters.Inc("rc_acks_received", 1)
+	switch {
+	case p.AETH.IsNAK():
+		e.onSeqNak(q, st)
+		return
+	case p.AETH.IsRNR():
+		e.onRNRNak(q, st, p.AETH.RNRTimer())
+		return
+	}
 	if len(st.unacked) == 0 {
 		st.recovering = false
 		e.hca.Sim().Cancel(st.retryTimer)
@@ -236,4 +404,49 @@ func (e *Endpoint) handleRCAck(q *QP, p *packet.Packet) {
 	if progressed && st.recovering {
 		e.resendHead(q)
 	}
+}
+
+// onSeqNak handles an explicit sequence-error NAK: retransmit the head
+// immediately. NAK-triggered retransmission is responder-clocked, so it
+// does not consume the timeout retry budget.
+func (e *Endpoint) onSeqNak(q *QP, st *rcState) {
+	e.Counters.Inc("rc_naks_received", 1)
+	if len(st.unacked) == 0 || st.broken {
+		return
+	}
+	st.recovering = true
+	st.lastProgress = e.hca.Sim().Now()
+	e.resendHead(q)
+	e.armRetry(q)
+}
+
+// onRNRNak handles a receiver-not-ready NAK: wait out the advertised
+// delay, then replay the head. RNR rounds have their own budget.
+func (e *Endpoint) onRNRNak(q *QP, st *rcState, code uint8) {
+	e.Counters.Inc("rc_rnr_naks_received", 1)
+	if len(st.unacked) == 0 || st.broken {
+		return
+	}
+	limit := e.cfg.RNRRetries
+	if limit <= 0 {
+		limit = defaultRNRRetries
+	}
+	st.rnrRetries++
+	if st.rnrRetries > limit {
+		st.broken = true
+		e.Counters.Inc("rc_broken", 1)
+		e.Counters.Inc("rc_rnr_exhausted", 1)
+		return
+	}
+	e.hca.Sim().Cancel(st.retryTimer)
+	st.retryTimer = sim.Event{}
+	st.recovering = true
+	e.hca.Sim().Schedule(rnrDelay(code), func() {
+		if len(st.unacked) == 0 || st.broken {
+			return
+		}
+		st.lastProgress = e.hca.Sim().Now()
+		e.resendHead(q)
+		e.armRetry(q)
+	})
 }

@@ -77,6 +77,20 @@ type Config struct {
 	// select the defaults (100 µs, 7 rounds).
 	RetryTimeout sim.Time
 	MaxRetries   int
+	// EnableNAK turns on responder-generated explicit NAKs: a PSN gap
+	// answers with a sequence-error NAK and a not-ready receiver with an
+	// RNR NAK, letting the requester recover responder-clocked instead
+	// of waiting out RetryTimeout. Off by default: the base protocol is
+	// bit-for-bit unchanged.
+	EnableNAK bool
+	// RetryBackoff doubles the retry period after every quiet timeout,
+	// capped at MaxRetryTimeout (zero = 8 × RetryTimeout). Off by
+	// default.
+	RetryBackoff    bool
+	MaxRetryTimeout sim.Time
+	// RNRRetries bounds consecutive receiver-not-ready rounds before the
+	// connection breaks (zero = 7), separately from MaxRetries.
+	RNRRetries int
 }
 
 // QP is one queue pair.
@@ -89,6 +103,18 @@ type QP struct {
 	// RC peer, set by ConnectRC.
 	RemoteLID packet.LID
 	RemoteQPN packet.QPN
+
+	// APM alternate path, set by SetAlternatePath: AltLID is the peer's
+	// alternate-path address; after MigrateAfter consecutive quiet retry
+	// periods the requester migrates onto it.
+	AltLID       packet.LID
+	MigrateAfter int
+
+	// RNR receive-side model: while Sim().Now() < RNRUntil the responder
+	// answers in-order requests with an RNR NAK advertising RNRDelay
+	// instead of consuming them (simulates exhausted receive buffers).
+	RNRUntil sim.Time
+	RNRDelay sim.Time
 
 	// AuthRequired turns the paper's on-demand authentication on for
 	// this QP: outgoing packets are signed and unsigned arrivals are
@@ -135,6 +161,11 @@ type Endpoint struct {
 	pendingReads map[uint32]func([]byte)
 
 	Counters *metrics.Counters
+
+	// Storm, when non-nil, receives one event per RC retransmission
+	// (timestamped in microseconds) so experiments can report the peak
+	// retransmission rate a recovery policy produces.
+	Storm *metrics.Storm
 
 	// verif holds this endpoint's CRC/auth scratch buffer; per-endpoint
 	// because simulations run concurrently under the experiment runner.
@@ -214,6 +245,24 @@ func (e *Endpoint) CreateRCQP(pkey packet.PKey) *QP {
 func (e *Endpoint) QPByNumber(n packet.QPN) (*QP, bool) {
 	q, ok := e.qps[n]
 	return q, ok
+}
+
+// DestroyQP tears down a queue pair: any pending retransmission timer is
+// cancelled so a stale timer cannot fire on destroyed QP state, the
+// unacknowledged window is released, and the QP stops accepting
+// deliveries.
+func (e *Endpoint) DestroyQP(n packet.QPN) {
+	q, ok := e.qps[n]
+	if !ok {
+		return
+	}
+	if st := q.rcs; st != nil {
+		e.hca.Sim().Cancel(st.retryTimer)
+		st.retryTimer = sim.Event{}
+		st.unacked = nil
+		st.broken = true
+	}
+	delete(e.qps, n)
 }
 
 // RegisterMemory registers size bytes and returns the region with fresh
@@ -342,7 +391,7 @@ func (e *Endpoint) SendRC(q *QP, payload []byte, class fabric.Class) error {
 		return ErrPayloadSize
 	}
 	p := &packet.Packet{
-		LRH:     packet.LRH{SLID: e.hca.LID(), DLID: q.RemoteLID},
+		LRH:     packet.LRH{SLID: e.hca.LID(), DLID: q.dataDLID()},
 		BTH:     packet.BTH{OpCode: packet.RCSendOnly, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: q.nextPSN()},
 		Payload: append([]byte(nil), payload...),
 	}
@@ -366,7 +415,7 @@ func (e *Endpoint) RDMAWrite(q *QP, va uint64, rkey packet.RKey, payload []byte,
 		return ErrPayloadSize
 	}
 	p := &packet.Packet{
-		LRH:     packet.LRH{SLID: e.hca.LID(), DLID: q.RemoteLID},
+		LRH:     packet.LRH{SLID: e.hca.LID(), DLID: q.dataDLID()},
 		BTH:     packet.BTH{OpCode: packet.RCRDMAWriteOnly, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: q.nextPSN()},
 		RETH:    &packet.RETH{VA: va, RKey: rkey, DMALen: uint32(len(payload))},
 		Payload: append([]byte(nil), payload...),

@@ -45,6 +45,20 @@ echo "== ibsim failover -quick (SM kill + rekey smoke under the race detector)"
 go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/failover" failover -standbys 1,2 -heartbeats-us 50 -rekeys-us 0,300 >"$tmp/failover.out"
 diff testdata/golden/failover_quick.csv "$tmp/failover/failover.csv"
 
+echo "== ibsim apm -quick (RC recovery + path-migration smoke under the race detector)"
+# NAK-driven go-back, exponential backoff and automatic path migration
+# against a mid-run primary-path link kill, on a race-instrumented
+# binary, byte-for-byte against the committed golden CSV (the same sweep
+# TestGoldenAPM pins both serially and in parallel).
+go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/apm" apm -bers 0,1e-5 -kills 0,1 >"$tmp/apm.out"
+diff testdata/golden/apm_quick.csv "$tmp/apm/apm.csv"
+
+echo "== ibsim -list (experiment registry smoke)"
+# Every sweep subcommand ci.sh exercises must be advertised by -list.
+go run ./cmd/ibsim -list | grep -qx apm
+go run ./cmd/ibsim -list | grep -qx faults
+go run ./cmd/ibsim -list | grep -qx failover
+
 echo "== fuzz smoke (wire parsers, 5s each)"
 go test -run '^$' -fuzz '^FuzzPacketUnmarshal$' -fuzztime 5s ./internal/packet
 go test -run '^$' -fuzz '^FuzzMADParse$' -fuzztime 5s ./internal/sm
