@@ -18,6 +18,7 @@
 //	ibsim faults                 chaos: link kills + BER bursts vs self-healing SM
 //	ibsim failover               robustness: SM kill + standby election + key-epoch rotation
 //	ibsim apm                    robustness: RC NAK recovery + automatic path migration
+//	ibsim drift                  policy plane: switch-state corruption vs the drift auditor
 //	ibsim trace                  dump a packet-lifecycle trace
 //	ibsim all                    everything above (trace bounded to its default scope)
 //
@@ -126,7 +127,7 @@ func baseConfig() ibasec.Config {
 var sweepCommands = map[string]bool{
 	"fig1": true, "fig5": true, "fig6": true, "sweep": true,
 	"authrate": true, "smdos": true, "scale": true, "faults": true,
-	"failover": true, "apm": true, "all": true,
+	"failover": true, "apm": true, "drift": true, "all": true,
 }
 
 // commands is every subcommand, in the order `ibsim -list` prints them
@@ -134,7 +135,32 @@ var sweepCommands = map[string]bool{
 var commands = []string{
 	"config", "fig1", "fig5", "fig6", "table2", "table4", "attacks",
 	"sweep", "authrate", "smdos", "scale", "faults", "failover", "apm",
-	"trace", "all",
+	"drift", "trace", "all",
+}
+
+// commandFuncs maps each subcommand to its runner. The registry-sync
+// test (main_test.go) holds this, commands, sweepCommands, allSteps,
+// and the usage header in lockstep, so a new experiment cannot be
+// half-wired: visible in -list but undispatchable, or runnable but
+// missing from `ibsim all`.
+var commandFuncs = map[string]func(args []string) error{
+	"config":   func([]string) error { return runConfig() },
+	"fig1":     runFig1,
+	"fig5":     runFig5,
+	"fig6":     runFig6,
+	"table2":   runTable2,
+	"table4":   runTable4,
+	"attacks":  func([]string) error { return runAttacks() },
+	"sweep":    runSweep,
+	"authrate": runAuthRate,
+	"smdos":    runSMDoS,
+	"scale":    runScale,
+	"faults":   runFaults,
+	"failover": runFailover,
+	"apm":      runAPM,
+	"drift":    runDrift,
+	"trace":    runTrace,
+	"all":      func([]string) error { return runAll() },
 }
 
 func main() {
@@ -212,45 +238,12 @@ func run() int {
 		Watchdog: *watchdog,
 	})
 
-	var err error
-	switch cmd {
-	case "config":
-		err = runConfig()
-	case "fig1":
-		err = runFig1(args)
-	case "fig5":
-		err = runFig5(args)
-	case "fig6":
-		err = runFig6(args)
-	case "table2":
-		err = runTable2(args)
-	case "table4":
-		err = runTable4(args)
-	case "attacks":
-		err = runAttacks()
-	case "sweep":
-		err = runSweep(args)
-	case "authrate":
-		err = runAuthRate(args)
-	case "smdos":
-		err = runSMDoS(args)
-	case "scale":
-		err = runScale(args)
-	case "faults":
-		err = runFaults(args)
-	case "failover":
-		err = runFailover(args)
-	case "apm":
-		err = runAPM(args)
-	case "trace":
-		err = runTrace(args)
-	case "all":
-		err = runAll()
-	default:
+	fn, ok := commandFuncs[cmd]
+	if !ok {
 		fmt.Fprintf(os.Stderr, "ibsim: unknown command %q\n", cmd)
 		return 2
 	}
-	if err != nil {
+	if err := fn(args); err != nil {
 		fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
 		return 1
 	}
@@ -625,6 +618,35 @@ func runAPM(args []string) error {
 	return writeTable(ibasec.APMCSV(rows))
 }
 
+func runDrift(args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	periodsFlag := fs.String("periods-us", "0,200,50", "comma-separated audit sweep periods (us); 0 = no auditor baseline")
+	fs.Parse(args)
+
+	periods, err := parseInts(*periodsFlag)
+	if err != nil {
+		return fmt.Errorf("drift: -periods-us: %w", err)
+	}
+
+	base := baseConfig()
+	rows, err := ibasec.DriftSweepCtx(runCtx, pool, periods, base)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Policy plane. Out-of-band switch-state corruption vs the declarative drift auditor")
+	fmt.Println("  mode  period(us)  repair  events  repaired  detect(us)  repair(us)  blast  audit-mads  repair-mads")
+	for _, r := range rows {
+		repair := "off"
+		if r.Repair {
+			repair = "on"
+		}
+		fmt.Printf("  %-4s  %10.0f  %-6s  %6d  %8d  %10.1f  %10.1f  %5d  %10d  %d\n",
+			r.Mode, r.AuditPeriodUS, repair, r.DriftEvents, r.DriftRepaired,
+			r.DetectUS, r.RepairUS, r.Blast, r.AuditMADs, r.RepairMADs)
+	}
+	return writeTable(ibasec.DriftCSV(rows))
+}
+
 func runTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	events := fs.Int("events", 30, "how many trailing events to print")
@@ -656,34 +678,39 @@ func runTrace(args []string) error {
 	return nil
 }
 
+// allSteps is the ordered experiment chain behind `ibsim all`: every
+// subcommand except "all" itself. Package-level so the registry-sync
+// test can diff it against commands.
+var allSteps = []struct {
+	name string
+	fn   func() error
+}{
+	{"config", runConfig},
+	{"fig1", func() error { return runFig1(nil) }},
+	{"fig5", func() error { return runFig5(nil) }},
+	{"fig6", func() error { return runFig6(nil) }},
+	{"table2", func() error { return runTable2(nil) }},
+	{"attacks", runAttacks},
+	{"table4", func() error { return runTable4(nil) }},
+	{"sweep", func() error { return runSweep(nil) }},
+	{"authrate", func() error { return runAuthRate(nil) }},
+	{"smdos", func() error { return runSMDoS(nil) }},
+	{"scale", func() error { return runScale(nil) }},
+	{"faults", func() error { return runFaults(nil) }},
+	{"failover", func() error { return runFailover(nil) }},
+	{"apm", func() error { return runAPM(nil) }},
+	{"drift", func() error { return runDrift(nil) }},
+	{"trace", func() error { return runTrace(nil) }},
+}
+
 // runAll chains every experiment (including a bounded trace dump, so
 // "everything above" in the usage header means what it says). A failing
 // step no longer aborts the chain anonymously: each failure is
 // attributed to its experiment, the remaining experiments still run,
 // and the command exits non-zero listing exactly what broke.
 func runAll() error {
-	steps := []struct {
-		name string
-		fn   func() error
-	}{
-		{"config", runConfig},
-		{"fig1", func() error { return runFig1(nil) }},
-		{"fig5", func() error { return runFig5(nil) }},
-		{"fig6", func() error { return runFig6(nil) }},
-		{"table2", func() error { return runTable2(nil) }},
-		{"attacks", runAttacks},
-		{"table4", func() error { return runTable4(nil) }},
-		{"sweep", func() error { return runSweep(nil) }},
-		{"authrate", func() error { return runAuthRate(nil) }},
-		{"smdos", func() error { return runSMDoS(nil) }},
-		{"scale", func() error { return runScale(nil) }},
-		{"faults", func() error { return runFaults(nil) }},
-		{"failover", func() error { return runFailover(nil) }},
-		{"apm", func() error { return runAPM(nil) }},
-		{"trace", func() error { return runTrace(nil) }},
-	}
 	var failures []error
-	for _, s := range steps {
+	for _, s := range allSteps {
 		if err := s.fn(); err != nil {
 			err = fmt.Errorf("%s: %w", s.name, err)
 			fmt.Fprintf(os.Stderr, "ibsim: %v\n", err)
@@ -701,7 +728,7 @@ func runAll() error {
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d/%d experiments failed:\n%w",
-			len(failures), len(steps), errors.Join(failures...))
+			len(failures), len(allSteps), errors.Join(failures...))
 	}
 	return nil
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestCommandRegistrySync holds every place a subcommand is registered
+// in lockstep: commands (the -list output and canonical order), the
+// dispatch map, sweepCommands, the `ibsim all` step chain, and the
+// usage header in the package doc comment. Wiring a new experiment
+// into only some of them — runnable but invisible, or listed but
+// undispatchable, or missing from `all` — fails here by name.
+func TestCommandRegistrySync(t *testing.T) {
+	registered := make(map[string]bool, len(commands))
+	for _, c := range commands {
+		if registered[c] {
+			t.Errorf("command %q listed twice in commands", c)
+		}
+		registered[c] = true
+	}
+
+	// Dispatch: exactly the registered set.
+	for _, c := range commands {
+		if commandFuncs[c] == nil {
+			t.Errorf("command %q has no dispatch entry", c)
+		}
+	}
+	for c := range commandFuncs {
+		if !registered[c] {
+			t.Errorf("dispatch entry %q not in commands", c)
+		}
+	}
+
+	// Sweep subset: every sweep command must be a real command.
+	for c := range sweepCommands {
+		if !registered[c] {
+			t.Errorf("sweep command %q not in commands", c)
+		}
+	}
+
+	// `ibsim all` runs every command except "all" itself, each once.
+	inAll := make(map[string]bool, len(allSteps))
+	for _, s := range allSteps {
+		if inAll[s.name] {
+			t.Errorf("step %q appears twice in allSteps", s.name)
+		}
+		inAll[s.name] = true
+		if !registered[s.name] {
+			t.Errorf("allSteps entry %q not in commands", s.name)
+		}
+	}
+	for _, c := range commands {
+		if c != "all" && !inAll[c] {
+			t.Errorf("command %q missing from `ibsim all`", c)
+		}
+	}
+	if inAll["all"] {
+		t.Error("`ibsim all` must not recurse into itself")
+	}
+
+	// Usage header: the `ibsim <cmd>` lines in the package doc comment
+	// must list exactly the commands, in -list order.
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var usage []string
+	for _, m := range regexp.MustCompile(`(?m)^//\tibsim (\S+)`).FindAllSubmatch(src, -1) {
+		usage = append(usage, string(m[1]))
+	}
+	if len(usage) != len(commands) {
+		t.Fatalf("usage header lists %d commands, registry has %d:\nusage: %v\nregistry: %v",
+			len(usage), len(commands), usage, commands)
+	}
+	for i, c := range commands {
+		if usage[i] != c {
+			t.Errorf("usage header position %d: %q, want %q", i, usage[i], c)
+		}
+	}
+}

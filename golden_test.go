@@ -167,6 +167,29 @@ func TestGoldenFailover(t *testing.T) {
 	}
 }
 
+// TestGoldenDrift pins the policy-drift sweep (the exact configuration
+// scripts/ci.sh race-smokes via `ibsim -quick ... drift -periods-us
+// 0,200,50`) and proves serial/parallel equivalence the same way
+// TestGoldenFailover does.
+func TestGoldenDrift(t *testing.T) {
+	parallel, err := DriftSweepCtx(context.Background(), goldenPool(), []int{0, 200, 50}, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "drift_quick.csv", DriftCSV(parallel))
+
+	if testing.Short() {
+		return
+	}
+	serial, err := DriftSweepCtx(context.Background(), nil, []int{0, 200, 50}, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := DriftCSV(parallel).Bytes(), DriftCSV(serial).Bytes(); !bytes.Equal(a, b) {
+		t.Fatalf("serial sweep diverged from parallel:\n%s\n---\n%s", b, a)
+	}
+}
+
 // TestGoldenAPM pins the RC recovery / path-migration sweep (the exact
 // configuration scripts/ci.sh race-smokes via `ibsim -quick ... apm
 // -bers 0,1e-5 -kills 0,1`) and proves serial/parallel equivalence the

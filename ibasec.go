@@ -57,6 +57,10 @@ type (
 	// RekeyParams configures online key-epoch rotation; the zero value
 	// keeps every secret at epoch 0.
 	RekeyParams = core.RekeyParams
+	// PolicyParams configures the declarative security policy plane and
+	// its continuous drift auditor; the zero value keeps the imperative
+	// bring-up path.
+	PolicyParams = core.PolicyParams
 	// Results holds a run's measurements (delays in microseconds).
 	Results = core.Results
 	// Cluster is a fully wired simulation instance (advanced use).
@@ -76,6 +80,7 @@ type (
 	FaultRow    = core.FaultRow
 	FailoverRow = core.FailoverRow
 	APMRow      = core.APMRow
+	DriftRow    = core.DriftRow
 	// AttackOutcome is one row of the Table 3 attack matrix.
 	AttackOutcome = attack.Outcome
 )
@@ -108,6 +113,11 @@ type (
 	// out-of-cycle epoch rotation of one partition.
 	SMKill        = faults.SMKill
 	KeyCompromise = faults.KeyCompromise
+	// TableCorruption mutates a switch's programmed enforcement state
+	// out-of-band — the drift the policy auditor exists to catch.
+	TableCorruption = faults.TableCorruption
+	// CorruptOp selects what a TableCorruption does.
+	CorruptOp = faults.CorruptOp
 	// LinkID names one full-duplex link from its switch side.
 	LinkID = topology.LinkID
 	// Resweeper is the SM's periodic self-healing loop (Cluster.Resweeper
@@ -115,6 +125,19 @@ type (
 	Resweeper = sm.Resweeper
 	// HealEvent reports one completed healing round.
 	HealEvent = sm.HealEvent
+)
+
+// Table-corruption operations and symbolic switch targets (resolved
+// against the built cluster: the attacker's or the victim's ingress).
+const (
+	CorruptAddValid      = faults.CorruptAddValid
+	CorruptRemoveValid   = faults.CorruptRemoveValid
+	CorruptClearInvalid  = faults.CorruptClearInvalid
+	CorruptDropAltSource = faults.CorruptDropAltSource
+	CorruptDeactivate    = faults.CorruptDeactivate
+
+	SwitchAttackerIngress = faults.SwitchAttackerIngress
+	SwitchVictimIngress   = faults.SwitchVictimIngress
 )
 
 // ChaosPlan builds a deterministic random plan of transient inter-switch
@@ -370,6 +393,21 @@ func APMSweepCtx(ctx context.Context, pool *Pool, bers []float64, kills []int, b
 	return core.APMSweepCtx(ctx, pool, bers, kills, base)
 }
 
+// DriftSweep runs the policy-drift experiment: switch enforcement state
+// is corrupted out-of-band mid-run and the declarative policy plane's
+// auditor detects (and optionally repairs) the divergence, sweeping
+// enforcement design × audit period × repair arm. Periods are in
+// microseconds; 0 runs the no-auditor baseline.
+func DriftSweep(periodsUS []int, base Config) ([]DriftRow, error) {
+	return core.DriftSweep(periodsUS, base)
+}
+
+// DriftSweepCtx is DriftSweep with cancellation and an optional worker
+// pool.
+func DriftSweepCtx(ctx context.Context, pool *Pool, periodsUS []int, base Config) ([]DriftRow, error) {
+	return core.DriftSweepCtx(ctx, pool, periodsUS, base)
+}
+
 // CSVTable is one experiment's rows rendered for an encoding/csv writer.
 // The renderers below are the single source of truth for experiment CSV
 // formatting: cmd/ibsim and the golden-determinism tests both go through
@@ -393,3 +431,6 @@ func FailoverCSV(rows []FailoverRow) CSVTable { return core.FailoverCSV(rows) }
 
 // APMCSV renders the RC recovery / path-migration sweep.
 func APMCSV(rows []APMRow) CSVTable { return core.APMCSV(rows) }
+
+// DriftCSV renders the policy-drift sweep.
+func DriftCSV(rows []DriftRow) CSVTable { return core.DriftCSV(rows) }

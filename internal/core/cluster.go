@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"ibasec/internal/enforce"
 	"ibasec/internal/fabric"
@@ -11,6 +12,7 @@ import (
 	"ibasec/internal/mac"
 	"ibasec/internal/metrics"
 	"ibasec/internal/packet"
+	"ibasec/internal/policy"
 	"ibasec/internal/sim"
 	"ibasec/internal/sm"
 	"ibasec/internal/topology"
@@ -54,6 +56,15 @@ type Results struct {
 	// HCA uplinks): fraction of the run each spent serializing.
 	MeanLinkUtil float64
 	MaxLinkUtil  float64
+
+	// Drift-auditor aggregates, non-zero only with Config.Policy
+	// auditing on: detected drift events, how many were fully repaired,
+	// and the in-band MAD cost of watching (audit probes) and fixing
+	// (repair Sets) the fabric.
+	DriftEvents   uint64
+	DriftRepaired uint64
+	AuditMADs     uint64
+	RepairMADs    uint64
 }
 
 // Combined returns the mean queuing and network delay over both traffic
@@ -99,6 +110,13 @@ type Cluster struct {
 	// Rotator drives key-epoch rotation, non-nil when Config.Rekey is
 	// enabled (started during Simulate).
 	Rotator *sm.Rotator
+	// Policy is the compiled enforcement intent, non-nil when
+	// Config.Policy.Enabled (bring-up ran through the policy plane).
+	Policy *policy.Intent
+	// Auditor is the continuous drift auditor, non-nil when
+	// Config.Policy.AuditPeriod > 0 (started during Simulate). After a
+	// failover it is rebound to the promoted master.
+	Auditor *policy.Auditor
 	// OnHeal, when non-nil, observes every re-sweep healing event (set
 	// before Simulate; the apm experiment uses it to rearm migrated RC
 	// connections once the primary path heals).
@@ -106,6 +124,9 @@ type Cluster struct {
 
 	res        *Results
 	healEvents []sm.HealEvent
+	// retiredAuditors keeps auditors displaced by failover so their
+	// counters and events still reach the results.
+	retiredAuditors []*policy.Auditor
 }
 
 // Run builds the cluster from cfg, simulates it, and returns the results.
@@ -268,11 +289,15 @@ func Build(cfg Config) (*Cluster, error) {
 
 	// Create the partitions through the SM. Partners lists each peer
 	// once, under the first partition the pair shares; PKeyOf holds the
-	// node's primary partition key.
+	// node's primary partition key. Under the policy plane the same
+	// grouping is expressed as a declarative document and programmed
+	// from its compiled intent instead of imperative calls.
 	for g, members := range groups {
 		pk := packet.PKey(0x8000 | uint16(g+1))
-		if err := manager.CreatePartition(cfg.SM.MKey, pk, members); err != nil {
-			return nil, fmt.Errorf("core: creating partition %d: %w", g, err)
+		if !cfg.Policy.Enabled {
+			if err := manager.CreatePartition(cfg.SM.MKey, pk, members); err != nil {
+				return nil, fmt.Errorf("core: creating partition %d: %w", g, err)
+			}
 		}
 		for _, node := range members {
 			for _, peer := range members {
@@ -290,7 +315,16 @@ func Build(cfg Config) (*Cluster, error) {
 	for node := 0; node < n; node++ {
 		cl.PKeyOf[node] = packet.PKey(0x8000 | uint16(primary[node]+1))
 	}
-	manager.ProgramSwitchTables()
+	if cfg.Policy.Enabled {
+		doc := policyDocument(&cfg, groups)
+		intent, err := policy.Program(doc, manager, mesh, filter, cfg.SM.MKey)
+		if err != nil {
+			return nil, fmt.Errorf("core: programming policy: %w", err)
+		}
+		cl.Policy = intent
+	} else {
+		manager.ProgramSwitchTables()
+	}
 	if cfg.Enforcement == enforce.SIF {
 		manager.AttachTraps()
 	}
@@ -375,6 +409,55 @@ func Build(cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
+// policyDocument expresses the run's random partition grouping as a
+// declarative policy document: one rule per group with every member
+// full (the imperative path grants full membership too), plus the
+// optional global pinned-invalid registration. Members are listed as
+// sorted single-port ranges so the document — and everything compiled
+// from it — is deterministic regardless of shuffle order.
+func policyDocument(cfg *Config, groups [][]int) *policy.Document {
+	doc := &policy.Document{Version: policy.CurrentVersion, Mode: cfg.Enforcement}
+	for g, members := range groups {
+		r := policy.Rule{Name: fmt.Sprintf("part-%d", g+1), Base: uint16(g + 1)}
+		sorted := append([]int(nil), members...)
+		sort.Ints(sorted)
+		for _, m := range sorted {
+			r.Full = append(r.Full, policy.PortRange{First: m, Last: m})
+		}
+		doc.Rules = append(doc.Rules, r)
+	}
+	if cfg.Policy.PinInvalid != 0 {
+		doc.Pinned = []policy.PinnedInvalid{{Switch: -1, Base: cfg.Policy.PinInvalid}}
+	}
+	return doc
+}
+
+// resolveCorruptionSwitch maps a fault plan's symbolic switch target to
+// a concrete switch index: every node's ingress switch is the
+// same-index switch in the mesh, so the attacker's ingress is the
+// lowest-index compromised node and the victim's is the lowest-index
+// legitimate member of the lowest-base partition.
+func (cl *Cluster) resolveCorruptionSwitch(target int) int {
+	switch target {
+	case faults.SwitchAttackerIngress:
+		for node := 0; node < cl.Mesh.NumNodes(); node++ {
+			if cl.AttackSet[node] {
+				return node
+			}
+		}
+		panic("core: attacker-ingress corruption with no attackers")
+	case faults.SwitchVictimIngress:
+		for node := 0; node < cl.Mesh.NumNodes(); node++ {
+			if cl.PKeyOf[node] == packet.PKey(0x8001) && !cl.AttackSet[node] {
+				return node
+			}
+		}
+		panic("core: no legitimate member in the lowest partition")
+	default:
+		return target
+	}
+}
+
 // collector wraps a node's delivery path with measurement.
 func (cl *Cluster) attachCollectors() {
 	for i := range cl.Mesh.HCAs {
@@ -434,15 +517,30 @@ func (cl *Cluster) dispatchMgmt(node int, d *fabric.Delivery) bool {
 // measurement and transport.
 func (cl *Cluster) armResilience() {
 	cfg := cl.Cfg
-	if cfg.ResweepPeriod > 0 || cl.HA != nil {
-		// Both the periodic re-sweep and a promoted standby's
-		// re-verification sweep need in-band agents answering SMPs on
-		// every switch and HCA.
+	auditing := cfg.Policy.Enabled && cfg.Policy.AuditPeriod > 0 && cl.Policy != nil
+	if cfg.ResweepPeriod > 0 || cl.HA != nil || auditing {
+		// The periodic re-sweep, a promoted standby's re-verification
+		// sweep and the drift auditor all need in-band agents answering
+		// SMPs on every switch and HCA. The filter reference lets switch
+		// agents answer enforcement-state audit attributes.
 		mkey := cfg.SM.MKey
-		sm.AttachSwitchAgents(cl.Mesh, mkey)
+		for _, agent := range sm.AttachSwitchAgents(cl.Mesh, mkey) {
+			agent.Enforce = cl.Filter
+		}
 		for _, h := range cl.Mesh.HCAs {
 			sm.AttachNodeAgent(h, mkey)
 		}
+	}
+	if auditing {
+		// The auditor gets its own Discoverer: sharing the resweeper's
+		// would let its per-sweep Reset cancel audit probes in flight.
+		disc := sm.NewDiscoverer(cl.Sim, cl.Mesh.HCA(cfg.SM.Node), cfg.SM.MKey, 25*sim.Microsecond)
+		disc.MaxRetries = 2
+		disc.SetTimeoutMult = 10
+		cl.Auditor = policy.NewAuditor(cl.Sim, disc, cl.Policy,
+			policy.SwitchPaths(cl.Mesh, cfg.SM.Node),
+			policy.AuditConfig{Period: cfg.Policy.AuditPeriod, Repair: cfg.Policy.Repair})
+		cl.Auditor.Start()
 	}
 	if cfg.ResweepPeriod > 0 {
 		mkey := cfg.SM.MKey
@@ -474,6 +572,31 @@ func (cl *Cluster) armResilience() {
 				cl.Rotator.Rebind(newMaster)
 				cl.Rotator.Start()
 			}
+			// The policy plane survives failover through the synced
+			// document: the promoted master recompiles intent from its
+			// inherited blob, takes over table reprogramming, and the
+			// drift auditor restarts bound to its node.
+			if cl.Auditor != nil && len(newMaster.PolicyBlob) > 0 {
+				cl.Auditor.Stop()
+				cl.retiredAuditors = append(cl.retiredAuditors, cl.Auditor)
+				doc, err := policy.Unmarshal(newMaster.PolicyBlob)
+				if err != nil {
+					panic(fmt.Sprintf("core: synced policy blob: %v", err))
+				}
+				intent, err := policy.Compile(doc, cl.Mesh.NumNodes())
+				if err != nil {
+					panic(fmt.Sprintf("core: recompiling synced policy: %v", err))
+				}
+				mesh, filter := cl.Mesh, cl.Filter
+				newMaster.ProgramTables = func() { policy.Apply(intent, mesh, filter) }
+				disc := sm.NewDiscoverer(cl.Sim, cl.Mesh.HCA(newMaster.Node()), cfg.SM.MKey, 25*sim.Microsecond)
+				disc.MaxRetries = 2
+				disc.SetTimeoutMult = 10
+				cl.Auditor = policy.NewAuditor(cl.Sim, disc, intent,
+					policy.SwitchPaths(cl.Mesh, newMaster.Node()),
+					policy.AuditConfig{Period: cfg.Policy.AuditPeriod, Repair: cfg.Policy.Repair})
+				cl.Auditor.Start()
+			}
 		}
 		cl.HA.Start()
 	}
@@ -500,10 +623,35 @@ func (cl *Cluster) armResilience() {
 				if cl.Rotator != nil {
 					cl.Rotator.Stop() // rotation is a master duty
 				}
+				if cl.Auditor != nil {
+					cl.Auditor.Stop() // auditing too; takeover restarts it
+				}
 				if cl.HA != nil {
 					cl.HA.KillMaster()
 				} else {
 					cl.SM.Stop()
+				}
+			})
+		}
+		for _, tc := range cfg.FaultPlan.Corruptions {
+			tc := tc
+			target := cl.resolveCorruptionSwitch(tc.Switch)
+			cl.Sim.ScheduleAt(tc.At, func() {
+				// Out-of-band state corruption: the switch's programmed
+				// enforcement state is mutated behind the SM's back, the
+				// divergence the drift auditor exists to catch.
+				sw := cl.Mesh.Switches[target]
+				switch tc.Op {
+				case faults.CorruptAddValid:
+					cl.Filter.AddValid(sw, packet.PKey(tc.PKey))
+				case faults.CorruptRemoveValid:
+					cl.Filter.RemoveValid(sw, packet.PKey(tc.PKey))
+				case faults.CorruptClearInvalid:
+					cl.Filter.ClearInvalid(sw)
+				case faults.CorruptDropAltSource:
+					cl.Filter.DropAltSource(sw, packet.LID(tc.Src))
+				case faults.CorruptDeactivate:
+					cl.Filter.SetActive(sw, false)
 				}
 			})
 		}
@@ -547,8 +695,10 @@ func (cl *Cluster) Simulate() *Results {
 				LIDOf: topology.LIDOf,
 			}
 			targets := allExcept(cl.Mesh.NumNodes(), node)
-			attackers = append(attackers, workload.StartAttacker(
-				cl.Sim, cl.Rng, sender, targets, cfg.MsgSize, cfg.AttackDuty, cfg.AttackCycle))
+			atk := workload.StartAttacker(
+				cl.Sim, cl.Rng, sender, targets, cfg.MsgSize, cfg.AttackDuty, cfg.AttackCycle)
+			atk.FixedPKey = cfg.AttackPKey
+			attackers = append(attackers, atk)
 			continue
 		}
 		if len(cl.Partners[node]) == 0 {
@@ -604,6 +754,19 @@ func (cl *Cluster) Simulate() *Results {
 	}
 	if cl.Resweeper != nil {
 		cl.Resweeper.Stop()
+	}
+	if cl.Auditor != nil {
+		cl.Auditor.Stop()
+		for _, a := range append(cl.retiredAuditors, cl.Auditor) {
+			for _, ev := range a.Events {
+				cl.res.DriftEvents++
+				if ev.Repaired {
+					cl.res.DriftRepaired++
+				}
+			}
+			cl.res.AuditMADs += a.Counters.Get("audit_mads")
+			cl.res.RepairMADs += a.Counters.Get("repair_mads")
+		}
 	}
 
 	for _, hca := range cl.Mesh.HCAs {

@@ -12,6 +12,7 @@ import (
 	"ibasec/internal/fabric"
 	"ibasec/internal/faults"
 	"ibasec/internal/mac"
+	"ibasec/internal/packet"
 	"ibasec/internal/sim"
 	"ibasec/internal/sm"
 	"ibasec/internal/transport"
@@ -72,6 +73,31 @@ type RekeyParams struct {
 // Enabled reports whether rotation should be wired.
 func (r RekeyParams) Enabled() bool { return r.Period > 0 }
 
+// PolicyParams configures the declarative security policy plane
+// (internal/policy). The zero value disables it entirely: partitions
+// are created imperatively and switch tables are programmed from
+// membership, exactly the pre-policy behaviour.
+type PolicyParams struct {
+	// Enabled routes bring-up through a compiled policy document: the
+	// run's partition grouping is synthesized into a policy.Document,
+	// compiled to per-switch intent, and programmed from that intent.
+	// The SM then carries the marshalled document (synced to HA
+	// standbys) and a reprogram hook that restores compiled state.
+	Enabled bool
+	// AuditPeriod, when positive, runs the continuous drift auditor at
+	// that sweep interval: in-band audit SMPs compare every switch's
+	// enforcement state against the compiled intent. Zero audits never.
+	AuditPeriod sim.Time
+	// Repair lets the auditor reverse attributed drift with M_Key-
+	// guarded repair MADs; false detects and records only.
+	Repair bool
+	// PinInvalid, when non-zero, pins this base as a known-invalid
+	// P_Key at every switch in the document (SIF enforcement only):
+	// filtering is active from bring-up instead of waiting for the
+	// first trap round trip.
+	PinInvalid uint16
+}
+
 // Config describes one simulation run. The zero value is not runnable;
 // start from DefaultConfig.
 type Config struct {
@@ -118,6 +144,10 @@ type Config struct {
 	// application traffic it was running, so Figure 1(a) floods the
 	// realtime VL and Figure 1(b)/Figure 5 the best-effort VL.
 	AttackClass fabric.Class
+	// AttackPKey, when non-zero, makes every attack packet carry this
+	// P_Key instead of a fresh random one — the stolen-key attack the
+	// drift experiment pairs with a corrupted switch table.
+	AttackPKey packet.PKey
 
 	// Duration is the simulated time; samples before Warmup are
 	// discarded.
@@ -158,6 +188,9 @@ type Config struct {
 	// Rekey configures online key-epoch rotation; the zero value keeps
 	// every secret at epoch 0 for the whole run.
 	Rekey RekeyParams
+	// Policy configures the declarative policy plane and its drift
+	// auditor; the zero value keeps the imperative bring-up path.
+	Policy PolicyParams
 }
 
 // DefaultConfig returns the paper's Table 1 testbed with no attackers,
@@ -244,9 +277,38 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: rekey distribution delay %v must be in [0, grace %v)", c.Rekey.DistributionDelay, grace)
 		}
 	}
+	if c.Policy.Enabled {
+		if c.Enforcement == enforce.NoFiltering {
+			return fmt.Errorf("core: the policy plane programs switch enforcement; Enforcement must not be NoFiltering")
+		}
+		if c.Policy.AuditPeriod < 0 {
+			return fmt.Errorf("core: negative audit period %v", c.Policy.AuditPeriod)
+		}
+		if c.Policy.PinInvalid != 0 {
+			if c.Enforcement != enforce.SIF {
+				return fmt.Errorf("core: pinned invalid keys require SIF enforcement")
+			}
+			if c.Policy.PinInvalid >= 0x8000 || int(c.Policy.PinInvalid) <= c.NumPartitions {
+				return fmt.Errorf("core: pinned invalid base %#x collides with partition bases", c.Policy.PinInvalid)
+			}
+		}
+	} else if c.Policy.AuditPeriod != 0 || c.Policy.Repair || c.Policy.PinInvalid != 0 {
+		return fmt.Errorf("core: audit/repair/pin settings require Policy.Enabled")
+	}
+	if c.AttackPKey != 0 && c.Attackers == 0 {
+		return fmt.Errorf("core: AttackPKey set with no attackers")
+	}
 	if c.FaultPlan != nil {
 		if len(c.FaultPlan.Compromises) > 0 && !c.Rekey.Enabled() {
 			return fmt.Errorf("core: KeyCompromise faults require key rotation (Rekey.Period > 0)")
+		}
+		for _, tc := range c.FaultPlan.Corruptions {
+			if !c.Policy.Enabled {
+				return fmt.Errorf("core: table-corruption faults require Policy.Enabled")
+			}
+			if tc.Switch == faults.SwitchAttackerIngress && c.Attackers == 0 {
+				return fmt.Errorf("core: attacker-ingress corruption with no attackers")
+			}
 		}
 	}
 	return c.Params.Validate()

@@ -148,6 +148,32 @@ func APMCSV(rows []APMRow) CSVTable {
 	return t
 }
 
+// DriftCSV renders the policy-drift sweep.
+func DriftCSV(rows []DriftRow) CSVTable {
+	t := CSVTable{
+		Name: "drift",
+		Header: []string{
+			"mode", "audit_period_us", "repair",
+			"drift_events", "drift_repaired", "detect_us", "repair_us",
+			"blast", "attack_delivered", "filter_dropped", "hca_violations",
+			"audit_mads", "repair_mads", "sent", "delivered",
+		},
+	}
+	for _, r := range rows {
+		repair := "off"
+		if r.Repair {
+			repair = "on"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), Ftoa(r.AuditPeriodUS), repair,
+			Itoa(r.DriftEvents), Itoa(r.DriftRepaired), Ftoa(r.DetectUS), Ftoa(r.RepairUS),
+			Itoa(r.Blast), Itoa(r.AttackDelivered), Itoa(r.FilterDropped), Itoa(r.HCAViolations),
+			Itoa(r.AuditMADs), Itoa(r.RepairMADs), Itoa(r.Sent), Itoa(r.Delivered),
+		})
+	}
+	return t
+}
+
 // FailoverCSV renders the SM-failover / key-rotation sweep.
 func FailoverCSV(rows []FailoverRow) CSVTable {
 	t := CSVTable{

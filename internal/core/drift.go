@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ibasec/internal/enforce"
+	"ibasec/internal/fabric"
+	"ibasec/internal/faults"
+	"ibasec/internal/packet"
+	"ibasec/internal/runner"
+	"ibasec/internal/sim"
+)
+
+// DriftRow is one point of the policy-drift experiment: a switch's
+// programmed enforcement state is corrupted out-of-band a quarter of
+// the way into the run, and the drift auditor (period AuditPeriodUS,
+// zero = no auditing) watches — or watches and repairs — the fabric.
+// Blast is the mode-specific damage the corruption caused before it
+// was reversed: legitimate packets falsely dropped under DPT, attack
+// packets delivered to victims under IF, P_Key violations reaching
+// victim HCAs under SIF.
+type DriftRow struct {
+	Mode          enforce.Mode
+	AuditPeriodUS float64
+	Repair        bool
+
+	DriftEvents   uint64
+	DriftRepaired uint64
+	// DetectUS is corruption -> first drift detection; RepairUS is
+	// corruption -> first completed repair. -1 when it never happened.
+	DetectUS float64
+	RepairUS float64
+
+	Blast           uint64
+	AttackDelivered uint64
+	FilterDropped   uint64
+	HCAViolations   uint64
+
+	AuditMADs  uint64
+	RepairMADs uint64
+
+	Sent      uint64
+	Delivered uint64
+}
+
+// DriftSweep runs the drift experiment over every enforcement design ×
+// audit period × repair arm. periodsUS are sweep intervals in
+// microseconds; 0 runs the no-auditor baseline (one arm — repair is
+// meaningless without detection), every other period runs both a
+// detect-only and a repair arm.
+func DriftSweep(periodsUS []int, base Config) ([]DriftRow, error) {
+	return DriftSweepCtx(context.Background(), nil, periodsUS, base)
+}
+
+// DriftSweepCtx is DriftSweep with cancellation and an optional worker
+// pool; a nil pool runs the points serially.
+func DriftSweepCtx(ctx context.Context, pool *runner.Pool, periodsUS []int, base Config) ([]DriftRow, error) {
+	modes := []enforce.Mode{enforce.DPT, enforce.IF, enforce.SIF}
+	var jobs []runner.Job[DriftRow]
+	for _, mode := range modes {
+		for _, p := range periodsUS {
+			arms := []bool{false, true}
+			if p == 0 {
+				arms = []bool{false}
+			}
+			for _, repair := range arms {
+				mode, p, repair := mode, p, repair
+				jobs = append(jobs, sweepJob("drift", len(jobs), base.Seed,
+					fmt.Sprintf("mode=%v,period=%dus,repair=%v", mode, p, repair),
+					func(context.Context) (DriftRow, error) {
+						return runDriftPoint(base, mode, p, repair)
+					}))
+			}
+		}
+	}
+	return runner.Run(ctx, pool, jobs)
+}
+
+// runDriftPoint runs one (mode, audit period, repair) cell. Each
+// enforcement design gets the corruption that defeats it:
+//
+//   - DPT: a legitimate partition key is deleted from the victim's
+//     ingress switch — its traffic silently blackholes (false drops).
+//   - IF: the victims' partition key is slipped into the attacker's
+//     ingress table while the attacker replays exactly that stolen
+//     key — attack traffic sails end-to-end (attack deliveries).
+//   - SIF: the pinned invalid registration is wiped and filtering
+//     switched off at the attacker's ingress — violations reach victim
+//     HCAs until the trap path re-registers or the auditor restores
+//     the pin (the contrast between the reactive and the declarative
+//     control loop).
+func runDriftPoint(base Config, mode enforce.Mode, periodUS int, repair bool) (DriftRow, error) {
+	cfg := base
+	cfg.Enforcement = mode
+	cfg.RealtimeLoad = 0
+	if cfg.BestEffortLoad == 0 {
+		cfg.BestEffortLoad = 0.3
+	}
+	cfg.Policy = PolicyParams{
+		Enabled:     true,
+		AuditPeriod: sim.Time(periodUS) * sim.Microsecond,
+		Repair:      repair,
+	}
+
+	corruptAt := cfg.Duration / 4
+	plan := &faults.Plan{Seed: cfg.Seed}
+	switch mode {
+	case enforce.DPT:
+		cfg.Attackers = 0
+		plan.Corruptions = []faults.TableCorruption{
+			{Switch: faults.SwitchVictimIngress, At: corruptAt, Op: faults.CorruptRemoveValid, PKey: 0x8001},
+		}
+	case enforce.IF:
+		cfg.Attackers = 1
+		cfg.AttackDuty = 1.0
+		cfg.AttackClass = fabric.ClassBestEffort
+		// The stolen key must be one the victims actually hold (0x8001,
+		// the first partition): an invented key would still bounce off
+		// the victim HCA's own P_Key check even after the switch table
+		// is corrupted.
+		cfg.AttackPKey = packet.PKey(0x8001)
+		plan.Corruptions = []faults.TableCorruption{
+			{Switch: faults.SwitchAttackerIngress, At: corruptAt, Op: faults.CorruptAddValid, PKey: 0x8001},
+		}
+	case enforce.SIF:
+		cfg.Attackers = 1
+		cfg.AttackDuty = 1.0
+		cfg.AttackClass = fabric.ClassBestEffort
+		cfg.AttackPKey = packet.PKey(0x0FFF)
+		cfg.Policy.PinInvalid = 0x0FFF
+		// The intent wants the pin to persist: auto-disable would clear
+		// it between bursts and fight the auditor's repairs.
+		cfg.SM.AutoDisablePeriod = 0
+		plan.Corruptions = []faults.TableCorruption{
+			{Switch: faults.SwitchAttackerIngress, At: corruptAt, Op: faults.CorruptClearInvalid},
+			{Switch: faults.SwitchAttackerIngress, At: corruptAt, Op: faults.CorruptDeactivate},
+		}
+	default:
+		return DriftRow{}, fmt.Errorf("drift: unsupported enforcement mode %v", mode)
+	}
+	cfg.FaultPlan = plan
+
+	cl, err := Build(cfg)
+	if err != nil {
+		return DriftRow{}, err
+	}
+	res := cl.Simulate()
+
+	row := DriftRow{
+		Mode:            mode,
+		AuditPeriodUS:   (sim.Time(periodUS) * sim.Microsecond).Microseconds(),
+		Repair:          repair,
+		DriftEvents:     res.DriftEvents,
+		DriftRepaired:   res.DriftRepaired,
+		DetectUS:        -1,
+		RepairUS:        -1,
+		AttackDelivered: res.AttackDelivered,
+		FilterDropped:   res.FilterDropped,
+		HCAViolations:   res.HCAViolations,
+		AuditMADs:       res.AuditMADs,
+		RepairMADs:      res.RepairMADs,
+		Sent:            res.SentLegit,
+		Delivered:       res.DeliveredUD,
+	}
+	switch mode {
+	case enforce.DPT:
+		row.Blast = res.FilterDropped
+	case enforce.IF:
+		row.Blast = res.AttackDelivered
+	case enforce.SIF:
+		row.Blast = res.HCAViolations
+	}
+	if cl.Auditor != nil && len(cl.Auditor.Events) > 0 {
+		row.DetectUS = (cl.Auditor.Events[0].DetectedAt - corruptAt).Microseconds()
+		for _, ev := range cl.Auditor.Events {
+			if ev.Repaired {
+				row.RepairUS = (ev.RepairedAt - corruptAt).Microseconds()
+				break
+			}
+		}
+	}
+	return row, nil
+}

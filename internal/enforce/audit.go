@@ -1,0 +1,141 @@
+package enforce
+
+import (
+	"sort"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/keys"
+	"ibasec/internal/packet"
+)
+
+// This file is the read-back and mutation surface the policy plane's
+// drift auditing stands on: SwitchSnapshot captures one switch's
+// programmed enforcement state in canonical (sorted) order, Digest16
+// condenses an entry list into the 32-bit fingerprint audit SMPs carry,
+// and the mutators let fault injection corrupt — and the auditor's
+// repair MADs restore — individual entries without rebuilding tables.
+
+// SwitchSnapshot is one switch's enforcement state in canonical order:
+// every list is ascending, so two snapshots of equal state are
+// deep-equal and digest-equal regardless of map iteration order.
+type SwitchSnapshot struct {
+	Mode Mode
+	// Valid holds the switch's valid-P_Key table entries (full 16-bit
+	// values, membership bit included), ascending by base.
+	Valid []packet.PKey
+	// Invalid holds the SIF Invalid_P_Key_Table bases, ascending.
+	Invalid []uint16
+	// AltSources holds registered alternate-path source LIDs, ascending.
+	AltSources []packet.LID
+	// Active is the SIF ingress-filtering enable flag.
+	Active bool
+}
+
+// Snapshot reads back sw's enforcement state.
+func (f *Filter) Snapshot(sw *fabric.Switch) SwitchSnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state(sw)
+	snap := SwitchSnapshot{Mode: st.mode, Active: st.active}
+	if st.valid != nil {
+		snap.Valid = st.valid.Keys()
+	}
+	snap.Invalid = make([]uint16, 0, len(st.invalid))
+	for b := range st.invalid {
+		snap.Invalid = append(snap.Invalid, b)
+	}
+	sort.Slice(snap.Invalid, func(i, j int) bool { return snap.Invalid[i] < snap.Invalid[j] })
+	snap.AltSources = make([]packet.LID, 0, len(st.altSources))
+	for lid := range st.altSources {
+		snap.AltSources = append(snap.AltSources, lid)
+	}
+	sort.Slice(snap.AltSources, func(i, j int) bool { return snap.AltSources[i] < snap.AltSources[j] })
+	return snap
+}
+
+// Digest16 is the FNV-1a fingerprint of a sorted 16-bit entry list,
+// shared by the switch agents (digesting observed state) and the policy
+// auditor (digesting compiled intent): equal digests mean equal lists.
+func Digest16(vals []uint16) uint32 {
+	h := uint32(2166136261)
+	for _, v := range vals {
+		h = (h ^ uint32(v>>8)) * 16777619
+		h = (h ^ uint32(v&0xFF)) * 16777619
+	}
+	return h
+}
+
+// ValidU16 returns the snapshot's valid entries as raw uint16 values,
+// the form Digest16 and the audit wire protocol use.
+func (s SwitchSnapshot) ValidU16() []uint16 {
+	out := make([]uint16, len(s.Valid))
+	for i, k := range s.Valid {
+		out[i] = uint16(k)
+	}
+	return out
+}
+
+// AltU16 returns the snapshot's alternate-source LIDs as uint16 values.
+func (s SwitchSnapshot) AltU16() []uint16 {
+	out := make([]uint16, len(s.AltSources))
+	for i, l := range s.AltSources {
+		out[i] = uint16(l)
+	}
+	return out
+}
+
+// AddValid inserts an entry into sw's valid-P_Key table (a corruption
+// when the entry is not in the compiled intent; a repair when it is).
+// Switches programmed from a shared table — the policy-off DPT layout —
+// see the mutation fabric-wide; per-switch corruption needs the
+// per-switch tables the policy compiler programs.
+func (f *Filter) AddValid(sw *fabric.Switch, pk packet.PKey) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state(sw)
+	if st.valid == nil {
+		st.valid = keys.NewPartitionTable(0)
+	}
+	if err := st.valid.Add(pk); err != nil {
+		panic(err) // tables here are far below the IBA limit
+	}
+}
+
+// RemoveValid deletes the entry with pk's base from sw's valid table.
+func (f *Filter) RemoveValid(sw *fabric.Switch, pk packet.PKey) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state(sw)
+	if st.valid != nil {
+		st.valid.Remove(pk)
+	}
+}
+
+// ClearInvalid wipes sw's Invalid_P_Key_Table without touching the
+// active flag — the "stale switch silently forgets its registrations"
+// corruption.
+func (f *Filter) ClearInvalid(sw *fabric.Switch) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.state(sw).invalid = make(map[uint16]bool)
+}
+
+// DropAltSource forgets one registered alternate-path source at sw.
+func (f *Filter) DropAltSource(sw *fabric.Switch, src packet.LID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.state(sw).altSources, src)
+}
+
+// SetActive force-sets sw's SIF ingress-filtering flag, bypassing the
+// violation bookkeeping: corruption deactivates a switch the intent
+// wants filtering; repair re-arms it.
+func (f *Filter) SetActive(sw *fabric.Switch, active bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state(sw)
+	if active && !st.active {
+		f.Activations++
+	}
+	st.active = active
+}

@@ -55,6 +55,10 @@ func (m Mode) String() string {
 
 // switchState is the per-switch enforcement state.
 type switchState struct {
+	// mode is this switch's effective enforcement design. It defaults to
+	// the filter-wide mode and only differs when a policy document
+	// overrides it per switch (SetSwitchMode).
+	mode  Mode
 	valid *keys.PartitionTable // legal P_Keys (DPT: global; IF/SIF: attached node's)
 	// modelEntries is the Table 2 table size charged per lookup (DPT:
 	// n×p, IF/SIF: p); the actual map may deduplicate entries.
@@ -124,10 +128,20 @@ func (f *Filter) Mode() Mode { return f.mode }
 func (f *Filter) state(sw *fabric.Switch) *switchState {
 	st := f.switches[sw]
 	if st == nil {
-		st = &switchState{invalid: make(map[uint16]bool)}
+		st = &switchState{mode: f.mode, invalid: make(map[uint16]bool)}
 		f.switches[sw] = st
 	}
 	return st
+}
+
+// SetSwitchMode overrides one switch's enforcement design, leaving the
+// rest of the mesh on the filter-wide mode. The SIF auto-disable duty
+// and the alternate-path check stay gated on the filter-wide mode, so a
+// per-switch SIF override on a non-SIF filter filters statically.
+func (f *Filter) SetSwitchMode(sw *fabric.Switch, mode Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.state(sw).mode = mode
 }
 
 // SetSwitchTable installs the valid-P_Key table a switch filters against
@@ -158,12 +172,12 @@ func (f *Filter) lookupDelay(entries int) sim.Time {
 // partition table; beyond the cap the switch falls back to positive
 // (valid-table) filtering, per the paper's table-growth discussion.
 func (f *Filter) RegisterInvalid(sw *fabric.Switch, pk packet.PKey) {
-	if f.mode != SIF {
-		return
-	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := f.state(sw)
+	if st.mode != SIF {
+		return
+	}
 	cap := 0
 	if st.valid != nil {
 		cap = st.valid.Len()
@@ -238,7 +252,7 @@ func (f *Filter) StartAutoDisable(s *sim.Simulator, period sim.Time) (cancel fun
 		f.mu.Lock()
 		defer f.mu.Unlock()
 		for _, st := range f.switches {
-			if !st.active {
+			if st.mode != SIF || !st.active {
 				continue
 			}
 			if st.violations == st.lastViolCount {
@@ -265,7 +279,7 @@ func (f *Filter) Inspect(sw *fabric.Switch, _ int, ingress bool, d *fabric.Deliv
 	// registered with at setup time, so under stateful filtering each hop
 	// demands its own registration — this is the drop cliff the apm
 	// experiment measures when alternate paths are left unregistered.
-	if f.altBase != 0 && f.mode == SIF && d.Pkt.LRH.DLID >= f.altBase {
+	if f.altBase != 0 && st.mode == SIF && d.Pkt.LRH.DLID >= f.altBase {
 		f.Lookups++
 		if !st.altSources[d.Pkt.LRH.SLID] {
 			f.Dropped++
@@ -275,7 +289,7 @@ func (f *Filter) Inspect(sw *fabric.Switch, _ int, ingress bool, d *fabric.Deliv
 		// Registered: fall through to the normal SIF ingress check.
 	}
 
-	switch f.mode {
+	switch st.mode {
 	case NoFiltering:
 		return false, 0
 

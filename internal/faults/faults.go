@@ -74,6 +74,69 @@ type KeyCompromise struct {
 	At   sim.Time
 }
 
+// CorruptOp selects which piece of a switch's enforcement state a
+// TableCorruption mutates.
+type CorruptOp int
+
+// Table-corruption operations, mirroring the entry-level mutators of
+// internal/enforce: the first two hit the valid-P_Key table, the rest
+// the SIF state (Invalid_P_Key_Table, alt-source registrations, the
+// ingress-filtering enable flag).
+const (
+	CorruptAddValid CorruptOp = iota + 1
+	CorruptRemoveValid
+	CorruptClearInvalid
+	CorruptDropAltSource
+	CorruptDeactivate
+)
+
+func (op CorruptOp) String() string {
+	switch op {
+	case CorruptAddValid:
+		return "AddValid"
+	case CorruptRemoveValid:
+		return "RemoveValid"
+	case CorruptClearInvalid:
+		return "ClearInvalid"
+	case CorruptDropAltSource:
+		return "DropAltSource"
+	case CorruptDeactivate:
+		return "Deactivate"
+	default:
+		return fmt.Sprintf("CorruptOp(%d)", int(op))
+	}
+}
+
+// Symbolic corruption targets: attacker and victim placement is drawn
+// from the setup RNG inside the core layer's Build, so a plan authored
+// before the run cannot name those switches by index. The core layer
+// resolves the sentinels against the built cluster.
+const (
+	// SwitchAttackerIngress resolves to the first attacker's ingress
+	// switch.
+	SwitchAttackerIngress = -1
+	// SwitchVictimIngress resolves to the ingress switch of the first
+	// legitimate member of the lowest-base partition.
+	SwitchVictimIngress = -2
+)
+
+// TableCorruption silently mutates one switch's enforcement state at
+// time At — the Table 3 attacker with management access, or simply
+// firmware losing state — without any trap or notification. Only the
+// policy plane's drift auditor can observe and reverse it. Like SMKills
+// and Compromises this is scheduled by the core layer (which holds the
+// filter and resolves symbolic switches); Install only validates it.
+type TableCorruption struct {
+	// Switch is a mesh switch index or one of the Switch* sentinels.
+	Switch int
+	At     sim.Time
+	Op     CorruptOp
+	// PKey is the operand of AddValid/RemoveValid (full 16-bit entry).
+	PKey uint16
+	// Src is the operand of DropAltSource (a source LID).
+	Src uint16
+}
+
 // Plan is a complete, deterministic fault schedule for one run.
 type Plan struct {
 	// Seed drives every random draw the plan makes at run time (MAD
@@ -88,6 +151,7 @@ type Plan struct {
 	// (Install only validates them — they have no fabric-level effect).
 	SMKills     []SMKill
 	Compromises []KeyCompromise
+	Corruptions []TableCorruption
 }
 
 // Validate checks the plan against a mesh's geometry.
@@ -124,6 +188,27 @@ func (p *Plan) Validate(m *topology.Mesh) error {
 		}
 		if kc.PKey&0x7FFF == 0 {
 			return fmt.Errorf("faults: key compromise with zero P_Key base")
+		}
+	}
+	for _, tc := range p.Corruptions {
+		if tc.Switch < SwitchVictimIngress || tc.Switch >= len(m.Switches) {
+			return fmt.Errorf("faults: corruption at switch %d of %d", tc.Switch, len(m.Switches))
+		}
+		if tc.At < 0 {
+			return fmt.Errorf("faults: corruption at negative time %v", tc.At)
+		}
+		switch tc.Op {
+		case CorruptAddValid, CorruptRemoveValid:
+			if tc.PKey&0x7FFF == 0 {
+				return fmt.Errorf("faults: %v corruption with zero P_Key base", tc.Op)
+			}
+		case CorruptDropAltSource:
+			if tc.Src == 0 {
+				return fmt.Errorf("faults: DropAltSource corruption with LID 0")
+			}
+		case CorruptClearInvalid, CorruptDeactivate:
+		default:
+			return fmt.Errorf("faults: unknown corruption op %d", int(tc.Op))
 		}
 	}
 	return nil

@@ -269,6 +269,40 @@ func TestStoreEpochLifecycle(t *testing.T) {
 	}
 }
 
+// TestStoreRetireEpochBoundary pins the retire comparison at its exact
+// boundary: a retire naming an epoch *below* the grace-window key must
+// leave the window open (a stale retire MAD must not kill a newer
+// grace key), while a retire naming exactly the grace epoch closes it.
+func TestStoreRetireEpochBoundary(t *testing.T) {
+	s := NewStore()
+	var k0, k1, k2 SecretKey
+	k0[0], k1[0], k2[0] = 1, 2, 3
+	pk := packet.PKey(0x8006)
+	s.InstallPartitionEpoch(pk, 0, k0)
+	s.InstallPartitionEpoch(pk, 1, k1)
+	s.InstallPartitionEpoch(pk, 2, k2) // grace window now holds epoch 1
+
+	if s.RetirePartitionEpoch(pk, 0) {
+		t.Fatal("retire below the grace epoch closed the window")
+	}
+	if _, prev, havePrev, _ := s.PartitionVerifyKeys(pk); !havePrev || prev.Epoch != 1 {
+		t.Fatalf("grace window disturbed by stale retire: %+v (havePrev=%v)", prev, havePrev)
+	}
+	if !s.RetirePartitionEpoch(pk, 1) {
+		t.Fatal("retire at exactly the grace epoch refused")
+	}
+	if _, _, havePrev, _ := s.PartitionVerifyKeys(pk); havePrev {
+		t.Fatal("grace window open after boundary retire")
+	}
+	if rk, ok := s.RetiredPartitionKey(pk); !ok || rk.Epoch != 1 || rk.Key != k1 {
+		t.Fatalf("tombstone = %+v, %v", rk, ok)
+	}
+	// With the window already closed there is nothing left to retire.
+	if s.RetirePartitionEpoch(pk, 2) {
+		t.Fatal("empty grace window reported a retire")
+	}
+}
+
 func TestStoreRetireOnlyAfterRollover(t *testing.T) {
 	s := NewStore()
 	var k SecretKey

@@ -207,6 +207,23 @@ func (c *Counters) Names() []string {
 	return names
 }
 
+// CSVRow returns the counter set as an aligned (header, values) pair
+// for CSV emission. Column order is the sorted name order of Names —
+// an explicit, test-enforced contract: adding a counter (say a new
+// drift/audit counter) inserts a column at its sorted position and
+// can never silently reorder or re-label the existing ones, so CSV
+// consumers that match columns by header stay correct.
+func (c *Counters) CSVRow() (header []string, values []uint64) {
+	names := c.Names()
+	header = make([]string, len(names))
+	values = make([]uint64, len(names))
+	for i, k := range names {
+		header[i] = k
+		values[i] = c.Get(k)
+	}
+	return header, values
+}
+
 func (c *Counters) String() string {
 	var b strings.Builder
 	for i, k := range c.Names() {

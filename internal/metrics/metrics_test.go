@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -177,6 +178,50 @@ func TestCounters(t *testing.T) {
 	}
 	if c.String() != "drops=3 traps=1" {
 		t.Fatalf("String = %q", c.String())
+	}
+}
+
+// TestCountersCSVRowSortedStable enforces the CSV column contract:
+// columns come out in sorted name order no matter the insertion order,
+// and introducing a new counter (an audit_* name here, as the drift
+// auditor does) inserts a column without disturbing the relative order
+// of the pre-existing ones.
+func TestCountersCSVRowSortedStable(t *testing.T) {
+	c := NewCounters()
+	for _, name := range []string{"traps_sent", "drops", "auth_fail", "resweeps"} {
+		c.Inc(name, 1)
+	}
+	header, values := c.CSVRow()
+	if len(header) != len(values) {
+		t.Fatalf("header/values misaligned: %d vs %d", len(header), len(values))
+	}
+	if !sort.StringsAreSorted(header) {
+		t.Fatalf("CSV header not sorted: %v", header)
+	}
+	before := append([]string(nil), header...)
+
+	c.Inc("audit_mads", 7) // sorts first: worst case for a silent reorder
+	header2, values2 := c.CSVRow()
+	if !sort.StringsAreSorted(header2) || len(header2) != len(before)+1 {
+		t.Fatalf("CSV header after insert: %v", header2)
+	}
+	// Every pre-existing column must survive, in the same relative
+	// order, paired with its own value.
+	i := 0
+	for j, name := range header2 {
+		if name == "audit_mads" {
+			if values2[j] != 7 {
+				t.Fatalf("audit_mads = %d", values2[j])
+			}
+			continue
+		}
+		if name != before[i] || values2[j] != c.Get(name) {
+			t.Fatalf("column %d: got %s=%d, want %s", j, name, values2[j], before[i])
+		}
+		i++
+	}
+	if i != len(before) {
+		t.Fatalf("lost %d pre-existing columns", len(before)-i)
 	}
 }
 

@@ -1,0 +1,164 @@
+package policy
+
+import (
+	"sort"
+
+	"ibasec/internal/enforce"
+)
+
+// PartitionMember is one end port's membership in a compiled partition.
+type PartitionMember struct {
+	Node int
+	Full bool
+}
+
+// Partition is a compiled partition: members in ascending node order,
+// each with its membership class (a node selected as both full and
+// limited compiles to full).
+type Partition struct {
+	Base    uint16
+	Members []PartitionMember
+}
+
+// SwitchIntent is the complete enforcement state one switch must hold:
+// its mode, valid-P_Key table (full 16-bit entries, ascending), Table 2
+// model size, pinned Invalid_P_Key_Table bases (ascending), registered
+// alternate-path source LIDs (ascending), and whether SIF filtering is
+// active at bring-up. The drift auditor treats Valid as exact — any
+// extra or missing entry is drift — and Invalid/AltSources as minimums,
+// because the running SIF control loop legitimately adds entries the
+// policy never declared.
+type SwitchIntent struct {
+	Switch       int
+	Mode         enforce.Mode
+	Valid        []uint16
+	ModelEntries int
+	Invalid      []uint16
+	AltSources   []uint16
+	Active       bool
+}
+
+// Digests returns the intent's three audit fingerprints in the order
+// the AuditState SMP carries them.
+func (si *SwitchIntent) Digests() (valid, invalid, alt uint32) {
+	return enforce.Digest16(si.Valid), enforce.Digest16(si.Invalid), enforce.Digest16(si.AltSources)
+}
+
+// Intent is a compiled policy document: the exact per-device state the
+// programmer installs and the auditor verifies. Partitions are in
+// ascending base order and Switches in ascending switch order, so two
+// compilations of the same document are deep-equal.
+type Intent struct {
+	Mode       enforce.Mode
+	Partitions []Partition
+	Switches   []SwitchIntent
+}
+
+// Switch returns the intent for one switch, or nil.
+func (in *Intent) Switch(sw int) *SwitchIntent {
+	for i := range in.Switches {
+		if in.Switches[i].Switch == sw {
+			return &in.Switches[i]
+		}
+	}
+	return nil
+}
+
+// Compile validates doc and lowers it to per-device intent for a subnet
+// of numNodes end ports (node i attached to switch i). DPT switches get
+// their own copy of the subnet-wide table — per the paper's Duplicate
+// Partition Table design — sized at Table 2's n×p model cost; IF and
+// SIF switches get the attached node's partition set at cost p.
+func Compile(doc *Document, numNodes int) (*Intent, error) {
+	if err := doc.Validate(numNodes); err != nil {
+		return nil, err
+	}
+	intent := &Intent{Mode: doc.Mode}
+
+	// Partitions: expand port ranges, full membership winning.
+	memberOf := make([]map[uint16]bool, numNodes) // node -> bases
+	totalMemberships := 0
+	allBases := make([]uint16, 0, len(doc.Rules))
+	for _, r := range doc.Rules {
+		full := make(map[int]bool)
+		lim := make(map[int]bool)
+		for _, pr := range r.Full {
+			for n := pr.First; n <= pr.Last; n++ {
+				full[n] = true
+			}
+		}
+		for _, pr := range r.Limited {
+			for n := pr.First; n <= pr.Last; n++ {
+				if !full[n] {
+					lim[n] = true
+				}
+			}
+		}
+		part := Partition{Base: r.Base}
+		for n := 0; n < numNodes; n++ {
+			if !full[n] && !lim[n] {
+				continue
+			}
+			part.Members = append(part.Members, PartitionMember{Node: n, Full: full[n]})
+			if memberOf[n] == nil {
+				memberOf[n] = make(map[uint16]bool)
+			}
+			memberOf[n][r.Base] = true
+			totalMemberships++
+		}
+		intent.Partitions = append(intent.Partitions, part)
+		allBases = append(allBases, r.Base)
+	}
+	sort.Slice(intent.Partitions, func(i, j int) bool {
+		return intent.Partitions[i].Base < intent.Partitions[j].Base
+	})
+	sort.Slice(allBases, func(i, j int) bool { return allBases[i] < allBases[j] })
+
+	// The subnet-wide table every DPT switch duplicates: full-membership
+	// entries, one per partition (the switch check only needs the base;
+	// the full bit lets limited members' packets through, IBA 10.9.3).
+	union := make([]uint16, len(allBases))
+	for i, b := range allBases {
+		union[i] = 0x8000 | b
+	}
+
+	for sw := 0; sw < numNodes; sw++ {
+		si := SwitchIntent{Switch: sw, Mode: doc.EffectiveMode(sw)}
+		switch si.Mode {
+		case enforce.DPT:
+			si.Valid = append([]uint16(nil), union...)
+			si.ModelEntries = totalMemberships
+		case enforce.IF, enforce.SIF:
+			for b := range memberOf[sw] {
+				si.Valid = append(si.Valid, 0x8000|b)
+			}
+			sort.Slice(si.Valid, func(i, j int) bool { return si.Valid[i] < si.Valid[j] })
+			si.ModelEntries = len(si.Valid)
+		}
+		if si.Mode == enforce.SIF {
+			pinned := make(map[uint16]bool)
+			for _, p := range doc.Pinned {
+				if p.Switch == sw || p.Switch == -1 {
+					pinned[p.Base] = true
+				}
+			}
+			for b := range pinned {
+				si.Invalid = append(si.Invalid, b)
+			}
+			sort.Slice(si.Invalid, func(i, j int) bool { return si.Invalid[i] < si.Invalid[j] })
+			si.Active = len(si.Invalid) > 0
+		}
+		alt := make(map[uint16]bool)
+		for _, a := range doc.AltSources {
+			if a.Switch == sw {
+				alt[a.Src] = true
+			}
+		}
+		for s := range alt {
+			si.AltSources = append(si.AltSources, s)
+		}
+		sort.Slice(si.AltSources, func(i, j int) bool { return si.AltSources[i] < si.AltSources[j] })
+		intent.Switches = append(intent.Switches, si)
+	}
+	return intent, nil
+}

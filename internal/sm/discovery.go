@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"ibasec/internal/enforce"
 	"ibasec/internal/fabric"
 	"ibasec/internal/icrc"
 	"ibasec/internal/keys"
@@ -123,6 +124,10 @@ func isDRSMP(d *fabric.Delivery) bool {
 // to the switch. Set operations require the agent's M_Key.
 type SwitchAgent struct {
 	MKey keys.MKey
+	// Enforce, when non-nil, lets the agent answer enforcement-state
+	// audit SMPs (audit.go) against the mesh's filter; without it those
+	// attributes return Unsupported.
+	Enforce *enforce.Filter
 }
 
 // AttachSwitchAgents installs a SwitchAgent on every switch of a mesh.
@@ -219,6 +224,20 @@ func (a *SwitchAgent) execute(sw *fabric.Switch, inPort int, d *fabric.Delivery,
 		}
 		sw.SetRoute(lid, port)
 		sw.Counters.Inc("smp_routes_set", 1)
+
+	case fr.Method == smpMethodGet && fr.Attr == smpAttrAuditState:
+		a.auditState(sw, resp)
+
+	case fr.Method == smpMethodGet && fr.Attr == smpAttrAuditEntries:
+		a.auditEntries(sw, pl, resp)
+
+	case fr.Method == smpMethodSet && fr.Attr == smpAttrAuditRepair:
+		if fr.MKey != a.MKey {
+			resp[smpOffStatus] = smpStatusBadMKey
+			sw.Counters.Inc("smp_mkey_violations", 1)
+			break
+		}
+		a.auditRepair(sw, pl, resp)
 
 	default:
 		resp[smpOffStatus] = smpStatusUnsupported

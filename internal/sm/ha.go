@@ -67,6 +67,11 @@ type stateSyncMAD struct {
 	Master     uint16
 	DirDigest  uint32
 	Partitions []syncPartition
+	// Policy is the master's marshalled policy document, carried as an
+	// optional trailer so standbys inherit the compiled intent. Empty
+	// when the policy plane is off — in which case the encoding is
+	// byte-identical to the pre-policy format.
+	Policy []byte
 }
 
 type syncPartition struct {
@@ -76,11 +81,15 @@ type syncPartition struct {
 }
 
 // encodeStateSync renders: type, master(2), dirDigest(4), count(2), then
-// per partition base(2), epoch(4), nMembers(2), members(2 each).
+// per partition base(2), epoch(4), nMembers(2), members(2 each), then —
+// only when a policy document is attached — blobLen(4) and the blob.
 func encodeStateSync(m stateSyncMAD) []byte {
 	n := 9
 	for _, p := range m.Partitions {
 		n += 8 + 2*len(p.Members)
+	}
+	if len(m.Policy) > 0 {
+		n += 4 + len(m.Policy)
 	}
 	pl := make([]byte, n)
 	pl[0] = haTypeStateSync
@@ -97,6 +106,11 @@ func encodeStateSync(m stateSyncMAD) []byte {
 			binary.BigEndian.PutUint16(pl[off:], mem)
 			off += 2
 		}
+	}
+	if len(m.Policy) > 0 {
+		binary.BigEndian.PutUint32(pl[off:], uint32(len(m.Policy)))
+		off += 4
+		copy(pl[off:], m.Policy)
 	}
 	return pl
 }
@@ -135,6 +149,20 @@ func parseStateSync(pl []byte) (stateSyncMAD, error) {
 			off += 2
 		}
 		m.Partitions = append(m.Partitions, p)
+	}
+	// Optional policy trailer. Its absence (the pre-policy encoding) is
+	// valid; a present-but-truncated trailer is rejected like any other
+	// short field.
+	if off < len(pl) {
+		if off+4 > len(pl) {
+			return stateSyncMAD{}, errHAShort
+		}
+		bn := int(binary.BigEndian.Uint32(pl[off:]))
+		off += 4
+		if bn <= 0 || off+bn > len(pl) {
+			return stateSyncMAD{}, errHAShort
+		}
+		m.Policy = append([]byte(nil), pl[off:off+bn]...)
 	}
 	return m, nil
 }
@@ -347,6 +375,7 @@ func (c *Coordinator) beat() {
 	}
 	digest := fnv1a32(sync.Partitions)
 	sync.DirDigest = digest
+	sync.Policy = master.PolicyBlob
 	hb := encodeHeartbeat(heartbeatMAD{Master: uint16(c.nodes[c.active]), Seq: c.hbSeq, Digest: digest})
 	ss := encodeStateSync(sync)
 	for i := 1; i < len(c.sms); i++ {
@@ -418,6 +447,9 @@ func (c *Coordinator) Dispatch(node int, d *fabric.Delivery) bool {
 				snap[p.Base] = members
 			}
 			c.sms[i].AdoptPartitions(snap)
+			if len(sync.Policy) > 0 {
+				c.sms[i].PolicyBlob = append([]byte(nil), sync.Policy...)
+			}
 			if fnv1a32(sync.Partitions) != sync.DirDigest {
 				c.Counters.Inc("sync_digest_mismatch", 1)
 			} else {

@@ -90,6 +90,19 @@ type SubnetManager struct {
 	// credentials; wired by the core layer.
 	WipeSecrets func(node int, pk packet.PKey)
 
+	// PolicyBlob is the marshalled policy document this SM programs
+	// from, opaque to this package (the policy layer owns the format).
+	// Non-empty only when the policy plane is enabled; the HA
+	// coordinator appends it to state-sync MADs so a promoted standby
+	// inherits the intent it must audit against.
+	PolicyBlob []byte
+	// ProgramTables, when non-nil, replaces ProgramSwitchTables'
+	// built-in membership-derived programming with compiled-intent
+	// programming — wired by the core layer when the policy plane is
+	// enabled, so a post-failover reprogram restores intent rather than
+	// re-deriving tables from membership.
+	ProgramTables func()
+
 	partitions map[uint16][]int
 	busyUntil  sim.Time
 	trapSeen   map[trapKey]sim.Time
@@ -288,6 +301,10 @@ func (m *SubnetManager) AdoptPartitions(snap map[uint16][]int) {
 // filter needs: for DPT every switch gets the union of all partitions;
 // for IF/SIF each switch gets the partitions of its attached node.
 func (m *SubnetManager) ProgramSwitchTables() {
+	if m.ProgramTables != nil {
+		m.ProgramTables()
+		return
+	}
 	if m.filter == nil {
 		return
 	}

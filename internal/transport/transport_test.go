@@ -233,6 +233,62 @@ func TestTamperedPayloadRejected(t *testing.T) {
 	}
 }
 
+// Rotation boundary: a packet signed under the grace-window epoch is
+// accepted (auth_ok_grace) while the window is open, but one arriving
+// exactly at the retire instant finds the window already closed — the
+// boundary is exclusive — and is refused under auth_epoch_expired, not
+// auth_fail, so sweeps can tell stale-key traffic from forgeries.
+func TestGraceEpochRetireBoundary(t *testing.T) {
+	w := newWorld(t, mac.IDUMAC32, PartitionLevel, false)
+	var k0, k1 keys.SecretKey
+	copy(k0[:], "epoch-zero-secret")
+	copy(k1[:], "epoch-one-secret")
+
+	// The sender still signs under epoch 0; the receiver has rolled to
+	// epoch 1 and holds epoch 0 in the grace window.
+	w.eps[0].Store.InstallPartitionSecret(pkeyAB, k0)
+	w.eps[3].Store.InstallPartitionSecret(pkeyAB, k0)
+	w.eps[3].Store.InstallPartitionEpoch(pkeyAB, 1, k1)
+
+	src := w.eps[0].CreateUDQP(pkeyAB, 0)
+	dst := w.eps[3].CreateUDQP(pkeyAB, 0x42)
+	src.AuthRequired = true
+	dst.AuthRequired = true
+	n := 0
+	dst.OnRecv = func(p []byte, s packet.LID, q packet.QPN) { n++ }
+
+	if err := w.eps[0].SendUD(src, topology.LIDOf(3), dst.N, dst.QKey, []byte("in grace"), fabric.ClassBestEffort); err != nil {
+		t.Fatal(err)
+	}
+	w.s.Run()
+	if n != 1 || w.eps[3].Counters.Get("auth_ok_grace") != 1 {
+		t.Fatalf("grace-window packet: delivered=%d auth_ok_grace=%d",
+			n, w.eps[3].Counters.Get("auth_ok_grace"))
+	}
+
+	// Close the grace window in the same timestep the next packet
+	// arrives, before verification runs — "arriving exactly at retire
+	// time" must land outside the window.
+	inner := w.mesh.HCA(3).OnDeliver
+	w.mesh.HCA(3).OnDeliver = func(d *fabric.Delivery) {
+		w.eps[3].Store.RetirePartitionEpoch(pkeyAB, 0)
+		inner(d)
+	}
+	if err := w.eps[0].SendUD(src, topology.LIDOf(3), dst.N, dst.QKey, []byte("too late"), fabric.ClassBestEffort); err != nil {
+		t.Fatal(err)
+	}
+	w.s.Run()
+	if n != 1 {
+		t.Fatal("stale-epoch packet accepted at retire time")
+	}
+	if got := w.eps[3].Counters.Get("auth_epoch_expired"); got != 1 {
+		t.Fatalf("auth_epoch_expired = %d, want 1", got)
+	}
+	if got := w.eps[3].Counters.Get("auth_fail"); got != 0 {
+		t.Fatalf("tombstoned-epoch reject miscounted as auth_fail (%d)", got)
+	}
+}
+
 func TestSendWithoutKeyFails(t *testing.T) {
 	w := newWorld(t, mac.IDUMAC32, PartitionLevel, false)
 	// No partition secret installed.

@@ -170,6 +170,10 @@ type Attacker struct {
 	Size      int
 	DutyCycle float64
 	Cycle     sim.Time
+	// FixedPKey, when non-zero, replaces the random per-packet P_Key:
+	// the "stolen key" variant where the attacker replays a legitimate
+	// partition key instead of guessing.
+	FixedPKey packet.PKey
 
 	gen  *Generator
 	rng  *rand.Rand
@@ -212,7 +216,10 @@ func (a *Attacker) scheduleBurst(after sim.Time) {
 		gen.stop = a.s.Every(iv, func() {
 			gen.Sent++
 			dst := a.Targets[a.rng.Intn(len(a.Targets))]
-			pk := packet.PKey(a.rng.Intn(1 << 16))
+			pk := a.FixedPKey
+			if pk == 0 {
+				pk = packet.PKey(a.rng.Intn(1 << 16))
+			}
 			a.Sender.SendPKey(dst, a.Size, pk)
 		})
 		a.gen = gen

@@ -30,6 +30,8 @@ bench() { go test -run '^$' -benchmem "$@"; }
         -benchtime "${BENCHTIME:-100x}" ./internal/sim
   bench -bench '^(BenchmarkICRCSeal|BenchmarkVerifyICRC)$' \
         -benchtime "${BENCHTIME:-100x}" ./internal/icrc
+  bench -bench '^BenchmarkCompile$' \
+        -benchtime "${BENCHTIME:-100x}" ./internal/policy
   bench -bench '^(BenchmarkHotPath|BenchmarkHotPathAuth)$' \
         -benchtime "${HOTPATH_BENCHTIME:-20x}" .
 } | tee /dev/stderr | go run ./scripts/benchgate "$mode"

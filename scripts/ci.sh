@@ -53,11 +53,20 @@ echo "== ibsim apm -quick (RC recovery + path-migration smoke under the race det
 go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/apm" apm -bers 0,1e-5 -kills 0,1 >"$tmp/apm.out"
 diff testdata/golden/apm_quick.csv "$tmp/apm/apm.csv"
 
+echo "== ibsim drift -quick (policy-plane drift audit smoke under the race detector)"
+# Out-of-band switch-state corruption vs the declarative drift auditor
+# (detect-only and auto-repair arms) on a race-instrumented binary,
+# byte-for-byte against the committed golden CSV (the same sweep
+# TestGoldenDrift pins both serially and in parallel).
+go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/drift" drift -periods-us 0,200,50 >"$tmp/drift.out"
+diff testdata/golden/drift_quick.csv "$tmp/drift/drift.csv"
+
 echo "== ibsim -list (experiment registry smoke)"
 # Every sweep subcommand ci.sh exercises must be advertised by -list.
 go run ./cmd/ibsim -list | grep -qx apm
 go run ./cmd/ibsim -list | grep -qx faults
 go run ./cmd/ibsim -list | grep -qx failover
+go run ./cmd/ibsim -list | grep -qx drift
 
 echo "== fuzz smoke (wire parsers, 5s each)"
 go test -run '^$' -fuzz '^FuzzPacketUnmarshal$' -fuzztime 5s ./internal/packet
