@@ -19,6 +19,7 @@
 //	ibsim failover               robustness: SM kill + standby election + key-epoch rotation
 //	ibsim apm                    robustness: RC NAK recovery + automatic path migration
 //	ibsim drift                  policy plane: switch-state corruption vs the drift auditor
+//	ibsim splitbrain             robustness: subnet bisection, dual-master containment, merge reconciliation
 //	ibsim trace                  dump a packet-lifecycle trace
 //	ibsim all                    everything above (trace bounded to its default scope)
 //
@@ -127,7 +128,8 @@ func baseConfig() ibasec.Config {
 var sweepCommands = map[string]bool{
 	"fig1": true, "fig5": true, "fig6": true, "sweep": true,
 	"authrate": true, "smdos": true, "scale": true, "faults": true,
-	"failover": true, "apm": true, "drift": true, "all": true,
+	"failover": true, "apm": true, "drift": true, "splitbrain": true,
+	"all": true,
 }
 
 // commands is every subcommand, in the order `ibsim -list` prints them
@@ -135,7 +137,7 @@ var sweepCommands = map[string]bool{
 var commands = []string{
 	"config", "fig1", "fig5", "fig6", "table2", "table4", "attacks",
 	"sweep", "authrate", "smdos", "scale", "faults", "failover", "apm",
-	"drift", "trace", "all",
+	"drift", "splitbrain", "trace", "all",
 }
 
 // commandFuncs maps each subcommand to its runner. The registry-sync
@@ -144,23 +146,24 @@ var commands = []string{
 // half-wired: visible in -list but undispatchable, or runnable but
 // missing from `ibsim all`.
 var commandFuncs = map[string]func(args []string) error{
-	"config":   func([]string) error { return runConfig() },
-	"fig1":     runFig1,
-	"fig5":     runFig5,
-	"fig6":     runFig6,
-	"table2":   runTable2,
-	"table4":   runTable4,
-	"attacks":  func([]string) error { return runAttacks() },
-	"sweep":    runSweep,
-	"authrate": runAuthRate,
-	"smdos":    runSMDoS,
-	"scale":    runScale,
-	"faults":   runFaults,
-	"failover": runFailover,
-	"apm":      runAPM,
-	"drift":    runDrift,
-	"trace":    runTrace,
-	"all":      func([]string) error { return runAll() },
+	"config":     func([]string) error { return runConfig() },
+	"fig1":       runFig1,
+	"fig5":       runFig5,
+	"fig6":       runFig6,
+	"table2":     runTable2,
+	"table4":     runTable4,
+	"attacks":    func([]string) error { return runAttacks() },
+	"sweep":      runSweep,
+	"authrate":   runAuthRate,
+	"smdos":      runSMDoS,
+	"scale":      runScale,
+	"faults":     runFaults,
+	"failover":   runFailover,
+	"apm":        runAPM,
+	"drift":      runDrift,
+	"splitbrain": runSplitBrain,
+	"trace":      runTrace,
+	"all":        func([]string) error { return runAll() },
 }
 
 func main() {
@@ -647,6 +650,42 @@ func runDrift(args []string) error {
 	return writeTable(ibasec.DriftCSV(rows))
 }
 
+func runSplitBrain(args []string) error {
+	fs := flag.NewFlagSet("splitbrain", flag.ExitOnError)
+	partitionsFlag := fs.String("partitions-us", "80,160,320", "comma-separated partition durations (us)")
+	heartbeatsFlag := fs.String("heartbeats-us", "10,20", "comma-separated heartbeat intervals (us)")
+	rekeysFlag := fs.String("rekeys-us", "0,60", "comma-separated rekey periods (us); 0 disables rotation")
+	fs.Parse(args)
+
+	partitions, err := parseInts(*partitionsFlag)
+	if err != nil {
+		return fmt.Errorf("splitbrain: -partitions-us: %w", err)
+	}
+	heartbeats, err := parseInts(*heartbeatsFlag)
+	if err != nil {
+		return fmt.Errorf("splitbrain: -heartbeats-us: %w", err)
+	}
+	rekeys, err := parseInts(*rekeysFlag)
+	if err != nil {
+		return fmt.Errorf("splitbrain: -rekeys-us: %w", err)
+	}
+
+	base := baseConfig()
+	rows, err := ibasec.SplitBrainSweepCtx(runCtx, pool, partitions, heartbeats, rekeys, base)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Robustness. Subnet bisection: containment, dual-master window, merge reconciliation")
+	fmt.Println("  part(us)  hb(us)  rekey(us)  contain  elect  abdic  merge  dual-master(us)  reconverge(us)  rec-mads  roll  isl-roll  dups  grace-miss  ok-grace  auth-fail")
+	for _, r := range rows {
+		fmt.Printf("  %8.0f  %6.0f  %9.0f  %7d  %5d  %5d  %5d  %15.1f  %14.1f  %8d  %4d  %8d  %4d  %10d  %8d  %d\n",
+			r.PartitionUS, r.HeartbeatUS, r.RekeyUS, r.Containments, r.ContainedTakeovers,
+			r.Abdications, r.Merges, r.DualMasterUS, r.ReconvergeUS, r.ReconcileMADs,
+			r.Rollovers, r.IslandRollovers, r.DupRequests, r.GraceMisses, r.AuthOKGrace, r.AuthFail)
+	}
+	return writeTable(ibasec.SplitBrainCSV(rows))
+}
+
 func runTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	events := fs.Int("events", 30, "how many trailing events to print")
@@ -700,6 +739,7 @@ var allSteps = []struct {
 	{"failover", func() error { return runFailover(nil) }},
 	{"apm", func() error { return runAPM(nil) }},
 	{"drift", func() error { return runDrift(nil) }},
+	{"splitbrain", func() error { return runSplitBrain(nil) }},
 	{"trace", func() error { return runTrace(nil) }},
 }
 

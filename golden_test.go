@@ -190,6 +190,30 @@ func TestGoldenDrift(t *testing.T) {
 	}
 }
 
+// TestGoldenSplitBrain pins the subnet-bisection / merge-reconciliation
+// sweep (the exact configuration scripts/ci.sh race-smokes via `ibsim
+// -quick ... splitbrain`) and proves serial/parallel equivalence the
+// same way TestGoldenFailover does.
+func TestGoldenSplitBrain(t *testing.T) {
+	parts, hbs, rekeys := []int{80, 160, 320}, []int{10, 20}, []int{0, 60}
+	parallel, err := SplitBrainSweepCtx(context.Background(), goldenPool(), parts, hbs, rekeys, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "splitbrain_quick.csv", SplitBrainCSV(parallel))
+
+	if testing.Short() {
+		return
+	}
+	serial, err := SplitBrainSweepCtx(context.Background(), nil, parts, hbs, rekeys, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := SplitBrainCSV(parallel).Bytes(), SplitBrainCSV(serial).Bytes(); !bytes.Equal(a, b) {
+		t.Fatalf("serial sweep diverged from parallel:\n%s\n---\n%s", b, a)
+	}
+}
+
 // TestGoldenAPM pins the RC recovery / path-migration sweep (the exact
 // configuration scripts/ci.sh race-smokes via `ibsim -quick ... apm
 // -bers 0,1e-5 -kills 0,1`) and proves serial/parallel equivalence the

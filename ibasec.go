@@ -69,18 +69,19 @@ type (
 
 // Experiment row types.
 type (
-	Fig1Row     = core.Fig1Row
-	Fig5Row     = core.Fig5Row
-	Fig6Row     = core.Fig6Row
-	Table2Row   = core.Table2Row
-	Table4Row   = core.Table4Row
-	AuthRateRow = core.AuthRateRow
-	SMFloodRow  = core.SMFloodRow
-	ScaleRow    = core.ScaleRow
-	FaultRow    = core.FaultRow
-	FailoverRow = core.FailoverRow
-	APMRow      = core.APMRow
-	DriftRow    = core.DriftRow
+	Fig1Row       = core.Fig1Row
+	Fig5Row       = core.Fig5Row
+	Fig6Row       = core.Fig6Row
+	Table2Row     = core.Table2Row
+	Table4Row     = core.Table4Row
+	AuthRateRow   = core.AuthRateRow
+	SMFloodRow    = core.SMFloodRow
+	ScaleRow      = core.ScaleRow
+	FaultRow      = core.FaultRow
+	FailoverRow   = core.FailoverRow
+	SplitBrainRow = core.SplitBrainRow
+	APMRow        = core.APMRow
+	DriftRow      = core.DriftRow
 	// AttackOutcome is one row of the Table 3 attack matrix.
 	AttackOutcome = attack.Outcome
 )
@@ -380,6 +381,22 @@ func FailoverSweepCtx(ctx context.Context, pool *Pool, standbys []int, heartbeat
 	return core.FailoverSweepCtx(ctx, pool, standbys, heartbeatsUS, rekeysUS, base)
 }
 
+// SplitBrainSweep runs the split-brain experiment: the mesh is bisected
+// mid-run with the master and the standby on opposite sides of the cut,
+// each island elects or keeps a contained master, and the heal drives
+// the merge protocol — abdication, bounded re-sweep, key-epoch
+// reconciliation — sweeping partition duration × heartbeat × rekey
+// period. All axes are in microseconds; a rekey of 0 disables rotation.
+func SplitBrainSweep(partitionsUS, heartbeatsUS, rekeysUS []int, base Config) ([]SplitBrainRow, error) {
+	return core.SplitBrainSweep(partitionsUS, heartbeatsUS, rekeysUS, base)
+}
+
+// SplitBrainSweepCtx is SplitBrainSweep with cancellation and an
+// optional worker pool.
+func SplitBrainSweepCtx(ctx context.Context, pool *Pool, partitionsUS, heartbeatsUS, rekeysUS []int, base Config) ([]SplitBrainRow, error) {
+	return core.SplitBrainSweepCtx(ctx, pool, partitionsUS, heartbeatsUS, rekeysUS, base)
+}
+
 // APMSweep runs the RC recovery experiment: a mid-run primary-path link
 // kill (plus optional BER bursts) against RC probe flows, sweeping BER ×
 // link kills × recovery arm (timeout-only, explicit NAK, NAK+APM with
@@ -428,6 +445,9 @@ func FaultsCSV(rows []FaultRow) CSVTable { return core.FaultsCSV(rows) }
 
 // FailoverCSV renders the SM-failover / key-rotation sweep.
 func FailoverCSV(rows []FailoverRow) CSVTable { return core.FailoverCSV(rows) }
+
+// SplitBrainCSV renders the split-brain / merge-reconciliation sweep.
+func SplitBrainCSV(rows []SplitBrainRow) CSVTable { return core.SplitBrainCSV(rows) }
 
 // APMCSV renders the RC recovery / path-migration sweep.
 func APMCSV(rows []APMRow) CSVTable { return core.APMCSV(rows) }

@@ -122,8 +122,18 @@ type Cluster struct {
 	// connections once the primary path heals).
 	OnHeal func(sm.HealEvent)
 
+	// IslandRotators tracks per-island key rotators started at contained
+	// takeovers, keyed by the island master SM. Populated only with
+	// HA.SplitBrain; the splitbrain experiment reads rollover counts
+	// from it.
+	IslandRotators map[*sm.SubnetManager]*sm.Rotator
+
 	res        *Results
 	healEvents []sm.HealEvent
+	// rngSplit feeds authority forks at contained takeovers — its own
+	// stream, so enabling split-brain handling cannot perturb the
+	// setup/crypto/traffic draws other arms depend on.
+	rngSplit *rand.Rand
 	// retiredAuditors keeps auditors displaced by failover so their
 	// counters and events still reach the results.
 	retiredAuditors []*policy.Auditor
@@ -196,6 +206,11 @@ func Build(cfg Config) (*Cluster, error) {
 		Rng:       rngTraffic,
 		Trace:     ring,
 		res:       &Results{Config: cfg},
+
+		IslandRotators: make(map[*sm.SubnetManager]*sm.Rotator),
+	}
+	if cfg.HA.SplitBrain {
+		cl.rngSplit = rand.New(rand.NewSource(cfg.Seed ^ 0x5B117B))
 	}
 
 	// Random partitioning: shuffle nodes, slice into NumPartitions
@@ -373,9 +388,12 @@ func Build(cfg Config) (*Cluster, error) {
 			cl.Standbys = append(cl.Standbys, sb)
 		}
 		haCfg := sm.HAConfig{
-			Standbys:  standbyNodes,
-			Heartbeat: cfg.HA.Heartbeat,
-			Lease:     cfg.HA.Lease,
+			Standbys:     standbyNodes,
+			Heartbeat:    cfg.HA.Heartbeat,
+			Lease:        cfg.HA.Lease,
+			SplitBrain:   cfg.HA.SplitBrain,
+			CensusWait:   cfg.HA.CensusWait,
+			CensusPeriod: cfg.HA.CensusPeriod,
 		}
 		if haCfg.Heartbeat <= 0 {
 			haCfg.Heartbeat = 50 * sim.Microsecond
@@ -392,21 +410,28 @@ func Build(cfg Config) (*Cluster, error) {
 
 	// Key-epoch rotation (partition-level only; Validate enforces it).
 	if cfg.Rekey.Enabled() {
-		rot := sm.RotationConfig{
-			Period:            cfg.Rekey.Period,
-			Grace:             cfg.Rekey.Grace,
-			DistributionDelay: cfg.Rekey.DistributionDelay,
-		}
-		if rot.Grace == 0 {
-			rot.Grace = rot.Period / 4
-		}
-		r, err := sm.NewRotator(s, manager, rot)
+		r, err := sm.NewRotator(s, manager, cl.rotationConfig())
 		if err != nil {
 			return nil, fmt.Errorf("core: building key rotator: %w", err)
 		}
 		cl.Rotator = r
 	}
 	return cl, nil
+}
+
+// rotationConfig resolves the run's Rekey params into a rotator config,
+// applying the Grace default. Island rotators started at contained
+// takeovers use the same cadence as the fabric-wide one.
+func (cl *Cluster) rotationConfig() sm.RotationConfig {
+	rot := sm.RotationConfig{
+		Period:            cl.Cfg.Rekey.Period,
+		Grace:             cl.Cfg.Rekey.Grace,
+		DistributionDelay: cl.Cfg.Rekey.DistributionDelay,
+	}
+	if rot.Grace == 0 {
+		rot.Grace = rot.Period / 4
+	}
+	return rot
 }
 
 // policyDocument expresses the run's random partition grouping as a
@@ -526,9 +551,11 @@ func (cl *Cluster) armResilience() {
 		mkey := cfg.SM.MKey
 		for _, agent := range sm.AttachSwitchAgents(cl.Mesh, mkey) {
 			agent.Enforce = cl.Filter
+			agent.DedupTIDs = cfg.HA.SplitBrain
 		}
 		for _, h := range cl.Mesh.HCAs {
-			sm.AttachNodeAgent(h, mkey)
+			na := sm.AttachNodeAgent(h, mkey)
+			na.DedupTIDs = cfg.HA.SplitBrain
 		}
 	}
 	if auditing {
@@ -597,6 +624,9 @@ func (cl *Cluster) armResilience() {
 					policy.AuditConfig{Period: cfg.Policy.AuditPeriod, Repair: cfg.Policy.Repair})
 				cl.Auditor.Start()
 			}
+		}
+		if cfg.HA.SplitBrain {
+			cl.wireSplitBrain()
 		}
 		cl.HA.Start()
 	}
@@ -751,6 +781,9 @@ func (cl *Cluster) Simulate() *Results {
 	}
 	if cl.Rotator != nil {
 		cl.Rotator.Stop()
+	}
+	for _, rot := range cl.IslandRotators {
+		rot.Stop()
 	}
 	if cl.Resweeper != nil {
 		cl.Resweeper.Stop()

@@ -50,6 +50,23 @@ type HAParams struct {
 	// Lease is the heartbeat-silence tolerance before takeover; it must
 	// be at least one heartbeat. Zero defaults to 3×Heartbeat.
 	Lease sim.Time
+	// SplitBrain enables partition-aware mastership: elections are gated
+	// on a reachable-node census (partial reach elects a contained
+	// island master instead of a pretend fabric-wide one), the sitting
+	// master censuses periodically to notice a partition on its own
+	// side, and after a heal the lower-priority master abdicates while
+	// the winner merges the island back — bounded re-sweep, epoch
+	// reconciliation, policy re-imposition. Default off: the coordinator
+	// then behaves exactly as before this knob existed.
+	SplitBrain bool
+	// CensusWait is how long a census may collect pongs before its
+	// verdict (unanimity concludes a round early); zero defaults to 2×
+	// the lease. It must cover a fabric-diameter MAD round trip, or
+	// healthy distant nodes read as unreachable.
+	CensusWait sim.Time
+	// CensusPeriod is the master's partition-detection interval; zero
+	// defaults to the lease.
+	CensusPeriod sim.Time
 }
 
 // Enabled reports whether any HA machinery should be wired.
@@ -68,6 +85,13 @@ type RekeyParams struct {
 	// DistributionDelay models envelope-distribution latency between the
 	// authority minting epoch e+1 and members' stores holding it.
 	DistributionDelay sim.Time
+	// MergeGrace is how long receivers keep accepting a partitioned-off
+	// island's epochs after a split-brain merge reconciles the two key
+	// lineages; zero defaults to Grace. It must exceed DistributionDelay
+	// so in-flight packets sealed under a losing-island epoch drain as
+	// auth_epoch_expired instead of an auth_fail storm. Only meaningful
+	// with HA.SplitBrain.
+	MergeGrace sim.Time
 }
 
 // Enabled reports whether rotation should be wired.
@@ -261,6 +285,14 @@ func (c *Config) Validate() error {
 		if c.HA.Lease != 0 && c.HA.Lease < c.HA.Heartbeat {
 			return fmt.Errorf("core: HA lease %v shorter than heartbeat %v", c.HA.Lease, c.HA.Heartbeat)
 		}
+	} else if c.HA.SplitBrain {
+		return fmt.Errorf("core: split-brain handling requires HA standbys")
+	}
+	if (c.HA.CensusWait != 0 || c.HA.CensusPeriod != 0) && !c.HA.SplitBrain {
+		return fmt.Errorf("core: census settings require HA.SplitBrain")
+	}
+	if c.HA.CensusWait < 0 || c.HA.CensusPeriod < 0 {
+		return fmt.Errorf("core: negative census settings")
 	}
 	if c.Rekey.Enabled() {
 		if !c.Auth.Enabled || c.Auth.Level != transport.PartitionLevel {
@@ -276,6 +308,15 @@ func (c *Config) Validate() error {
 		if c.Rekey.DistributionDelay < 0 || c.Rekey.DistributionDelay >= grace {
 			return fmt.Errorf("core: rekey distribution delay %v must be in [0, grace %v)", c.Rekey.DistributionDelay, grace)
 		}
+		mergeGrace := c.Rekey.MergeGrace
+		if mergeGrace == 0 {
+			mergeGrace = grace
+		}
+		if mergeGrace < 0 || mergeGrace <= c.Rekey.DistributionDelay {
+			return fmt.Errorf("core: merge grace %v must exceed the distribution delay %v", mergeGrace, c.Rekey.DistributionDelay)
+		}
+	} else if c.Rekey.MergeGrace != 0 {
+		return fmt.Errorf("core: merge grace requires key rotation")
 	}
 	if c.Policy.Enabled {
 		if c.Enforcement == enforce.NoFiltering {

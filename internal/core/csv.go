@@ -174,6 +174,32 @@ func DriftCSV(rows []DriftRow) CSVTable {
 	return t
 }
 
+// SplitBrainCSV renders the split-brain / merge-reconciliation sweep.
+func SplitBrainCSV(rows []SplitBrainRow) CSVTable {
+	t := CSVTable{
+		Name: "splitbrain",
+		Header: []string{
+			"partition_us", "heartbeat_us", "rekey_us",
+			"containments", "contained_takeovers", "abdications", "merges", "census_rounds",
+			"dual_master_us", "reconverge_us", "reconcile_mads",
+			"rollovers", "island_rollovers", "dup_requests",
+			"auth_ok", "auth_fail", "grace_misses", "auth_ok_grace",
+			"sent", "delivered",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			Ftoa(r.PartitionUS), Ftoa(r.HeartbeatUS), Ftoa(r.RekeyUS),
+			Itoa(r.Containments), Itoa(r.ContainedTakeovers), Itoa(r.Abdications), Itoa(r.Merges), Itoa(r.CensusRounds),
+			Ftoa(r.DualMasterUS), Ftoa(r.ReconvergeUS), Itoa(r.ReconcileMADs),
+			Itoa(r.Rollovers), Itoa(r.IslandRollovers), Itoa(r.DupRequests),
+			Itoa(r.AuthOK), Itoa(r.AuthFail), Itoa(r.GraceMisses), Itoa(r.AuthOKGrace),
+			Itoa(r.Sent), Itoa(r.Delivered),
+		})
+	}
+	return t
+}
+
 // FailoverCSV renders the SM-failover / key-rotation sweep.
 func FailoverCSV(rows []FailoverRow) CSVTable {
 	t := CSVTable{

@@ -55,6 +55,59 @@ type MADLoss struct {
 	Until    sim.Time
 }
 
+// Partition splits the fabric into two islands for [DownAt, UpAt): every
+// inter-switch link crossing the cut between IslandA and the rest of the
+// mesh goes down at DownAt and — when UpAt is later — back up at UpAt
+// (zero means the split never heals). HCA uplinks are untouched, so each
+// island remains a live, internally connected fabric; what the cut
+// severs is only the other island's reachability. This is the
+// split-brain fault: with an SM on each side, both islands end up with a
+// master, and the heal forces the merge protocol to reconcile them.
+type Partition struct {
+	// IslandA lists the switch indices on one side of the cut; every
+	// other switch is island B. Both sides must be non-empty and
+	// internally connected (Validate checks this).
+	IslandA []int
+	DownAt  sim.Time
+	UpAt    sim.Time
+}
+
+// CutLinks returns the inter-switch links of a W×H mesh that cross the
+// cut between islandA and its complement, each named from the
+// lower-indexed side (the same convention Chaos uses).
+func (pt *Partition) CutLinks(w, h int) []topology.LinkID {
+	inA := make(map[int]bool, len(pt.IslandA))
+	for _, i := range pt.IslandA {
+		inA[i] = true
+	}
+	var cut []topology.LinkID
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if x+1 < w && inA[i] != inA[i+1] {
+				cut = append(cut, topology.LinkID{Switch: i, Port: topology.PortEast})
+			}
+			if y+1 < h && inA[i] != inA[i+w] {
+				cut = append(cut, topology.LinkID{Switch: i, Port: topology.PortSouth})
+			}
+		}
+	}
+	return cut
+}
+
+// Bisect returns the Partition that splits a W×H mesh vertically: island
+// A is every switch in columns [0, col), island B the rest. col must be
+// in (0, w); times are filled in by the caller.
+func Bisect(w, h, col int) Partition {
+	var a []int
+	for y := 0; y < h; y++ {
+		for x := 0; x < col; x++ {
+			a = append(a, y*w+x)
+		}
+	}
+	return Partition{IslandA: a}
+}
+
 // SMKill kills the active (master) subnet manager at time At. With HA
 // standbys configured, lease expiry and election recover the management
 // plane; without them, traps and rekeying stop for the rest of the run.
@@ -144,8 +197,11 @@ type Plan struct {
 	Seed     int64
 	Links    []LinkKill
 	Switches []SwitchKill
-	BER      []BERBurst
-	MAD      *MADLoss
+	// Partitions are fabric bisections, expanded at Install time into
+	// the link kills of each cut.
+	Partitions []Partition
+	BER        []BERBurst
+	MAD        *MADLoss
 	// SMKills and Compromises are management-plane faults; the core
 	// layer schedules them against its SM coordinator and key rotator
 	// (Install only validates them — they have no fabric-level effect).
@@ -167,6 +223,27 @@ func (p *Plan) Validate(m *topology.Mesh) error {
 	for _, sk := range p.Switches {
 		if sk.Switch < 0 || sk.Switch >= len(m.Switches) {
 			return fmt.Errorf("faults: switch kill on switch %d of %d", sk.Switch, len(m.Switches))
+		}
+	}
+	for _, pt := range p.Partitions {
+		if pt.DownAt < 0 {
+			return fmt.Errorf("faults: partition at negative time %v", pt.DownAt)
+		}
+		inA := make(map[int]bool, len(pt.IslandA))
+		for _, i := range pt.IslandA {
+			if i < 0 || i >= len(m.Switches) {
+				return fmt.Errorf("faults: partition island switch %d of %d", i, len(m.Switches))
+			}
+			if inA[i] {
+				return fmt.Errorf("faults: partition island lists switch %d twice", i)
+			}
+			inA[i] = true
+		}
+		if len(inA) == 0 || len(inA) == len(m.Switches) {
+			return fmt.Errorf("faults: partition island has %d of %d switches — both sides must be non-empty", len(inA), len(m.Switches))
+		}
+		if !islandConnected(m.W, m.H, inA, true) || !islandConnected(m.W, m.H, inA, false) {
+			return fmt.Errorf("faults: partition island is not internally connected")
 		}
 	}
 	for _, b := range p.BER {
@@ -244,6 +321,15 @@ func Install(s *sim.Simulator, m *topology.Mesh, params *fabric.Params, p *Plan)
 		s.ScheduleAt(sk.DownAt, func() { m.Switches[sk.Switch].SetDown(true) })
 		if sk.UpAt > sk.DownAt {
 			s.ScheduleAt(sk.UpAt, func() { m.Switches[sk.Switch].SetDown(false) })
+		}
+	}
+	for _, pt := range p.Partitions {
+		for _, l := range pt.CutLinks(m.W, m.H) {
+			l := l
+			s.ScheduleAt(pt.DownAt, func() { inj.setLink(l, false) })
+			if pt.UpAt > pt.DownAt {
+				s.ScheduleAt(pt.UpAt, func() { inj.setLink(l, true) })
+			}
 		}
 	}
 	for _, b := range p.BER {
@@ -386,6 +472,46 @@ func PrimaryHopLink(w int, src, dst int) (topology.LinkID, bool) {
 		return topology.LinkID{Switch: sw, Port: topology.PortNorth}, true
 	}
 	return topology.LinkID{}, false
+}
+
+// islandConnected reports whether the switches of one partition side
+// (inA[i] == side) form a connected subgraph of the W×H grid.
+func islandConnected(w, h int, inA map[int]bool, side bool) bool {
+	n := w * h
+	start := -1
+	total := 0
+	for i := 0; i < n; i++ {
+		if inA[i] == side {
+			total++
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	if total == 0 {
+		return false
+	}
+	visited := make(map[int]bool, total)
+	visited[start] = true
+	queue := []int{start}
+	count := 1
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		x, y := i%w, i/w
+		try := func(j int, ok bool) {
+			if ok && inA[j] == side && !visited[j] {
+				visited[j] = true
+				count++
+				queue = append(queue, j)
+			}
+		}
+		try(i+1, x+1 < w)
+		try(i-1, x > 0)
+		try(i+w, y+1 < h)
+		try(i-w, y > 0)
+	}
+	return count == total
 }
 
 // meshConnectedWithout reports whether the W×H switch grid stays

@@ -123,6 +123,124 @@ func TestValidateRejectsBadPlans(t *testing.T) {
 	}
 }
 
+// TestPartitionCutGraph checks the edge-cut helper at the graph level:
+// for each bisection of a 4×4 mesh (and one irregular island) the cut
+// must contain exactly the crossing edges, removing it must disconnect
+// the mesh, and both islands must stay internally connected with the
+// cut removed.
+func TestPartitionCutGraph(t *testing.T) {
+	s := sim.New()
+	m := topology.NewMesh(s, fabric.DefaultParams(), 4, 4)
+
+	islands := [][]int{
+		Bisect(4, 4, 1).IslandA,
+		Bisect(4, 4, 2).IslandA,
+		Bisect(4, 4, 3).IslandA,
+		{0, 1, 4, 5}, // top-left quadrant
+	}
+	for _, islandA := range islands {
+		pt := Partition{IslandA: islandA, DownAt: 1, UpAt: 2}
+		plan := &Plan{Partitions: []Partition{pt}}
+		if err := plan.Validate(m); err != nil {
+			t.Fatalf("island %v rejected: %v", islandA, err)
+		}
+		cut := pt.CutLinks(4, 4)
+		inCut := make(map[topology.LinkID]bool, len(cut))
+		for _, l := range cut {
+			inCut[l] = true
+		}
+		inA := make(map[int]bool, len(islandA))
+		for _, i := range islandA {
+			inA[i] = true
+		}
+		// Enumerate every inter-switch edge: crossing edges must be in
+		// the cut, internal edges must not.
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				i := y*4 + x
+				check := func(j int, port int) {
+					id := topology.LinkID{Switch: i, Port: port}
+					if crossing := inA[i] != inA[j]; crossing != inCut[id] {
+						t.Fatalf("island %v: edge %v crossing=%v inCut=%v", islandA, id, crossing, inCut[id])
+					}
+				}
+				if x+1 < 4 {
+					check(i+1, topology.PortEast)
+				}
+				if y+1 < 4 {
+					check(i+4, topology.PortSouth)
+				}
+			}
+		}
+		if meshConnectedWithout(4, 4, cut) {
+			t.Fatalf("island %v: cut does not disconnect the mesh", islandA)
+		}
+		if !islandConnected(4, 4, inA, true) || !islandConnected(4, 4, inA, false) {
+			t.Fatalf("island %v: a side is not internally connected", islandA)
+		}
+	}
+
+	bad := []*Plan{
+		{Partitions: []Partition{{IslandA: nil}}},                                  // empty side
+		{Partitions: []Partition{{IslandA: Bisect(4, 4, 4).IslandA}}},              // full side
+		{Partitions: []Partition{{IslandA: []int{0, 16}}}},                         // out of range
+		{Partitions: []Partition{{IslandA: []int{0, 0}}}},                          // duplicate
+		{Partitions: []Partition{{IslandA: []int{0, 15}}}},                         // disconnected island
+		{Partitions: []Partition{{IslandA: []int{1, 2}, DownAt: -sim.Nanosecond}}}, // negative time
+	}
+	for i, p := range bad {
+		if err := p.Validate(m); err == nil {
+			t.Fatalf("bad partition plan %d validated", i)
+		}
+	}
+}
+
+// TestPartitionInstallHeal drives a live bisection end to end on a 2×2
+// mesh: cross-island traffic blackholes while the partition is active,
+// intra-island traffic keeps flowing (the island stays internally
+// connected), and after the heal cross-island delivery resumes — full
+// connectivity restored.
+func TestPartitionInstallHeal(t *testing.T) {
+	s := sim.New()
+	m := topology.NewMesh(s, fabric.DefaultParams(), 2, 2)
+	pt := Bisect(2, 2, 1) // island A: column 0 (switches 0, 2)
+	pt.DownAt = 10 * sim.Microsecond
+	pt.UpAt = 40 * sim.Microsecond
+	if _, err := Install(s, m, fabric.DefaultParams(), &Plan{Partitions: []Partition{pt}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.HCA(i).PKeyTable.Add(0x8001)
+	}
+	got := make(map[int]int)
+	for i := 0; i < 4; i++ {
+		i := i
+		m.HCA(i).OnDeliver = func(d *fabric.Delivery) { got[i]++ }
+	}
+	send := func(src, dst int) func() {
+		return func() {
+			m.HCA(src).Send(&fabric.Delivery{
+				Pkt:   mkPkt(topology.LIDOf(src), topology.LIDOf(dst)),
+				Class: fabric.ClassBestEffort, VL: fabric.VLBestEffort,
+			})
+		}
+	}
+	send(0, 1)()                                 // pre-partition: crosses, delivered
+	s.ScheduleAt(20*sim.Microsecond, send(0, 1)) // mid-partition: blackholed
+	s.ScheduleAt(20*sim.Microsecond, send(0, 2)) // mid-partition, intra-island: delivered
+	s.ScheduleAt(50*sim.Microsecond, send(0, 1)) // post-heal: delivered
+	s.Run()
+	if got[1] != 2 {
+		t.Fatalf("cross-island deliveries %d, want 2 (pre + post-heal)", got[1])
+	}
+	if got[2] != 1 {
+		t.Fatalf("intra-island delivery %d, want 1", got[2])
+	}
+	if n := Blackholed(m); n != 1 {
+		t.Fatalf("blackholed %d, want exactly the mid-partition crossing packet", n)
+	}
+}
+
 // Installing a plan and letting it fire: a link kill blackholes traffic
 // queued across it and the count is visible through Blackholed.
 func TestInstallLinkKillBlackholes(t *testing.T) {

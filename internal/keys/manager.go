@@ -19,13 +19,38 @@ type EpochKey struct {
 
 // partitionSecrets is one partition's epoch state in a Store: the
 // current secret, the previous epoch while its grace window is open, and
-// the most recently retired epoch. The retired key is kept only so the
+// a short list of retired epochs. Retired keys are kept only so the
 // verification path can distinguish "signed under a retired epoch"
-// (a grace-window miss, its own counter) from a plain forgery.
+// (a grace-window miss, its own counter) from a plain forgery. The list
+// is bounded (retiredCap) because under a subnet merge a store may hold
+// tombstones for several epochs at once — its own rotation history plus
+// the losing island's epochs absorbed at reconciliation.
 type partitionSecrets struct {
 	current EpochKey
 	prev    *EpochKey
-	retired *EpochKey
+	retired []EpochKey
+}
+
+// retiredCap bounds the per-partition retired-epoch tombstone list.
+// Oldest tombstones fall off first; a packet older than eight epochs
+// counts as a plain auth failure, which is the pre-merge behaviour.
+const retiredCap = 8
+
+// addRetired appends a tombstone, deduplicating exact duplicates and
+// evicting the oldest entry past retiredCap. Dedup must compare the
+// whole key, not just the epoch number: after a split-brain merge two
+// key lineages share numeric epochs, and both lineages' keys must stay
+// recognisable as expired. Callers must hold the store lock.
+func (ps *partitionSecrets) addRetired(ek EpochKey) {
+	for i := range ps.retired {
+		if ps.retired[i] == ek {
+			return
+		}
+	}
+	ps.retired = append(ps.retired, ek)
+	if len(ps.retired) > retiredCap {
+		ps.retired = ps.retired[len(ps.retired)-retiredCap:]
+	}
 }
 
 // Store is a Channel Adapter's table of installed authentication secrets,
@@ -100,7 +125,7 @@ func (s *Store) InstallPartitionEpoch(pk packet.PKey, epoch uint32, k SecretKey)
 }
 
 // RetirePartitionEpoch closes the grace window: the previous epoch, if it
-// is at or below the given epoch, stops verifying and becomes the retired
+// is at or below the given epoch, stops verifying and becomes a retired
 // tombstone. It reports whether a key was actually retired.
 func (s *Store) RetirePartitionEpoch(pk packet.PKey, epoch uint32) bool {
 	s.mu.Lock()
@@ -109,9 +134,25 @@ func (s *Store) RetirePartitionEpoch(pk packet.PKey, epoch uint32) bool {
 	if !ok || ps.prev == nil || ps.prev.Epoch > epoch {
 		return false
 	}
-	ps.retired = ps.prev
+	ps.addRetired(*ps.prev)
 	ps.prev = nil
 	return true
+}
+
+// AddRetiredPartitionEpoch installs a tombstone for an epoch key this
+// store never held live. The subnet-merge reconciliation path uses it to
+// teach every CA the losing island's epochs, so in-flight packets sealed
+// under them drain as auth_epoch_expired instead of auth_fail. A
+// tombstone at or above the current epoch is ignored: it must never
+// shadow a live key.
+func (s *Store) AddRetiredPartitionEpoch(pk packet.PKey, ek EpochKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.partition[pk.Base()]
+	if !ok || ek.Epoch >= ps.current.Epoch {
+		return
+	}
+	ps.addRetired(ek)
 }
 
 // PartitionSecret returns the current-epoch secret for pk's partition
@@ -160,10 +201,26 @@ func (s *Store) RetiredPartitionKey(pk packet.PKey) (EpochKey, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ps, ok := s.partition[pk.Base()]
-	if !ok || ps.retired == nil {
+	if !ok || len(ps.retired) == 0 {
 		return EpochKey{}, false
 	}
-	return *ps.retired, true
+	return ps.retired[len(ps.retired)-1], true
+}
+
+// RetiredPartitionKeys returns a copy of every retired tombstone for pk,
+// newest last. Verification tries each so that packets sealed under any
+// recently retired epoch — including a merged-away island's — are
+// attributed to auth_epoch_expired.
+func (s *Store) RetiredPartitionKeys(pk packet.PKey) []EpochKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps, ok := s.partition[pk.Base()]
+	if !ok || len(ps.retired) == 0 {
+		return nil
+	}
+	out := make([]EpochKey, len(ps.retired))
+	copy(out, ps.retired)
+	return out
 }
 
 // WipePartitionSecret removes every epoch of pk's partition secret
@@ -242,12 +299,90 @@ type PartitionAuthority struct {
 	rng     io.Reader
 	dir     *Directory
 	secrets map[uint16]EpochKey
+	// history keeps the last few keys this authority minted per
+	// partition (newest last, bounded by retiredCap). Merge
+	// reconciliation reads it to tombstone a losing island's epochs on
+	// the winning island's CAs and vice versa.
+	history map[uint16][]EpochKey
 }
 
 // NewPartitionAuthority returns an authority drawing randomness from rng
 // and resolving node public keys through dir.
 func NewPartitionAuthority(rng io.Reader, dir *Directory) *PartitionAuthority {
-	return &PartitionAuthority{rng: rng, dir: dir, secrets: make(map[uint16]EpochKey)}
+	return &PartitionAuthority{
+		rng:     rng,
+		dir:     dir,
+		secrets: make(map[uint16]EpochKey),
+		history: make(map[uint16][]EpochKey),
+	}
+}
+
+// Fork returns an independent authority seeded with a snapshot of this
+// one's current per-partition secrets but drawing fresh randomness from
+// rng. A partitioned island's contained master forks the shared
+// authority so its island-scoped rotations diverge from the other
+// island's without racing on shared state.
+func (a *PartitionAuthority) Fork(rng io.Reader) *PartitionAuthority {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f := NewPartitionAuthority(rng, a.dir)
+	for base, ek := range a.secrets {
+		f.secrets[base] = ek
+	}
+	return f
+}
+
+// MintEpoch generates a fresh secret for pk at exactly the given epoch,
+// replacing whatever the authority held. Merge reconciliation uses it to
+// jump the unified fabric past both islands' diverged epoch counters in
+// one step.
+func (a *PartitionAuthority) MintEpoch(pk packet.PKey, epoch uint32) (SecretKey, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	k, err := NewSecretKey(a.rng)
+	if err != nil {
+		return SecretKey{}, err
+	}
+	a.record(pk.Base(), a.secrets[pk.Base()])
+	a.secrets[pk.Base()] = EpochKey{Key: k, Epoch: epoch}
+	return k, nil
+}
+
+// RecentKeys returns the keys this authority minted for pk that are no
+// longer current (newest last). The current key is excluded: callers
+// tombstoning a dead authority's epochs must fetch the final key
+// separately, via the secrets snapshot, before abandoning it.
+func (a *PartitionAuthority) RecentKeys(pk packet.PKey) []EpochKey {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := a.history[pk.Base()]
+	if len(h) == 0 {
+		return nil
+	}
+	out := make([]EpochKey, len(h))
+	copy(out, h)
+	return out
+}
+
+// CurrentKey returns the authority's live key and epoch for pk.
+func (a *PartitionAuthority) CurrentKey(pk packet.PKey) (EpochKey, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ek, ok := a.secrets[pk.Base()]
+	return ek, ok
+}
+
+// record pushes a displaced key onto the bounded history. Callers must
+// hold the authority lock. Zero-value keys (never generated) are skipped.
+func (a *PartitionAuthority) record(base uint16, ek EpochKey) {
+	if ek.Key == (SecretKey{}) {
+		return
+	}
+	h := append(a.history[base], ek)
+	if len(h) > retiredCap {
+		h = h[len(h)-retiredCap:]
+	}
+	a.history[base] = h
 }
 
 // EnsureSecret returns the partition's current secret, generating it at
@@ -290,7 +425,9 @@ func (a *PartitionAuthority) RotateEpoch(pk packet.PKey) (SecretKey, uint32, err
 	if err != nil {
 		return SecretKey{}, 0, err
 	}
-	next := a.secrets[pk.Base()].Epoch + 1
+	old := a.secrets[pk.Base()]
+	next := old.Epoch + 1
+	a.record(pk.Base(), old)
 	a.secrets[pk.Base()] = EpochKey{Key: k, Epoch: next}
 	return k, next, nil
 }

@@ -119,6 +119,45 @@ func isDRSMP(d *fabric.Delivery) bool {
 		len(d.Pkt.Payload) >= smpHeaderSize && d.Pkt.Payload[0] == madTypeDRSMP
 }
 
+// tidKey identifies one requester's transaction at a responder: SMP
+// transaction IDs are allocated per requesting HCA, so the pair is
+// unique within the dedup horizon.
+type tidKey struct {
+	lid  packet.LID
+	txID uint32
+}
+
+// tidSet is a bounded FIFO set of recently seen transactions. The bound
+// keeps a responder's memory constant no matter how long the run; an
+// entry old enough to have been evicted is also old enough that its
+// requester's retry budget is long exhausted.
+type tidSet struct {
+	seen  map[tidKey]bool
+	order []tidKey
+	limit int
+}
+
+func newTIDSet(limit int) *tidSet {
+	return &tidSet{seen: make(map[tidKey]bool, limit), limit: limit}
+}
+
+// add records k and reports whether it was already present.
+func (s *tidSet) add(k tidKey) bool {
+	if s.seen[k] {
+		return true
+	}
+	s.seen[k] = true
+	s.order = append(s.order, k)
+	if len(s.order) > s.limit {
+		delete(s.seen, s.order[0])
+		s.order = s.order[1:]
+	}
+	return false
+}
+
+// tidSetCap bounds each responder's duplicate-detection window.
+const tidSetCap = 128
+
 // SwitchAgent is the subnet management agent of one switch: it forwards
 // directed-route SMPs by path and executes Get/Set operations addressed
 // to the switch. Set operations require the agent's M_Key.
@@ -128,6 +167,15 @@ type SwitchAgent struct {
 	// audit SMPs (audit.go) against the mesh's filter; without it those
 	// attributes return Unsupported.
 	Enforce *enforce.Filter
+	// DedupTIDs enables at-most-once SMP execution: a request repeating
+	// a recently seen (requester LID, TID) pair is dropped instead of
+	// re-executed. During heal storms a retransmitted probe and its
+	// delayed original can both arrive; without dedup a Set executes
+	// twice. Requesters must not recycle a TID from the same LID within
+	// the dedup window — the discoverer's monotone per-instance TIDs
+	// satisfy this within a sweep. Default off.
+	DedupTIDs bool
+	tids      *tidSet
 }
 
 // AttachSwitchAgents installs a SwitchAgent on every switch of a mesh.
@@ -167,6 +215,16 @@ func (a *SwitchAgent) HandleMAD(sw *fabric.Switch, inPort int, d *fabric.Deliver
 			return true
 		}
 		// This switch is the target.
+		if a.DedupTIDs {
+			if a.tids == nil {
+				a.tids = newTIDSet(tidSetCap)
+			}
+			if a.tids.add(tidKey{d.Pkt.LRH.SLID, fr.TxID}) {
+				sw.Counters.Inc("smp_dup_requests", 1)
+				d.ReturnCredit()
+				return true
+			}
+		}
 		a.execute(sw, inPort, d, fr)
 		return true
 	default: // returning
@@ -254,7 +312,11 @@ func (a *SwitchAgent) execute(sw *fabric.Switch, inPort int, d *fabric.Delivery,
 type NodeAgent struct {
 	HCA  *fabric.HCA
 	MKey keys.MKey
-	next func(*fabric.Delivery)
+	// DedupTIDs mirrors SwitchAgent.DedupTIDs for CA-side SMPs: a
+	// duplicate (requester LID, TID) request is dropped, not re-executed.
+	DedupTIDs bool
+	tids      *tidSet
+	next      func(*fabric.Delivery)
 }
 
 // AttachNodeAgent wraps an HCA's delivery callback with an SMA.
@@ -280,6 +342,15 @@ func (a *NodeAgent) deliver(d *fabric.Delivery) {
 	if fr.HopPtr != fr.HopCnt {
 		a.HCA.Counters.Inc("smp_misrouted", 1)
 		return
+	}
+	if a.DedupTIDs {
+		if a.tids == nil {
+			a.tids = newTIDSet(tidSetCap)
+		}
+		if a.tids.add(tidKey{d.Pkt.LRH.SLID, fr.TxID}) {
+			a.HCA.Counters.Inc("smp_dup_requests", 1)
+			return
+		}
 	}
 	resp := make([]byte, len(pl))
 	copy(resp, pl)
@@ -375,6 +446,12 @@ type Discoverer struct {
 	topo    *DiscoveredTopology
 	seen    map[uint64]*DiscoveredNode
 	next    func(*fabric.Delivery)
+	// doneTIDs remembers recently answered probes (bounded FIFO) so a
+	// second response to the same TID — the delayed original arriving
+	// after a retransmit was already answered — is recognised as a
+	// duplicate rather than processed twice or mistaken for a stray.
+	doneTIDs  map[uint32]bool
+	doneOrder []uint32
 }
 
 type probe struct {
@@ -417,12 +494,36 @@ func (d *Discoverer) deliver(dv *fabric.Delivery) {
 	pl := dv.Pkt.Payload
 	pr, ok := d.pending[fr.TxID]
 	if !ok {
-		return // late response after timeout
+		// Never process a response twice: a TID we already answered is a
+		// duplicate (retransmit raced its delayed original); anything
+		// else is a stray — a response after the terminal timeout, or
+		// another discoverer's traffic on this HCA.
+		if d.doneTIDs[fr.TxID] {
+			d.hca.Counters.Inc("smp_dup_responses", 1)
+		} else {
+			d.hca.Counters.Inc("smp_late_responses", 1)
+		}
+		return
 	}
 	delete(d.pending, fr.TxID)
+	d.markDone(fr.TxID)
 	d.sim.Cancel(pr.timer)
 	retPath := append([]byte(nil), pl[smpOffRet:smpOffRet+smpMaxHops]...)
 	pr.cb(fr.Status, pl[smpOffData:], retPath)
+}
+
+// markDone records an answered TID in the bounded duplicate-detection
+// window.
+func (d *Discoverer) markDone(txID uint32) {
+	if d.doneTIDs == nil {
+		d.doneTIDs = make(map[uint32]bool, tidSetCap)
+	}
+	d.doneTIDs[txID] = true
+	d.doneOrder = append(d.doneOrder, txID)
+	if len(d.doneOrder) > tidSetCap {
+		delete(d.doneTIDs, d.doneOrder[0])
+		d.doneOrder = d.doneOrder[1:]
+	}
 }
 
 // send issues one SMP and registers its callback; cb receives status

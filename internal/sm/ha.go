@@ -3,6 +3,7 @@ package sm
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"ibasec/internal/fabric"
 	"ibasec/internal/icrc"
@@ -17,10 +18,13 @@ import (
 // VL 15 as management-class UD packets to DestQP 0, so MAD-loss fault
 // injection applies to them exactly as to traps.
 const (
-	haTypeHeartbeat = 2
-	haTypeStateSync = 3
+	haTypeHeartbeat  = 2
+	haTypeStateSync  = 3
+	haTypeCensusPing = 4
+	haTypeCensusPong = 5
 
 	heartbeatPayloadSize = 11 // type, master node, seq, digest tail
+	censusPayloadSize    = 7  // type, node, round id
 )
 
 // Parse errors for HA MADs — sentinels, like the trap/SMP ones, so
@@ -167,6 +171,37 @@ func parseStateSync(pl []byte) (stateSyncMAD, error) {
 	return m, nil
 }
 
+// censusMAD is a reachability probe: a would-be or sitting master pings
+// every fabric node and counts the pongs that make it back within the
+// census window. Any node's management agent answers — reachability is a
+// property of the node's SMA, not of an SM process running there — so a
+// full census means the fabric is whole and silence means a cut.
+type censusMAD struct {
+	Node uint16 // ping: the origin node; pong: the responder
+	ID   uint32 // round identifier, so stale pongs can't pollute a later census
+}
+
+func encodeCensus(typ byte, cm censusMAD) []byte {
+	pl := make([]byte, censusPayloadSize)
+	pl[0] = typ
+	binary.BigEndian.PutUint16(pl[1:3], cm.Node)
+	binary.BigEndian.PutUint32(pl[3:7], cm.ID)
+	return pl
+}
+
+func parseCensus(pl []byte) (censusMAD, error) {
+	if len(pl) < censusPayloadSize {
+		return censusMAD{}, errHAShort
+	}
+	if pl[0] != haTypeCensusPing && pl[0] != haTypeCensusPong {
+		return censusMAD{}, errHAType
+	}
+	return censusMAD{
+		Node: binary.BigEndian.Uint16(pl[1:3]),
+		ID:   binary.BigEndian.Uint32(pl[3:7]),
+	}, nil
+}
+
 // fnv1a32 is the digest both sides compute over synced state.
 func fnv1a32(parts []syncPartition) uint32 {
 	h := uint32(2166136261)
@@ -200,6 +235,27 @@ type HAConfig struct {
 	// ResweepTimeout bounds each probe of the post-election re-sweep;
 	// zero selects a default of 25µs.
 	ResweepTimeout sim.Time
+	// SplitBrain enables partition-aware mastership. A reachable-node
+	// census gates every election (full reach elects normally, partial
+	// reach elects a contained island master), the sitting master
+	// censuses the fabric periodically to notice a partition on its own
+	// side, and when crossing heartbeats reveal two masters after a heal
+	// the lower-priority one abdicates and the winner runs the merge
+	// protocol. Off (the default), the coordinator behaves exactly as it
+	// did before this knob existed.
+	SplitBrain bool
+	// CensusWait is how long a census round may collect pongs before its
+	// verdict; unanimity ends a round early, so the window only delays
+	// partial verdicts. Zero selects 2× the lease. The wait must cover a
+	// fabric-diameter MAD round trip or healthy distant nodes read as
+	// unreachable and the master contains itself in a whole fabric. A
+	// wait longer than the heartbeat is safe: every election verdict
+	// re-checks the lease, so a master elected meanwhile aborts the
+	// late census's election instead of double-electing.
+	CensusWait sim.Time
+	// CensusPeriod is the sitting master's partition-detection interval;
+	// zero selects the lease.
+	CensusPeriod sim.Time
 }
 
 // TakeoverEvent records one completed failover.
@@ -219,6 +275,41 @@ type TakeoverEvent struct {
 	ProbeMADs int
 }
 
+// MergeEvent records one completed split-brain merge.
+type MergeEvent struct {
+	// ContainedAt is when the losing island elected its contained
+	// master — the dual-master window opens here.
+	ContainedAt sim.Time
+	// HealedAt is when a crossing heartbeat first revealed the rival
+	// master — the earliest post-heal evidence of split-brain.
+	HealedAt sim.Time
+	// AbdicatedAt is when the loser stepped down — the dual-master
+	// window closes here.
+	AbdicatedAt sim.Time
+	// MergedAt is when the winner finished absorbing the island: merge
+	// census done, tables, traps and timers re-imposed fabric-wide, and
+	// epoch reconciliation handed to the key plane.
+	MergedAt sim.Time
+	// Winner and Loser are mesh node indices.
+	Winner, Loser int
+	// ReconcileMADs counts the census MADs the merge re-sweep spent.
+	ReconcileMADs int
+}
+
+// censusRound tracks one in-flight reachability census. Each ensemble
+// entry runs at most one round at a time, but different entries census
+// concurrently — the sitting master's periodic detection sweep must not
+// block a cut-off standby's election probe, or a partition with a busy
+// master side never elects an island master.
+type censusRound struct {
+	id    uint32
+	entry int
+	got   map[int]bool
+	pings int
+	done  func(got map[int]bool, pings int)
+	fired bool
+}
+
 // Coordinator wires a master SM and its standbys into the heartbeat /
 // lease / election protocol. All scheduling rides the deterministic sim
 // clock; heartbeat and state-sync MADs are real management packets, so
@@ -234,19 +325,54 @@ type Coordinator struct {
 	nodes []int            // mesh node per sms entry
 	names []string         // HCA names, for Delivery.Source
 
-	active    int // index into sms of the current master
+	active    int // index into sms of the current fabric-wide master
 	dead      []bool
 	lastHeard []sim.Time
-	hbSeq     uint32
+	// isMaster marks every entry currently asserting mastership. With
+	// SplitBrain off it is exactly {active}; under a partition a second
+	// entry can hold an island.
+	isMaster []bool
+	// contained marks masters running in degraded island mode.
+	contained   []bool
+	containedAt []sim.Time
+	abdicatedAt []sim.Time
+	hbSeqs      []uint32
 
-	stopHB     func()
+	stopHBs    []func()
 	stopLeases []func()
+	stopCensus func()
+
+	censusSeq uint32
+	censuses  map[int]*censusRound // per-entry in-flight rounds
+	// partialStreak counts the sitting master's consecutive partial
+	// censuses; containment needs two in a row so a single congestion-
+	// dropped pong cannot fake a partition.
+	partialStreak int
+	// mergeFrom is the entry being absorbed by an in-flight merge, -1
+	// when no merge is running.
+	mergeFrom int
 
 	// OnTakeover, when non-nil, runs after a standby finishes promotion
 	// (the core layer rebinds the key rotator here).
 	OnTakeover func(newMaster *SubnetManager)
+	// OnContainedTakeover runs after a standby finishes a contained
+	// island promotion (the core layer forks the key authority and
+	// starts an island-scoped rotator here).
+	OnContainedTakeover func(m *SubnetManager)
+	// OnAbdicate runs when an island master steps down (the core layer
+	// stops its island rotator here; the authority fork stays readable
+	// until OnMerge reconciles it).
+	OnAbdicate func(m *SubnetManager)
+	// OnMerge runs after the winner re-imposed fabric-wide state (the
+	// core layer reconciles the two key-epoch lineages here).
+	OnMerge func(winner, loser *SubnetManager)
+	// OnUncontain runs when a sitting master's census sees the full
+	// fabric again without a rival ever having been elected (the core
+	// layer re-installs current epochs to the rejoined side here).
+	OnUncontain func(m *SubnetManager)
 
 	Events   []TakeoverEvent
+	Merges   []MergeEvent
 	Counters *metrics.Counters
 }
 
@@ -283,9 +409,21 @@ func NewCoordinator(s *sim.Simulator, mesh *topology.Mesh, cfg HAConfig, mkey ke
 			}
 		}
 	}
+	if cfg.CensusWait < 0 {
+		return nil, fmt.Errorf("sm: negative census wait %v", cfg.CensusWait)
+	}
 	c.dead = make([]bool, len(c.sms))
 	c.lastHeard = make([]sim.Time, len(c.sms))
+	c.isMaster = make([]bool, len(c.sms))
+	c.contained = make([]bool, len(c.sms))
+	c.containedAt = make([]sim.Time, len(c.sms))
+	c.abdicatedAt = make([]sim.Time, len(c.sms))
+	c.hbSeqs = make([]uint32, len(c.sms))
+	c.censuses = make(map[int]*censusRound)
+	c.stopHBs = make([]func(), len(c.sms))
 	c.stopLeases = make([]func(), len(c.sms))
+	c.isMaster[0] = true
+	c.mergeFrom = -1
 	return c, nil
 }
 
@@ -300,6 +438,19 @@ func (c *Coordinator) ActiveNode() int { return c.nodes[c.active] }
 // successful takeover — or forever, with no standbys left to elect.
 func (c *Coordinator) MasterAlive() bool { return !c.dead[c.active] }
 
+// Masters returns the mesh nodes currently asserting mastership, in
+// ensemble priority order. More than one entry means split-brain; the
+// merge protocol's job is to bring this back to exactly one.
+func (c *Coordinator) Masters() []int {
+	var out []int
+	for i, m := range c.isMaster {
+		if m && !c.dead[i] {
+			out = append(out, c.nodes[i])
+		}
+	}
+	return out
+}
+
 // Start launches the master's heartbeats and every standby's lease
 // checker, seeding each lease at the current sim time.
 func (c *Coordinator) Start() {
@@ -307,24 +458,37 @@ func (c *Coordinator) Start() {
 	for i := range c.lastHeard {
 		c.lastHeard[i] = now
 	}
-	c.startHeartbeats()
+	c.startHeartbeatsFrom(c.active)
 	for i := 1; i < len(c.sms); i++ {
 		i := i
 		c.stopLeases[i] = c.sim.Every(c.cfg.Heartbeat, func() { c.checkLease(i) })
+	}
+	if c.cfg.SplitBrain {
+		period := c.cfg.CensusPeriod
+		if period <= 0 {
+			period = c.cfg.Lease
+		}
+		c.stopCensus = c.sim.Every(period, c.masterCensus)
 	}
 }
 
 // Stop cancels every timer the coordinator owns.
 func (c *Coordinator) Stop() {
-	if c.stopHB != nil {
-		c.stopHB()
-		c.stopHB = nil
+	for i, stop := range c.stopHBs {
+		if stop != nil {
+			stop()
+			c.stopHBs[i] = nil
+		}
 	}
 	for i, stop := range c.stopLeases {
 		if stop != nil {
 			stop()
 			c.stopLeases[i] = nil
 		}
+	}
+	if c.stopCensus != nil {
+		c.stopCensus()
+		c.stopCensus = nil
 	}
 }
 
@@ -338,31 +502,32 @@ func (c *Coordinator) KillMaster() {
 	}
 	c.dead[c.active] = true
 	c.Counters.Inc("master_kills", 1)
-	if c.stopHB != nil {
-		c.stopHB()
-		c.stopHB = nil
+	if c.stopHBs[c.active] != nil {
+		c.stopHBs[c.active]()
+		c.stopHBs[c.active] = nil
 	}
 	c.sms[c.active].Stop()
 }
 
-// startHeartbeats begins the active master's periodic beacon + state
-// sync to every live standby.
-func (c *Coordinator) startHeartbeats() {
-	if c.stopHB != nil {
-		c.stopHB()
+// startHeartbeatsFrom begins entry idx's periodic beacon + state sync.
+// With SplitBrain off only the active master ever beats; under a
+// partition a contained island master beats too, per-entry.
+func (c *Coordinator) startHeartbeatsFrom(idx int) {
+	if c.stopHBs[idx] != nil {
+		c.stopHBs[idx]()
 	}
-	c.stopHB = c.sim.Every(c.cfg.Heartbeat, c.beat)
+	c.stopHBs[idx] = c.sim.Every(c.cfg.Heartbeat, func() { c.beatFrom(idx) })
 }
 
-// beat sends one heartbeat and one state-sync MAD from the master to each
-// live standby.
-func (c *Coordinator) beat() {
-	if c.dead[c.active] {
+// beatFrom sends one heartbeat and one state-sync MAD from master entry
+// idx to each live peer entry.
+func (c *Coordinator) beatFrom(idx int) {
+	if c.dead[idx] || !c.isMaster[idx] {
 		return
 	}
-	c.hbSeq++
-	master := c.sms[c.active]
-	sync := stateSyncMAD{Master: uint16(c.nodes[c.active])}
+	c.hbSeqs[idx]++
+	master := c.sms[idx]
+	sync := stateSyncMAD{Master: uint16(c.nodes[idx])}
 	for _, base := range master.PartitionBases() {
 		p := syncPartition{Base: base}
 		if master.Authority != nil {
@@ -376,23 +541,30 @@ func (c *Coordinator) beat() {
 	digest := fnv1a32(sync.Partitions)
 	sync.DirDigest = digest
 	sync.Policy = master.PolicyBlob
-	hb := encodeHeartbeat(heartbeatMAD{Master: uint16(c.nodes[c.active]), Seq: c.hbSeq, Digest: digest})
+	hb := encodeHeartbeat(heartbeatMAD{Master: uint16(c.nodes[idx]), Seq: c.hbSeqs[idx], Digest: digest})
 	ss := encodeStateSync(sync)
-	for i := 1; i < len(c.sms); i++ {
-		if c.dead[i] || i == c.active {
+	// With SplitBrain on, masters also beat entry 0 — that is how a
+	// healed fabric reveals two masters to each other (an island master's
+	// beat crossing the mended cut reaches the configured master).
+	start := 1
+	if c.cfg.SplitBrain {
+		start = 0
+	}
+	for i := start; i < len(c.sms); i++ {
+		if c.dead[i] || i == idx {
 			continue
 		}
-		c.sendMAD(c.nodes[i], hb)
-		c.sendMAD(c.nodes[i], ss)
+		c.sendMADFrom(c.nodes[idx], c.nodes[i], hb)
+		c.sendMADFrom(c.nodes[idx], c.nodes[i], ss)
 		c.Counters.Inc("heartbeats_sent", 1)
 	}
 }
 
-// sendMAD emits a management-class UD packet from the active master's HCA
-// to the given node, exactly like a violation trap: VL 15, DestQP 0,
-// default P_Key, ICRC-sealed.
-func (c *Coordinator) sendMAD(dst int, payload []byte) {
-	src := c.mesh.HCA(c.nodes[c.active])
+// sendMADFrom emits a management-class UD packet from src's HCA to dst,
+// exactly like a violation trap: VL 15, DestQP 0, default P_Key,
+// ICRC-sealed.
+func (c *Coordinator) sendMADFrom(srcNode, dst int, payload []byte) {
+	src := c.mesh.HCA(srcNode)
 	p := &packet.Packet{
 		LRH:  packet.LRH{SLID: src.LID(), DLID: topology.LIDOf(dst), VL: fabric.VLManagement},
 		BTH:  packet.BTH{OpCode: packet.UDSendOnly, PKey: 0xFFFF, DestQP: 0},
@@ -425,10 +597,25 @@ func (c *Coordinator) Dispatch(node int, d *fabric.Delivery) bool {
 		if err != nil {
 			return false
 		}
-		if i := c.indexOfNode(node); i > 0 && !c.dead[i] {
+		i := c.indexOfNode(node)
+		if i > 0 && !c.dead[i] && !c.isMaster[i] {
 			c.lastHeard[i] = c.sim.Now()
 			c.Counters.Inc("heartbeats_received", 1)
-			_ = hb
+		}
+		if c.cfg.SplitBrain && i >= 0 && !c.dead[i] && c.isMaster[i] {
+			// A master hearing another master's beat is the mutual-
+			// discovery moment after a heal: the crossing beat proves the
+			// cut is mended and both masters are live. The configured
+			// priority (lower ensemble index) wins; the loser abdicates
+			// and the winner absorbs its island.
+			if j := c.indexOfNode(int(hb.Master)); j >= 0 && j != i && !c.dead[j] && c.isMaster[j] {
+				w, l := i, j
+				if l < w {
+					w, l = l, w
+				}
+				c.abdicate(l, w)
+				c.startMerge(w, l)
+			}
 		}
 		return true
 	case haTypeStateSync:
@@ -436,7 +623,7 @@ func (c *Coordinator) Dispatch(node int, d *fabric.Delivery) bool {
 		if err != nil {
 			return false
 		}
-		if i := c.indexOfNode(node); i > 0 && !c.dead[i] {
+		if i := c.indexOfNode(node); i > 0 && !c.dead[i] && !c.isMaster[i] {
 			c.lastHeard[i] = c.sim.Now()
 			snap := make(map[uint16][]int, len(sync.Partitions))
 			for _, p := range sync.Partitions {
@@ -457,14 +644,42 @@ func (c *Coordinator) Dispatch(node int, d *fabric.Delivery) bool {
 			}
 		}
 		return true
+	case haTypeCensusPing:
+		cm, err := parseCensus(d.Pkt.Payload)
+		if err != nil {
+			return false
+		}
+		// Every node's management agent answers a census ping, SM or not:
+		// reachability is what is being measured, so a dead SM's node
+		// still pongs (its SMA outlives the SM process).
+		c.Counters.Inc("census_pongs_sent", 1)
+		c.sendMADFrom(node, int(cm.Node), encodeCensus(haTypeCensusPong, censusMAD{Node: uint16(node), ID: cm.ID}))
+		return true
+	case haTypeCensusPong:
+		cm, err := parseCensus(d.Pkt.Payload)
+		if err != nil {
+			return false
+		}
+		if e := c.indexOfNode(node); e >= 0 {
+			if round := c.censuses[e]; round != nil && cm.ID == round.id {
+				round.got[int(cm.Node)] = true
+				c.Counters.Inc("census_pongs_received", 1)
+				if len(round.got) == c.mesh.NumNodes() {
+					// Unanimous: the verdict cannot change, deliver it now.
+					// Only a genuine cut ever waits out the full window.
+					c.finishCensus(round)
+				}
+			}
+		}
+		return true
 	}
-	// Anything else (traps) belongs to the active master.
+	// Anything else (traps) belongs to a master serving this node.
 	if i := c.indexOfNode(node); i >= 0 {
 		if c.dead[i] {
 			c.Counters.Inc("mads_to_dead_sm", 1)
 			return true // the dead SM consumes nothing, the packet is lost
 		}
-		if i == c.active {
+		if c.isMaster[i] {
 			return c.sms[i].HandleManagement(d)
 		}
 	}
@@ -487,7 +702,16 @@ func (c *Coordinator) indexOfNode(node int) int {
 // have already refreshed the others' leases. Election therefore needs no
 // extra message round and stays deterministic.
 func (c *Coordinator) checkLease(i int) {
-	if c.dead[i] || i == c.active {
+	if c.dead[i] || c.isMaster[i] {
+		return
+	}
+	if c.censuses[i] != nil {
+		// This standby's own election census is still collecting; its
+		// verdict will elect or abort. A census can outlast the one-
+		// heartbeat priority stagger, but the verdict's lease re-check
+		// keeps elections single: whoever wins meanwhile beats
+		// immediately, refreshing junior leases before a late census
+		// verdict could double-elect.
 		return
 	}
 	// Rank counts every live higher-priority standby, including one
@@ -504,7 +728,27 @@ func (c *Coordinator) checkLease(i int) {
 	if c.sim.Now() < deadline {
 		return
 	}
-	c.takeover(i)
+	if !c.cfg.SplitBrain {
+		c.takeover(i)
+		return
+	}
+	// Partition-aware election: census the fabric first. Full reach
+	// means the master is really gone — take over normally. Partial
+	// reach means this standby is on an island: elect a contained master
+	// that serves only what it can see.
+	c.runCensus(i, func(got map[int]bool, _ int) {
+		if c.dead[i] || c.isMaster[i] {
+			return
+		}
+		if c.sim.Now() < c.lastHeard[i]+c.cfg.Lease {
+			return // heartbeats resumed while the census was collecting
+		}
+		if len(got) == c.mesh.NumNodes() {
+			c.takeover(i)
+			return
+		}
+		c.containedTakeover(i, got)
+	})
 }
 
 // takeover promotes standby i: it re-verifies fabric state with a bounded
@@ -514,7 +758,13 @@ func (c *Coordinator) checkLease(i int) {
 func (c *Coordinator) takeover(i int) {
 	detected := c.lastHeard[i] + c.cfg.Lease
 	elected := c.sim.Now()
+	if c.stopHBs[c.active] != nil {
+		c.stopHBs[c.active]()
+		c.stopHBs[c.active] = nil
+	}
+	c.isMaster[c.active] = false
 	c.active = i
+	c.isMaster[i] = true
 	c.Counters.Inc("takeovers", 1)
 	m := c.sms[i]
 
@@ -522,8 +772,8 @@ func (c *Coordinator) takeover(i int) {
 	// beacon from here on. Without this the surviving standbys hear
 	// nothing for the whole re-sweep — longer than their one-heartbeat
 	// election stagger — and cascade into takeovers of their own.
-	c.beat()
-	c.startHeartbeats()
+	c.beatFrom(i)
+	c.startHeartbeatsFrom(i)
 
 	timeout := c.cfg.ResweepTimeout
 	if timeout <= 0 {
@@ -547,4 +797,231 @@ func (c *Coordinator) takeover(i int) {
 			c.OnTakeover(m)
 		}
 	})
+}
+
+// runCensus starts a reachability census from entry's node: one ping to
+// every other fabric node, a midway re-ping of whoever has not answered
+// (VL15 has strict arbitration priority but no preemption, so a MAD can
+// trail a large data packet at every hop — one late pong must not read
+// as a cut), and a verdict. The verdict fires early the moment every
+// node has answered; only a genuine cut waits out the full window, so
+// the window can be generous without slowing the healthy path. done
+// receives the reached set (entry's own node included) and the number of
+// pings spent. Starting a round replaces the entry's previous round, if
+// any: the stale round's pongs no longer match and its verdict is
+// swallowed — it describes reachability as of pings that a merge or a
+// newer round has already superseded.
+func (c *Coordinator) runCensus(entry int, done func(got map[int]bool, pings int)) {
+	c.censusSeq++
+	round := &censusRound{id: c.censusSeq, entry: entry, got: map[int]bool{c.nodes[entry]: true}, done: done}
+	c.censuses[entry] = round
+	c.Counters.Inc("census_rounds", 1)
+	ping := encodeCensus(haTypeCensusPing, censusMAD{Node: uint16(c.nodes[entry]), ID: round.id})
+	for nd := 0; nd < c.mesh.NumNodes(); nd++ {
+		if nd == c.nodes[entry] {
+			continue
+		}
+		c.sendMADFrom(c.nodes[entry], nd, ping)
+		round.pings++
+	}
+	c.Counters.Inc("census_pings", uint64(round.pings))
+	wait := c.cfg.CensusWait
+	if wait <= 0 {
+		wait = 2 * c.cfg.Lease
+	}
+	c.sim.Schedule(wait/2, func() {
+		if c.censuses[entry] != round || round.fired {
+			return
+		}
+		for nd := 0; nd < c.mesh.NumNodes(); nd++ {
+			if nd == c.nodes[entry] || round.got[nd] {
+				continue
+			}
+			c.sendMADFrom(c.nodes[entry], nd, ping)
+			round.pings++
+			c.Counters.Inc("census_repings", 1)
+		}
+	})
+	c.sim.Schedule(wait, func() { c.finishCensus(round) })
+}
+
+// finishCensus delivers a round's verdict exactly once — on unanimity or
+// at the window deadline, whichever comes first. A round that is no
+// longer its entry's current one was replaced mid-flight (a merge census
+// superseding the detection sweep); its verdict is stale evidence and is
+// dropped.
+func (c *Coordinator) finishCensus(round *censusRound) {
+	if round.fired || c.censuses[round.entry] != round {
+		return
+	}
+	round.fired = true
+	delete(c.censuses, round.entry)
+	round.done(round.got, round.pings)
+}
+
+// masterCensus is the sitting master's periodic partition check: two
+// consecutive partial censuses drop it into contained island mode (two,
+// so a single congestion-dropped pong cannot fake a partition), and one
+// full census after containment — the cut healed without the far side
+// ever electing a rival — lifts the containment and re-imposes fabric-
+// wide state. A false full is impossible: pongs carry the round id, so
+// only nodes reachable right now can answer.
+func (c *Coordinator) masterCensus() {
+	i := c.active
+	if c.dead[i] || !c.isMaster[i] || c.censuses[i] != nil || c.mergeFrom >= 0 {
+		return
+	}
+	c.runCensus(i, func(got map[int]bool, _ int) {
+		if c.dead[i] || !c.isMaster[i] || c.mergeFrom >= 0 {
+			return
+		}
+		full := len(got) == c.mesh.NumNodes()
+		if full {
+			c.partialStreak = 0
+		} else {
+			c.partialStreak++
+		}
+		switch {
+		case !full && !c.contained[i] && c.partialStreak >= 2:
+			c.contain(i, got)
+		case full && c.contained[i]:
+			c.uncontain(i)
+		}
+	})
+}
+
+// contain drops sitting master entry i into degraded island mode: every
+// fabric-touching duty — key distribution, table programming, trap
+// re-attachment — is scoped to the nodes its census reached. Policy-
+// plane writes are frozen by the same scoping: unreachable switches are
+// never written, so nothing pretends to cross the cut.
+func (c *Coordinator) contain(i int, got map[int]bool) {
+	c.contained[i] = true
+	c.containedAt[i] = c.sim.Now()
+	c.Counters.Inc("containments", 1)
+	c.sms[i].SetIsland(sortedNodes(got))
+}
+
+// uncontain lifts entry i's containment after a heal with no rival: the
+// island scope clears, tables and traps are re-imposed fabric-wide, and
+// the core layer re-installs current epochs on the rejoined side (which
+// missed every rotation during the partition).
+func (c *Coordinator) uncontain(i int) {
+	c.contained[i] = false
+	c.Counters.Inc("uncontainments", 1)
+	m := c.sms[i]
+	m.SetIsland(nil)
+	m.ProgramSwitchTables()
+	m.AttachTraps()
+	if c.OnUncontain != nil {
+		c.OnUncontain(m)
+	}
+}
+
+// containedTakeover elects standby entry i as the contained master of
+// the island its census reached: it asserts mastership with heartbeats
+// (suppressing junior island standbys), re-sweeps the island with a
+// bounded probe from its own HCA — the cut stops propagation, so
+// discovery is naturally island-bounded — then re-imposes island-scoped
+// tables, traps and timers.
+func (c *Coordinator) containedTakeover(i int, got map[int]bool) {
+	c.isMaster[i] = true
+	c.contained[i] = true
+	c.containedAt[i] = c.sim.Now()
+	c.Counters.Inc("contained_takeovers", 1)
+	m := c.sms[i]
+	m.SetIsland(sortedNodes(got))
+	c.beatFrom(i)
+	c.startHeartbeatsFrom(i)
+
+	timeout := c.cfg.ResweepTimeout
+	if timeout <= 0 {
+		timeout = 25 * sim.Microsecond
+	}
+	disc := NewDiscoverer(c.sim, c.mesh.HCA(c.nodes[i]), c.mkey, timeout)
+	disc.MaxRetries = 1
+	disc.Probe(func(topo *DiscoveredTopology) {
+		if c.dead[i] || !c.isMaster[i] {
+			return // abdicated before the island re-sweep finished
+		}
+		m.ProgramSwitchTables()
+		m.AttachTraps()
+		m.ResumeTimers()
+		if c.OnContainedTakeover != nil {
+			c.OnContainedTakeover(m)
+		}
+	})
+}
+
+// abdicate steps island master entry i down in favour of the winning
+// entry: heartbeats stop, the island scope clears, periodic duties park,
+// and the entry rejoins the standby pool with a fresh lease (the
+// winner's beats keep it fresh thereafter).
+func (c *Coordinator) abdicate(i, winner int) {
+	if c.dead[i] || !c.isMaster[i] {
+		return
+	}
+	c.isMaster[i] = false
+	c.contained[i] = false
+	c.abdicatedAt[i] = c.sim.Now()
+	c.Counters.Inc("abdications", 1)
+	if c.stopHBs[i] != nil {
+		c.stopHBs[i]()
+		c.stopHBs[i] = nil
+	}
+	m := c.sms[i]
+	m.SetIsland(nil)
+	m.Stop()
+	c.lastHeard[i] = c.sim.Now()
+	_ = winner
+	if c.OnAbdicate != nil {
+		c.OnAbdicate(m)
+	}
+}
+
+// startMerge is the winning master's half of the merge protocol: a merge
+// census re-verifies what is reachable now that the cut has mended, then
+// the winner re-imposes fabric-wide state — switch tables (through the
+// policy plane when it is wired), trap routing, periodic duties — and
+// hands the two key-epoch lineages to the core layer for reconciliation.
+func (c *Coordinator) startMerge(i, j int) {
+	if c.mergeFrom >= 0 || c.dead[i] || !c.isMaster[i] {
+		return
+	}
+	c.mergeFrom = j
+	healed := c.sim.Now()
+	c.Counters.Inc("merges", 1)
+	c.runCensus(i, func(got map[int]bool, pings int) {
+		winner, loser := c.sms[i], c.sms[j]
+		c.active = i
+		c.contained[i] = false
+		c.partialStreak = 0 // detection starts fresh on the merged fabric
+		winner.SetIsland(nil)
+		winner.ProgramSwitchTables()
+		winner.AttachTraps()
+		winner.ResumeTimers()
+		c.Merges = append(c.Merges, MergeEvent{
+			ContainedAt:   c.containedAt[j],
+			HealedAt:      healed,
+			AbdicatedAt:   c.abdicatedAt[j],
+			MergedAt:      c.sim.Now(),
+			Winner:        c.nodes[i],
+			Loser:         c.nodes[j],
+			ReconcileMADs: pings + len(got) - 1,
+		})
+		if c.OnMerge != nil {
+			c.OnMerge(winner, loser)
+		}
+		c.mergeFrom = -1
+	})
+}
+
+// sortedNodes flattens a census result into a deterministic island list.
+func sortedNodes(got map[int]bool) []int {
+	out := make([]int, 0, len(got))
+	for n := range got {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
 }

@@ -115,7 +115,7 @@ func (r *Rotator) rotate(pk packet.PKey) error {
 		return err
 	}
 	r.Counters.Inc("epochs_issued", 1)
-	members := m.Members(pk)
+	members := m.IslandMembers(pk)
 	r.sim.Schedule(r.cfg.DistributionDelay, func() {
 		if m.InstallSecret == nil {
 			return

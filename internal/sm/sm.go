@@ -104,9 +104,15 @@ type SubnetManager struct {
 	ProgramTables func()
 
 	partitions map[uint16][]int
-	busyUntil  sim.Time
-	trapSeen   map[trapKey]sim.Time
-	stopTimer  func()
+	// island, when non-nil, scopes every fabric-touching duty to the
+	// listed nodes — a partitioned master's reachable side. Programming,
+	// trap attachment and key distribution skip non-members entirely:
+	// unreachable hardware cannot be written, and pretending otherwise
+	// would teleport state across the cut. Nil means the whole fabric.
+	island    map[int]bool
+	busyUntil sim.Time
+	trapSeen  map[trapKey]sim.Time
+	stopTimer func()
 
 	Counters *metrics.Counters
 	// RegLatency tracks microseconds from trap arrival at the SM to the
@@ -297,9 +303,59 @@ func (m *SubnetManager) AdoptPartitions(snap map[uint16][]int) {
 	}
 }
 
+// SetIsland scopes the SM to the given fabric island (a partitioned
+// master's reachable nodes); nil restores full-fabric scope.
+func (m *SubnetManager) SetIsland(nodes []int) {
+	if nodes == nil {
+		m.island = nil
+		return
+	}
+	m.island = make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		m.island[n] = true
+	}
+}
+
+// Island returns the sorted members of the current island scope, nil
+// when the SM serves the whole fabric.
+func (m *SubnetManager) Island() []int {
+	if m.island == nil {
+		return nil
+	}
+	out := make([]int, 0, len(m.island))
+	for n := range m.island {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InIsland reports whether the SM currently serves the given node.
+func (m *SubnetManager) InIsland(node int) bool {
+	return m.island == nil || m.island[node]
+}
+
+// IslandMembers returns pk's members restricted to the island scope —
+// identical to Members when the SM is unscoped. Key rotation distributes
+// through this so a contained master mints island-local epochs without
+// reaching across the cut.
+func (m *SubnetManager) IslandMembers(pk packet.PKey) []int {
+	if m.island == nil {
+		return m.Members(pk)
+	}
+	var out []int
+	for _, n := range m.partitions[pk.Base()] {
+		if m.island[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // ProgramSwitchTables installs the per-switch valid-P_Key tables the
 // filter needs: for DPT every switch gets the union of all partitions;
 // for IF/SIF each switch gets the partitions of its attached node.
+// Under an island scope only member switches are written.
 func (m *SubnetManager) ProgramSwitchTables() {
 	if m.ProgramTables != nil {
 		m.ProgramTables()
@@ -318,11 +374,17 @@ func (m *SubnetManager) ProgramSwitchTables() {
 				panic(err)
 			}
 		}
-		for _, sw := range m.mesh.Switches {
+		for i, sw := range m.mesh.Switches {
+			if !m.InIsland(i) {
+				continue
+			}
 			m.filter.SetSwitchTable(sw, global, memberships)
 		}
 	case enforce.IF, enforce.SIF:
 		for i := range m.mesh.HCAs {
+			if !m.InIsland(i) {
+				continue
+			}
 			tbl := keys.NewPartitionTable(0)
 			for base, members := range m.partitions {
 				for _, n := range members {
@@ -341,9 +403,14 @@ func (m *SubnetManager) ProgramSwitchTables() {
 }
 
 // AttachTraps hooks every HCA's P_Key-violation callback to send a trap
-// MAD to the SM over the fabric's management VL.
+// MAD to the SM over the fabric's management VL. Under an island scope
+// only member HCAs are re-routed — the other side keeps whatever trap
+// destination its own master last imposed.
 func (m *SubnetManager) AttachTraps() {
 	for i, hca := range m.mesh.HCAs {
+		if !m.InIsland(i) {
+			continue
+		}
 		i, hca := i, hca
 		hca.OnPKeyViolation = func(d *fabric.Delivery) {
 			m.sendTrap(i, hca, d)

@@ -592,7 +592,7 @@ func (e *Endpoint) verifyPartitionAuth(a mac.Authenticator, q *QP, p *packet.Pac
 			return true
 		}
 	}
-	if ret, okRet := e.Store.RetiredPartitionKey(p.BTH.PKey); okRet {
+	for _, ret := range e.Store.RetiredPartitionKeys(p.BTH.PKey) {
 		if valid, _ = mac.Verify(a, ret.Key[:], region, nonce, p.ICRC); valid {
 			e.Counters.Inc("auth_epoch_expired", 1)
 			return false

@@ -61,12 +61,21 @@ echo "== ibsim drift -quick (policy-plane drift audit smoke under the race detec
 go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/drift" drift -periods-us 0,200,50 >"$tmp/drift.out"
 diff testdata/golden/drift_quick.csv "$tmp/drift/drift.csv"
 
+echo "== ibsim splitbrain -quick (subnet-bisection smoke under the race detector)"
+# Mesh bisection, dual-master containment, deterministic merge and
+# key-epoch reconciliation on a race-instrumented binary, byte-for-byte
+# against the committed golden CSV (the same sweep TestGoldenSplitBrain
+# pins both serially and in parallel).
+go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/splitbrain" splitbrain -partitions-us 80,160,320 -heartbeats-us 10,20 -rekeys-us 0,60 >"$tmp/splitbrain.out"
+diff testdata/golden/splitbrain_quick.csv "$tmp/splitbrain/splitbrain.csv"
+
 echo "== ibsim -list (experiment registry smoke)"
 # Every sweep subcommand ci.sh exercises must be advertised by -list.
 go run ./cmd/ibsim -list | grep -qx apm
 go run ./cmd/ibsim -list | grep -qx faults
 go run ./cmd/ibsim -list | grep -qx failover
 go run ./cmd/ibsim -list | grep -qx drift
+go run ./cmd/ibsim -list | grep -qx splitbrain
 
 echo "== fuzz smoke (wire parsers, 5s each)"
 go test -run '^$' -fuzz '^FuzzPacketUnmarshal$' -fuzztime 5s ./internal/packet
