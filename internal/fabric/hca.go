@@ -18,7 +18,7 @@ import (
 type HCA struct {
 	name   string
 	lid    packet.LID
-	sim    *sim.Simulator
+	sim    sim.Scheduler
 	params *Params
 	port   *Port
 
@@ -54,7 +54,7 @@ type HCA struct {
 }
 
 // NewHCA creates an HCA with the given LID.
-func NewHCA(s *sim.Simulator, params *Params, name string, lid packet.LID) *HCA {
+func NewHCA(s sim.Scheduler, params *Params, name string, lid packet.LID) *HCA {
 	h := &HCA{
 		name:      name,
 		lid:       lid,
@@ -84,7 +84,7 @@ func (h *HCA) SetGUID(g uint64) { h.guid = g }
 func (h *HCA) GUID() uint64 { return h.guid }
 
 // Sim returns the simulator driving this HCA.
-func (h *HCA) Sim() *sim.Simulator { return h.sim }
+func (h *HCA) Sim() sim.Scheduler { return h.sim }
 
 // Params returns the fabric parameters.
 func (h *HCA) Params() *Params { return h.params }

@@ -37,7 +37,7 @@ type MADTap func(sw *Switch, d *Delivery) (drop bool, delay sim.Time)
 // HCA, ports 1-4 to neighbours (Table 1).
 type Switch struct {
 	name    string
-	sim     *sim.Simulator
+	sim     sim.Scheduler
 	params  *Params
 	ports   []*Port
 	ingress map[int]bool // ports directly connected to end nodes
@@ -52,7 +52,7 @@ type Switch struct {
 }
 
 // NewSwitch creates a switch with nports ports.
-func NewSwitch(s *sim.Simulator, params *Params, name string, nports int) *Switch {
+func NewSwitch(s sim.Scheduler, params *Params, name string, nports int) *Switch {
 	sw := &Switch{
 		name:     name,
 		sim:      s,
@@ -201,7 +201,7 @@ func (sw *Switch) SendRaw(port int, d *Delivery) {
 }
 
 // Sim returns the simulator driving this switch.
-func (sw *Switch) Sim() *sim.Simulator { return sw.sim }
+func (sw *Switch) Sim() sim.Scheduler { return sw.sim }
 
 // PortConnected reports whether the port has been wired to a link.
 func (sw *Switch) PortConnected(port int) bool { return sw.ports[port].Connected() }

@@ -1,75 +1,49 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
+import "fmt"
+
+// Scheduler is the event-scheduling surface the fabric model is built
+// against: everything a device, protocol timer or traffic source needs
+// to schedule, cancel and read the clock. Both the serial Simulator and
+// each Shard of the parallel engine implement it, so model code is
+// engine-agnostic.
+type Scheduler interface {
+	// Now returns the current simulation time as seen by this scheduler.
+	Now() Time
+	// Schedule queues fn to run after delay (>= 0).
+	Schedule(delay Time, fn func()) Event
+	// ScheduleAt queues fn at absolute time at (>= Now).
+	ScheduleAt(at Time, fn func()) Event
+	// Cancel removes a pending event, reporting whether it did.
+	Cancel(e Event) bool
+	// Every runs fn each period until the returned cancel is called.
+	Every(period Time, fn func()) (cancel func())
+}
+
+// Engine is a complete simulation driver: a Scheduler that can also run
+// the event loop to a deadline. The serial Simulator and the Sharded
+// parallel engine both implement it; the cluster layer holds an Engine
+// so the two are interchangeable behind the -shards knob.
+type Engine interface {
+	Scheduler
+	// Run fires events until none remain or Stop is called.
+	Run()
+	// RunUntil fires events with timestamps <= deadline, then advances
+	// the clock to the deadline.
+	RunUntil(deadline Time)
+	// Stop makes the innermost Run or RunUntil return early.
+	Stop()
+	// Fired returns the number of events executed so far.
+	Fired() uint64
+	// Pending returns the number of events still queued.
+	Pending() int
+}
+
+var (
+	_ Engine    = (*Simulator)(nil)
+	_ Engine    = (*Sharded)(nil)
+	_ Scheduler = (*Shard)(nil)
 )
-
-// slabBlock is the number of event slots carved out per allocation when
-// the free list runs dry. One block comfortably covers a switch radix's
-// worth of in-flight arrivals, so even short-lived simulators make a
-// handful of allocations instead of one per scheduled event.
-const slabBlock = 64
-
-// eventSlot is the pooled storage behind an Event handle. Slots cycle
-// queue -> fired/cancelled -> free list -> queue; gen increments every
-// time a slot leaves the queue, so a stale handle held across that
-// transition can never touch the slot's next occupant.
-type eventSlot struct {
-	at    Time
-	seq   uint64
-	gen   uint64
-	fn    func()
-	index int32 // heap index, -1 once removed
-}
-
-// Event is a handle to a scheduled callback, returned by Schedule. It is
-// a small value, cheap to copy and store; the zero Event is valid and
-// refers to nothing. A handle stays usable after its event fires or is
-// cancelled — Pending just reports false — because the underlying slot
-// is generation-checked before any access.
-type Event struct {
-	slot *eventSlot
-	gen  uint64
-	at   Time
-}
-
-// At returns the simulation time at which the event fires (or fired, or
-// would have fired if cancelled). Zero for the zero Event.
-func (e Event) At() Time { return e.at }
-
-// Pending reports whether the event is still queued: it has neither
-// fired nor been cancelled. Safe on the zero Event.
-func (e Event) Pending() bool { return e.slot != nil && e.slot.gen == e.gen }
-
-type eventHeap []*eventSlot
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = int32(i)
-	h[j].index = int32(j)
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*eventSlot)
-	e.index = int32(len(*h))
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
 
 // Simulator is a single-threaded discrete-event scheduler. The zero value
 // is ready to use. Simulator is not safe for concurrent use; the fabric
@@ -77,9 +51,7 @@ func (h *eventHeap) Pop() any {
 type Simulator struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
-	free    []*eventSlot
-	block   []eventSlot // tail of the current slab block, carved lazily
+	q       eventQueue
 	fired   uint64
 	stopped bool
 }
@@ -94,31 +66,7 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events still queued.
-func (s *Simulator) Pending() int { return len(s.queue) }
-
-func (s *Simulator) alloc() *eventSlot {
-	if n := len(s.free); n > 0 {
-		sl := s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		return sl
-	}
-	if len(s.block) == 0 {
-		s.block = make([]eventSlot, slabBlock)
-	}
-	sl := &s.block[0]
-	s.block = s.block[1:]
-	return sl
-}
-
-// release returns a slot to the free list after bumping its generation,
-// which atomically (from the single-threaded caller's point of view)
-// invalidates every outstanding handle to it.
-func (s *Simulator) release(sl *eventSlot) {
-	sl.gen++
-	sl.fn = nil
-	s.free = append(s.free, sl)
-}
+func (s *Simulator) Pending() int { return s.q.len() }
 
 // Schedule queues fn to run after delay. A negative delay panics: the past
 // is immutable in a discrete-event simulation. Events scheduled for the
@@ -139,54 +87,32 @@ func (s *Simulator) ScheduleAt(at Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	sl := s.alloc()
-	sl.at = at
-	sl.seq = s.seq
-	sl.fn = fn
+	ev := s.q.push(at, s.seq, fn)
 	s.seq++
-	heap.Push(&s.queue, sl)
-	return Event{slot: sl, gen: sl.gen, at: at}
+	return ev
 }
 
 // Cancel removes a pending event so it never fires, reporting whether it
-// did. Cancelling an event that already fired, was already cancelled, or
-// a zero Event is a no-op returning false.
-func (s *Simulator) Cancel(e Event) bool {
-	sl := e.slot
-	if sl == nil || sl.gen != e.gen || sl.index < 0 {
-		return false
-	}
-	heap.Remove(&s.queue, int(sl.index))
-	s.release(sl)
-	return true
-}
-
-// shrinkQueue gives back the heap slice's slack after a burst drains, so
-// a simulator that once held tens of thousands of in-flight events does
-// not pin that memory for the rest of a long run.
-func (s *Simulator) shrinkQueue() {
-	if cap(s.queue) >= 1024 && len(s.queue)*4 <= cap(s.queue) {
-		q := make(eventHeap, len(s.queue), len(s.queue)*2)
-		copy(q, s.queue)
-		s.queue = q
-	}
-}
+// did. Cancelling an event that already fired, was already cancelled, a
+// zero Event, or an event belonging to another scheduler is a no-op
+// returning false.
+func (s *Simulator) Cancel(e Event) bool { return s.q.cancel(e) }
 
 // Step fires the next event, advancing the clock to it. It returns false
 // if no events remain.
 func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 {
+	if s.q.len() == 0 {
 		return false
 	}
-	sl := heap.Pop(&s.queue).(*eventSlot)
+	sl := s.q.pop()
 	s.now = sl.at
 	s.fired++
 	fn := sl.fn
 	// Release before running fn: the handle is already invalidated, so a
 	// callback cancelling its own event is a safe no-op, and the slot is
 	// immediately reusable by anything fn schedules.
-	s.release(sl)
-	s.shrinkQueue()
+	s.q.release(sl)
+	s.q.shrink()
 	fn()
 	return true
 }
@@ -202,7 +128,11 @@ func (s *Simulator) Run() {
 // clock to the deadline. Events scheduled beyond the deadline stay queued.
 func (s *Simulator) RunUntil(deadline Time) {
 	s.stopped = false
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for !s.stopped {
+		h := s.q.head()
+		if h == nil || h.at > deadline {
+			break
+		}
 		s.Step()
 	}
 	if !s.stopped && s.now < deadline {
@@ -216,6 +146,12 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Every schedules fn to run now+period, then every period thereafter,
 // until the returned cancel function is called. fn may itself call cancel.
 func (s *Simulator) Every(period Time, fn func()) (cancel func()) {
+	return every(s, period, fn)
+}
+
+// every is the periodic-tick helper behind Simulator.Every and
+// Shard.Every.
+func every(s Scheduler, period Time, fn func()) (cancel func()) {
 	if period <= 0 {
 		panic("sim: non-positive period")
 	}

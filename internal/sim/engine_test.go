@@ -220,8 +220,8 @@ func TestQueueShrinksAfterBurst(t *testing.T) {
 	for i := 0; i < 20000; i++ {
 		s.Schedule(Time(i), fn)
 	}
-	if cap(s.queue) < 20000 {
-		t.Fatalf("burst did not grow the queue: cap %d", cap(s.queue))
+	if cap(s.q.heap) < 20000 {
+		t.Fatalf("burst did not grow the queue: cap %d", cap(s.q.heap))
 	}
 	s.Run()
 	// Trickle a small steady load through; the shrink check runs in Step.
@@ -229,8 +229,8 @@ func TestQueueShrinksAfterBurst(t *testing.T) {
 		s.Schedule(Time(i), fn)
 	}
 	s.Run()
-	if cap(s.queue) >= 1024 {
-		t.Fatalf("queue cap %d after burst drained, want < 1024", cap(s.queue))
+	if cap(s.q.heap) >= 1024 {
+		t.Fatalf("queue cap %d after burst drained, want < 1024", cap(s.q.heap))
 	}
 }
 

@@ -1,0 +1,588 @@
+// Conservative parallel discrete-event engine.
+//
+// A Sharded engine partitions the model into shards — link-connected
+// regions of the fabric, each owning its own event queue and state — and
+// advances them in lookahead-bounded safe windows. The lookahead is the
+// minimum latency of any interaction that crosses a shard boundary (for
+// the fabric: the minimum cut-link propagation delay), so within a
+// window [T, T+lookahead) no shard can affect another and every shard's
+// events may execute independently. Cross-shard interactions travel
+// through per-shard mailboxes (Post) and are only admitted at or beyond
+// the window end, which is what makes the window safe; the mailboxes
+// are drained at each window barrier in a deterministic order.
+//
+// Two commit modes share all of that machinery:
+//
+//   - Ordered runs the merged stream on one goroutine in exactly the
+//     serial Simulator's total order (time, then a global schedule
+//     sequence assigned at Schedule time). It is provably
+//     event-for-event identical to the serial engine for any model, so
+//     full-cluster runs — whose measurement and control planes still
+//     share state across shards — can use the sharded data structures
+//     today and be gated by byte-identical goldens. The window and
+//     mailbox bookkeeping still runs and is invariant-checked, and
+//     ShardStats.UnsafeSchedules counts every scheduling that would
+//     have been a conservative-discipline violation under concurrency.
+//
+//   - Concurrent executes each window on a worker pool, one goroutine
+//     per active shard. It is sound only for models whose mutable state
+//     is shard-local and whose cross-shard effects all travel through
+//     Post; determinism then follows from per-shard sequence numbers
+//     and the sorted mailbox drain, independent of GOMAXPROCS.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects how a Sharded engine commits events.
+type Mode int
+
+const (
+	// Ordered merges all shards on one goroutine in the serial engine's
+	// exact total order. Safe for any model.
+	Ordered Mode = iota
+	// Concurrent runs each window's active shards in parallel. Safe only
+	// for shard-disjoint models (see the package comment above).
+	Concurrent
+)
+
+func (m Mode) String() string {
+	if m == Concurrent {
+		return "concurrent"
+	}
+	return "ordered"
+}
+
+// ShardStats reports what the conservative machinery did during a run.
+// Read it between runs; it is not synchronized against a live window.
+type ShardStats struct {
+	// Windows is the number of safe-window barriers crossed.
+	Windows uint64
+	// CrossPosts is the number of mailbox events delivered between
+	// shards.
+	CrossPosts uint64
+	// UnsafeSchedules counts events scheduled directly onto a foreign
+	// shard from inside another shard's executing event (Ordered mode
+	// only). Each one is a synchronous cross-shard interaction that did
+	// not travel through Post — under Concurrent execution it would be a
+	// data race on the target shard's queue regardless of its timestamp.
+	// The census of how far a model is from being runnable in Concurrent
+	// mode.
+	UnsafeSchedules uint64
+}
+
+// xpost is one mailbox entry: a cross-shard event awaiting admission at
+// the next window barrier. src/seq order entries deterministically when
+// several arrive for the same instant.
+type xpost struct {
+	at  Time
+	src int
+	seq uint64
+	fn  func()
+}
+
+// Shard is one region's scheduler. It implements Scheduler, so model
+// code built against that interface runs unmodified on a shard. All
+// methods must be called from the shard's own executing events (or from
+// outside any run); Post is the only sanctioned way to reach another
+// shard.
+type Shard struct {
+	eng *Sharded
+	id  int
+	q   eventQueue
+
+	now     Time
+	seq     uint64 // Concurrent-mode schedule order, shard-local
+	postSeq uint64 // orders this shard's outgoing posts
+	fired   uint64
+
+	mu    sync.Mutex
+	inbox []xpost
+
+	// executing is set while a worker drains this shard's window; it
+	// backs the best-effort misuse check in ScheduleAt.
+	executing atomic.Bool
+}
+
+// ID returns the shard's index within its engine.
+func (sh *Shard) ID() int { return sh.id }
+
+// Engine returns the Sharded engine this shard belongs to.
+func (sh *Shard) Engine() *Sharded { return sh.eng }
+
+// Now returns the shard's clock: the engine's global clock in Ordered
+// mode, the shard-local clock in Concurrent mode.
+func (sh *Shard) Now() Time {
+	if sh.eng.mode == Ordered {
+		return sh.eng.now
+	}
+	return sh.now
+}
+
+// Schedule queues fn on this shard after delay.
+func (sh *Shard) Schedule(delay Time, fn func()) Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return sh.ScheduleAt(sh.Now()+delay, fn)
+}
+
+// ScheduleAt queues fn on this shard at absolute time at. In Concurrent
+// mode it must only be called by this shard's own events: scheduling
+// onto an idle foreign shard mid-run panics (scheduling onto an
+// executing foreign shard is a data race this check cannot see; Post is
+// the only safe cross-shard channel).
+func (sh *Shard) ScheduleAt(at Time, fn func()) Event {
+	e := sh.eng
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if at < sh.Now() {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, sh.Now()))
+	}
+	var seq uint64
+	if e.mode == Ordered {
+		seq = e.seq
+		e.seq++
+		if e.running && e.cur != nil && e.cur != sh {
+			e.stats.UnsafeSchedules++
+		}
+	} else {
+		if e.running && !sh.executing.Load() {
+			panic(fmt.Sprintf("sim: schedule onto idle shard %d during a concurrent window", sh.id))
+		}
+		seq = sh.seq
+		sh.seq++
+	}
+	return sh.q.push(at, seq, fn)
+}
+
+// Cancel removes a pending event scheduled on this shard (or, in Ordered
+// mode, any shard of the engine — the merge loop is single-threaded, so
+// delegating to the owning queue is safe). Cancelling a foreign shard's
+// event during a Concurrent run panics.
+func (sh *Shard) Cancel(ev Event) bool {
+	sl := ev.slot
+	if sl == nil || sl.gen != ev.gen || sl.index < 0 {
+		return false
+	}
+	if sl.owner == &sh.q {
+		return sh.q.cancel(ev)
+	}
+	e := sh.eng
+	for _, o := range e.shards {
+		if sl.owner != &o.q {
+			continue
+		}
+		if e.mode == Concurrent && e.running {
+			panic("sim: cross-shard Cancel during a concurrent run")
+		}
+		return o.q.cancel(ev)
+	}
+	// Not an event of this engine at all.
+	return false
+}
+
+// Every runs fn each period on this shard until cancelled.
+func (sh *Shard) Every(period Time, fn func()) (cancel func()) {
+	return every(sh, period, fn)
+}
+
+// Post schedules fn on dst at absolute time at — the only sanctioned
+// cross-shard interaction. During a run, at must not precede the current
+// window's end: the conservative contract that admitted windows cannot
+// be affected retroactively. Violating it panics. Posts are buffered in
+// dst's mailbox and admitted at the next barrier, ordered by
+// (at, posting shard, posting sequence), so drain order is deterministic
+// regardless of worker interleaving. Posting to sh itself degenerates to
+// ScheduleAt.
+func (sh *Shard) Post(dst *Shard, at Time, fn func()) {
+	e := sh.eng
+	if dst == nil || dst.eng != e {
+		panic("sim: Post to a shard of a different engine")
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if at < sh.Now() {
+		panic(fmt.Sprintf("sim: cross-shard post at %v before now %v", at, sh.Now()))
+	}
+	if e.running && at < e.windowEnd {
+		panic(fmt.Sprintf("sim: cross-shard post at %v inside the window ending at %v (lookahead %v)",
+			at, e.windowEnd, e.lookahead))
+	}
+	if dst == sh {
+		sh.ScheduleAt(at, fn)
+		return
+	}
+	p := xpost{at: at, src: sh.id, seq: sh.postSeq, fn: fn}
+	sh.postSeq++
+	dst.mu.Lock()
+	dst.inbox = append(dst.inbox, p)
+	dst.mu.Unlock()
+}
+
+// runWindow drains this shard's events with timestamps < wend. Called by
+// a worker (or inline) in Concurrent mode only.
+func (sh *Shard) runWindow(wend Time) {
+	sh.executing.Store(true)
+	e := sh.eng
+	for !e.stopped.Load() {
+		h := sh.q.head()
+		if h == nil || h.at >= wend {
+			break
+		}
+		sl := sh.q.pop()
+		sh.now = sl.at
+		sh.fired++
+		fn := sl.fn
+		sh.q.release(sl)
+		sh.q.shrink()
+		fn()
+	}
+	sh.executing.Store(false)
+}
+
+// Sharded is the conservative parallel engine. Construct with
+// NewSharded, hand each model region its Shard, and drive it through
+// the Engine interface. Engine-level Scheduler calls (Schedule, Every,
+// ...) land on shard 0, the natural home for control-plane work that is
+// not tied to a region.
+type Sharded struct {
+	mode      Mode
+	lookahead Time
+	shards    []*Shard
+
+	now       Time
+	windowEnd Time
+	seq       uint64 // Ordered-mode global schedule order
+	running   bool
+	cur       *Shard // Ordered mode: the shard whose event is executing
+	stopped   atomic.Bool
+	stats     ShardStats
+}
+
+// NewSharded returns an engine with the given shard count and lookahead.
+// lookahead is the minimum cross-shard interaction latency; it must be
+// positive when there is more than one shard. With a single shard any
+// value (including zero: unbounded windows) is accepted, and the engine
+// degenerates to serial execution.
+func NewSharded(shards int, lookahead Time, mode Mode) *Sharded {
+	if shards <= 0 {
+		panic(fmt.Sprintf("sim: %d shards", shards))
+	}
+	if shards > 1 && lookahead <= 0 {
+		panic("sim: a multi-shard engine requires positive lookahead")
+	}
+	e := &Sharded{mode: mode, lookahead: lookahead}
+	for i := 0; i < shards; i++ {
+		e.shards = append(e.shards, &Shard{eng: e, id: i})
+	}
+	return e
+}
+
+// NumShards returns the shard count.
+func (e *Sharded) NumShards() int { return len(e.shards) }
+
+// Shard returns shard i.
+func (e *Sharded) Shard(i int) *Shard { return e.shards[i] }
+
+// Mode returns the engine's commit mode.
+func (e *Sharded) Mode() Mode { return e.mode }
+
+// Lookahead returns the engine's lookahead.
+func (e *Sharded) Lookahead() Time { return e.lookahead }
+
+// Stats returns the conservative machinery's counters. Read between
+// runs.
+func (e *Sharded) Stats() ShardStats { return e.stats }
+
+// Now returns the engine clock: in Ordered mode the time of the last
+// committed event, in Concurrent mode the start of the current (or last)
+// window — a lower bound on every shard clock.
+func (e *Sharded) Now() Time { return e.now }
+
+// Fired returns the number of events executed, summed over shards. Read
+// between runs.
+func (e *Sharded) Fired() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.fired
+	}
+	return n
+}
+
+// Pending returns queued events across all shards and mailboxes.
+func (e *Sharded) Pending() int {
+	n := 0
+	for _, sh := range e.shards {
+		n += sh.q.len()
+		sh.mu.Lock()
+		n += len(sh.inbox)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Schedule queues fn on shard 0 after delay.
+func (e *Sharded) Schedule(delay Time, fn func()) Event {
+	return e.shards[0].Schedule(delay, fn)
+}
+
+// ScheduleAt queues fn on shard 0 at absolute time at.
+func (e *Sharded) ScheduleAt(at Time, fn func()) Event {
+	return e.shards[0].ScheduleAt(at, fn)
+}
+
+// Cancel removes a pending event via shard 0 (which, in Ordered mode,
+// reaches events on any shard).
+func (e *Sharded) Cancel(ev Event) bool { return e.shards[0].Cancel(ev) }
+
+// Every runs fn each period on shard 0 until cancelled.
+func (e *Sharded) Every(period Time, fn func()) (cancel func()) {
+	return e.shards[0].Every(period, fn)
+}
+
+// Stop makes the innermost Run or RunUntil return early: after the
+// current event in Ordered mode, after the current per-shard event in
+// Concurrent mode (the window still barriers before returning).
+func (e *Sharded) Stop() { e.stopped.Store(true) }
+
+// Run fires events until none remain or Stop is called.
+func (e *Sharded) Run() { e.run(Time(math.MaxInt64), false) }
+
+// RunUntil fires events with timestamps <= deadline, then advances every
+// clock to the deadline. Events beyond the deadline stay queued.
+func (e *Sharded) RunUntil(deadline Time) { e.run(deadline, true) }
+
+func (e *Sharded) run(deadline Time, advance bool) {
+	e.stopped.Store(false)
+	e.running = true
+	defer func() { e.running = false }()
+
+	var pool *windowPool
+	if e.mode == Concurrent && len(e.shards) > 1 {
+		pool = newWindowPool(e)
+		defer pool.close()
+	}
+
+	for !e.stopped.Load() {
+		e.drainInboxes()
+		t, ok := e.minTime()
+		if !ok || t > deadline {
+			break
+		}
+		// The safe window [t, wend): nothing another shard does in it can
+		// reach this shard before wend, because every cross-shard
+		// interaction carries at least the lookahead of latency. wend is
+		// clamped to deadline+1 so an event at exactly the deadline still
+		// fires, matching the serial engine.
+		wend := Time(math.MaxInt64)
+		if e.lookahead > 0 && t <= wend-e.lookahead {
+			wend = t + e.lookahead
+		}
+		if deadline < Time(math.MaxInt64) && wend > deadline+1 {
+			wend = deadline + 1
+		}
+		e.windowEnd = wend
+		e.now = t
+		e.stats.Windows++
+		if e.mode == Ordered {
+			e.runWindowOrdered(wend)
+		} else {
+			e.runWindowConcurrent(pool, wend)
+		}
+	}
+	e.drainInboxes()
+	if advance && !e.stopped.Load() && e.now < deadline {
+		e.now = deadline
+	}
+	for _, sh := range e.shards {
+		if sh.now < e.now {
+			sh.now = e.now
+		}
+	}
+}
+
+// minTime returns the earliest pending event time across shards.
+// Mailboxes are already drained when it is called.
+func (e *Sharded) minTime() (Time, bool) {
+	var min Time
+	ok := false
+	for _, sh := range e.shards {
+		if h := sh.q.head(); h != nil && (!ok || h.at < min) {
+			min, ok = h.at, true
+		}
+	}
+	return min, ok
+}
+
+// runWindowOrdered commits every event below wend in global (time, seq)
+// order — the serial Simulator's exact total order, because seq is the
+// global counter assigned at Schedule time. Events scheduled during the
+// window below wend are committed within it too, exactly as the serial
+// engine would.
+func (e *Sharded) runWindowOrdered(wend Time) {
+	for !e.stopped.Load() {
+		var best *Shard
+		for _, sh := range e.shards {
+			h := sh.q.head()
+			if h == nil || h.at >= wend {
+				continue
+			}
+			if best == nil {
+				best = sh
+				continue
+			}
+			bh := best.q.head()
+			if h.at < bh.at || (h.at == bh.at && h.seq < bh.seq) {
+				best = sh
+			}
+		}
+		if best == nil {
+			break
+		}
+		sl := best.q.pop()
+		e.now = sl.at
+		best.now = sl.at
+		best.fired++
+		e.cur = best
+		fn := sl.fn
+		best.q.release(sl)
+		best.q.shrink()
+		fn()
+	}
+	e.cur = nil
+}
+
+// runWindowConcurrent dispatches every shard with work below wend to the
+// worker pool and barriers on their completion. A single active shard
+// runs inline, sparing the handoff.
+func (e *Sharded) runWindowConcurrent(pool *windowPool, wend Time) {
+	var only *Shard
+	n := 0
+	for _, sh := range e.shards {
+		if h := sh.q.head(); h != nil && h.at < wend {
+			only = sh
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if n == 1 || pool == nil {
+		only.runWindow(wend)
+		return
+	}
+	pool.wg.Add(n)
+	for _, sh := range e.shards {
+		if h := sh.q.head(); h != nil && h.at < wend {
+			pool.jobs <- shardJob{sh: sh, wend: wend}
+		}
+	}
+	pool.wg.Wait()
+	// A panic inside a worker's window is re-raised here so it unwinds
+	// the caller exactly as a serial engine's callback panic would.
+	if p := pool.panicked.Load(); p != nil {
+		panic(*p)
+	}
+}
+
+// drainInboxes admits every buffered cross-shard post into its
+// destination queue. Entries are sorted by (at, posting shard, posting
+// sequence) and assigned commit sequence numbers in that order, so the
+// admitted order is a pure function of the model, not of worker timing.
+func (e *Sharded) drainInboxes() {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		posts := sh.inbox
+		sh.inbox = sh.inbox[:0]
+		sh.mu.Unlock()
+		if len(posts) == 0 {
+			continue
+		}
+		sort.Slice(posts, func(i, j int) bool {
+			if posts[i].at != posts[j].at {
+				return posts[i].at < posts[j].at
+			}
+			if posts[i].src != posts[j].src {
+				return posts[i].src < posts[j].src
+			}
+			return posts[i].seq < posts[j].seq
+		})
+		for i := range posts {
+			var seq uint64
+			if e.mode == Ordered {
+				seq = e.seq
+				e.seq++
+			} else {
+				seq = sh.seq
+				sh.seq++
+			}
+			sh.q.push(posts[i].at, seq, posts[i].fn)
+			posts[i].fn = nil
+		}
+		e.stats.CrossPosts += uint64(len(posts))
+	}
+}
+
+// shardJob is one window's work order for a shard.
+type shardJob struct {
+	sh   *Shard
+	wend Time
+}
+
+// windowPool is the per-run worker pool for Concurrent mode. Workers
+// live for one Run/RunUntil call; the channel handoff provides the
+// happens-before edge that publishes each shard's state to whichever
+// worker picks it up next window.
+type windowPool struct {
+	jobs     chan shardJob
+	wg       sync.WaitGroup // per-window barrier
+	done     sync.WaitGroup // worker exit
+	panicked atomic.Pointer[any]
+}
+
+func newWindowPool(e *Sharded) *windowPool {
+	p := &windowPool{jobs: make(chan shardJob, len(e.shards))}
+	n := runtime.GOMAXPROCS(0)
+	if n > len(e.shards) {
+		n = len(e.shards)
+	}
+	p.done.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.done.Done()
+			for j := range p.jobs {
+				p.runOne(j)
+			}
+		}()
+	}
+	return p
+}
+
+// runOne executes one shard's window, converting a callback panic into a
+// stored value for the coordinator (and stopping the engine so the other
+// shards wind down at their next event boundary).
+func (p *windowPool) runOne(j shardJob) {
+	defer p.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked.CompareAndSwap(nil, &r)
+			j.sh.eng.Stop()
+			j.sh.executing.Store(false)
+		}
+	}()
+	j.sh.runWindow(j.wend)
+}
+
+func (p *windowPool) close() {
+	close(p.jobs)
+	p.done.Wait()
+}

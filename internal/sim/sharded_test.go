@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"hash/fnv"
+	"runtime"
+	"testing"
+)
+
+// traceRec is one committed event in a test model's execution record.
+type traceRec struct {
+	tag int
+	at  Time
+}
+
+// buildLocalChains schedules the same purely region-local workload onto
+// n region schedulers: interleaved chains with deliberate same-time
+// collisions across regions, so the global commit order exercises the
+// (time, seq) tie-break. record is called from inside each event.
+func buildLocalChains(scheds []Scheduler, depth int, record func(region int, at Time)) {
+	for r, s := range scheds {
+		r, s := r, s
+		var chain func(step int)
+		chain = func(step int) {
+			record(r, s.Now())
+			if step >= depth {
+				return
+			}
+			// Same-instant collisions: every region schedules at the same
+			// absolute times, so ties are resolved purely by sequence.
+			s.ScheduleAt(Time(step+1)*Microsecond, func() { chain(step + 1) })
+			if step%3 == 0 {
+				s.Schedule(500*Nanosecond, func() { record(r, s.Now()) })
+			}
+		}
+		s.ScheduleAt(0, func() { chain(0) })
+	}
+}
+
+// TestShardedOrderedMatchesSerial proves the Ordered engine's headline
+// property: for the same model, the global commit order is identical to
+// the serial Simulator's, event for event.
+func TestShardedOrderedMatchesSerial(t *testing.T) {
+	const regions, depth = 4, 50
+
+	var serial []traceRec
+	s := New()
+	scheds := make([]Scheduler, regions)
+	for i := range scheds {
+		scheds[i] = s
+	}
+	buildLocalChains(scheds, depth, func(r int, at Time) {
+		serial = append(serial, traceRec{tag: r, at: at})
+	})
+	s.RunUntil(depth * Microsecond)
+
+	var sharded []traceRec
+	e := NewSharded(regions, 20*Nanosecond, Ordered)
+	for i := range scheds {
+		scheds[i] = e.Shard(i)
+	}
+	buildLocalChains(scheds, depth, func(r int, at Time) {
+		sharded = append(sharded, traceRec{tag: r, at: at})
+	})
+	e.RunUntil(depth * Microsecond)
+
+	if len(serial) != len(sharded) {
+		t.Fatalf("serial committed %d events, ordered sharded %d", len(serial), len(sharded))
+	}
+	for i := range serial {
+		if serial[i] != sharded[i] {
+			t.Fatalf("commit %d diverged: serial %+v, sharded %+v", i, serial[i], sharded[i])
+		}
+	}
+	if s.Fired() != e.Fired() {
+		t.Fatalf("fired: serial %d, sharded %d", s.Fired(), e.Fired())
+	}
+	if s.Now() != e.Now() {
+		t.Fatalf("now: serial %v, sharded %v", s.Now(), e.Now())
+	}
+	if st := e.Stats(); st.Windows == 0 {
+		t.Fatal("ordered run crossed no windows")
+	}
+}
+
+// ringModel drives a shard-disjoint workload on a Sharded engine: each
+// shard runs a local tick chain and posts a token to its ring neighbour
+// with exactly the lookahead of latency. It returns per-shard digest
+// chains of the committed (local) events.
+func ringModel(e *Sharded, duration Time) []uint64 {
+	k := e.NumShards()
+	look := e.Lookahead()
+	digests := make([]uint64, k)
+	mix := func(sh int, tag int, at Time) {
+		h := fnv.New64a()
+		var b [24]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(digests[sh] >> (8 * i))
+			b[8+i] = byte(uint64(tag) >> (8 * i))
+			b[16+i] = byte(uint64(at) >> (8 * i))
+		}
+		h.Write(b[:])
+		digests[sh] = h.Sum64()
+	}
+	for i := 0; i < k; i++ {
+		i := i
+		sh := e.Shard(i)
+		// Local chain with shard-dependent cadence.
+		period := Time(300+40*i) * Nanosecond
+		var tick func()
+		tick = func() {
+			mix(i, 1, sh.Now())
+			sh.Schedule(period, tick)
+		}
+		sh.ScheduleAt(Time(i)*Nanosecond, tick)
+	}
+	// Cross-shard token ring: shard 0 launches a token that hops around
+	// the ring forever, each hop after 50ns of local processing plus the
+	// lookahead on the wire.
+	e.Shard(0).ScheduleAt(100*Nanosecond, onTokenOf(e, 0, digests, mix))
+	_ = look
+	e.RunUntil(duration)
+	return digests
+}
+
+// onTokenOf builds the receiving closure for a posted ring token; split
+// out so the forwarding chain can be rebuilt at each hop without the
+// closures capturing each other cyclically.
+func onTokenOf(e *Sharded, idx int, digests []uint64, mix func(sh, tag int, at Time)) func() {
+	sh := e.Shard(idx)
+	next := (idx + 1) % e.NumShards()
+	return func() {
+		mix(idx, 2, sh.Now())
+		sh.Schedule(50*Nanosecond, func() {
+			mix(idx, 3, sh.Now())
+			sh.Post(e.Shard(next), sh.Now()+e.Lookahead(), onTokenOf(e, next, digests, mix))
+		})
+	}
+}
+
+// TestShardedConcurrentMatchesOrdered proves Concurrent-mode
+// determinism for a shard-disjoint model: per-shard digest chains are
+// identical to the Ordered commit's, across repeat runs, and regardless
+// of GOMAXPROCS.
+func TestShardedConcurrentMatchesOrdered(t *testing.T) {
+	const k = 4
+	look := 20 * Nanosecond
+	dur := 200 * Microsecond
+
+	run := func(mode Mode) []uint64 {
+		e := NewSharded(k, look, mode)
+		return ringModel(e, dur)
+	}
+
+	ordered := run(Ordered)
+	concurrent := run(Concurrent)
+	for i := range ordered {
+		if ordered[i] != concurrent[i] {
+			t.Fatalf("shard %d digest: ordered %#x, concurrent %#x", i, ordered[i], concurrent[i])
+		}
+	}
+
+	again := run(Concurrent)
+	for i := range concurrent {
+		if concurrent[i] != again[i] {
+			t.Fatalf("shard %d digest changed across identical concurrent runs", i)
+		}
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	single := run(Concurrent)
+	runtime.GOMAXPROCS(prev)
+	for i := range concurrent {
+		if concurrent[i] != single[i] {
+			t.Fatalf("shard %d digest depends on GOMAXPROCS", i)
+		}
+	}
+
+	e := NewSharded(k, look, Concurrent)
+	ringModel(e, dur)
+	st := e.Stats()
+	if st.CrossPosts == 0 {
+		t.Fatal("ring model produced no cross-shard posts")
+	}
+	if st.Windows == 0 {
+		t.Fatal("concurrent run crossed no windows")
+	}
+}
+
+// TestShardedRunUntilSemantics pins the deadline contract: an event at
+// exactly the deadline fires, later events stay queued, and every clock
+// ends at the deadline — matching the serial engine.
+func TestShardedRunUntilSemantics(t *testing.T) {
+	for _, mode := range []Mode{Ordered, Concurrent} {
+		e := NewSharded(2, 10*Nanosecond, mode)
+		var atDeadline, beyond bool
+		e.Shard(0).ScheduleAt(Millisecond, func() { atDeadline = true })
+		e.Shard(1).ScheduleAt(Millisecond+1, func() { beyond = true })
+		e.RunUntil(Millisecond)
+		if !atDeadline {
+			t.Fatalf("%v: event at deadline did not fire", mode)
+		}
+		if beyond {
+			t.Fatalf("%v: event beyond deadline fired", mode)
+		}
+		if e.Pending() != 1 {
+			t.Fatalf("%v: pending = %d, want 1", mode, e.Pending())
+		}
+		if e.Now() != Millisecond {
+			t.Fatalf("%v: now = %v, want 1ms", mode, e.Now())
+		}
+		for i := 0; i < 2; i++ {
+			if got := e.Shard(i).Now(); got != Millisecond {
+				t.Fatalf("%v: shard %d clock %v, want 1ms", mode, i, got)
+			}
+		}
+		// Resuming picks the leftover event up.
+		e.RunUntil(2 * Millisecond)
+		if !beyond {
+			t.Fatalf("%v: leftover event lost across RunUntil calls", mode)
+		}
+	}
+}
+
+// TestShardedStop stops mid-run and verifies the remaining events
+// survive for a later resume.
+func TestShardedStop(t *testing.T) {
+	for _, mode := range []Mode{Ordered, Concurrent} {
+		e := NewSharded(2, 10*Nanosecond, mode)
+		fired := 0
+		sh := e.Shard(0)
+		for i := 1; i <= 10; i++ {
+			i := i
+			sh.ScheduleAt(Time(i)*Microsecond, func() {
+				fired++
+				if i == 3 {
+					e.Stop()
+				}
+			})
+		}
+		e.RunUntil(Millisecond)
+		if fired >= 10 {
+			t.Fatalf("%v: Stop did not interrupt the run (fired %d)", mode, fired)
+		}
+		e.RunUntil(Millisecond)
+		if fired != 10 {
+			t.Fatalf("%v: resume after Stop fired %d events, want 10", mode, fired)
+		}
+	}
+}
+
+// TestShardedPostLookaheadPanics pins the conservative contract: a
+// cross-shard post landing inside the current window is a bug, loudly.
+func TestShardedPostLookaheadPanics(t *testing.T) {
+	e := NewSharded(2, 100*Nanosecond, Ordered)
+	a, b := e.Shard(0), e.Shard(1)
+	a.ScheduleAt(Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("post inside the window did not panic")
+			}
+		}()
+		a.Post(b, a.Now()+10*Nanosecond, func() {})
+	})
+	e.RunUntil(2 * Microsecond)
+}
+
+// TestShardedConcurrentIdleSchedulePanics pins the misuse check: model
+// code reaching across shards with Schedule instead of Post panics when
+// the target shard is idle.
+func TestShardedConcurrentIdleSchedulePanics(t *testing.T) {
+	e := NewSharded(2, 100*Nanosecond, Concurrent)
+	a, b := e.Shard(0), e.Shard(1)
+	var caught any
+	// Only shard 0 has work, so its window runs inline on the
+	// coordinator goroutine and the panic is recoverable here.
+	a.ScheduleAt(Microsecond, func() {
+		defer func() { caught = recover() }()
+		b.ScheduleAt(a.Now()+Microsecond, func() {})
+	})
+	e.RunUntil(2 * Microsecond)
+	if caught == nil {
+		t.Fatal("cross-shard Schedule onto an idle shard did not panic")
+	}
+}
+
+// TestShardedCancel covers zero-value handles, cross-shard cancel in
+// Ordered mode, and engine-level Cancel reaching any shard.
+func TestShardedCancel(t *testing.T) {
+	e := NewSharded(2, 10*Nanosecond, Ordered)
+	if e.Cancel(Event{}) {
+		t.Fatal("cancelling the zero Event succeeded")
+	}
+	fired := false
+	ev := e.Shard(1).ScheduleAt(Microsecond, func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	// Ordered mode: shard 0 may cancel shard 1's event.
+	if !e.Shard(0).Cancel(ev) {
+		t.Fatal("ordered cross-shard cancel failed")
+	}
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double cancel succeeded")
+	}
+	e.RunUntil(2 * Microsecond)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+
+	// A foreign engine's handle is refused, not corrupting.
+	other := New()
+	oev := other.Schedule(Microsecond, func() {})
+	if e.Cancel(oev) {
+		t.Fatal("cancelled another engine's event")
+	}
+	if !other.Cancel(oev) {
+		t.Fatal("owner could not cancel its own event")
+	}
+}
+
+// TestShardedWorkerPanicPropagates proves a model panic inside a
+// concurrent window unwinds the RunUntil caller, like a serial panic.
+func TestShardedWorkerPanicPropagates(t *testing.T) {
+	e := NewSharded(4, 10*Nanosecond, Concurrent)
+	for i := 0; i < 4; i++ {
+		sh := e.Shard(i)
+		sh.ScheduleAt(Microsecond, func() {})
+	}
+	e.Shard(2).ScheduleAt(Microsecond, func() { panic("model bug") })
+	defer func() {
+		if r := recover(); r != "model bug" {
+			t.Fatalf("recovered %v, want the model panic", r)
+		}
+	}()
+	e.RunUntil(2 * Microsecond)
+	t.Fatal("worker panic did not propagate")
+}
+
+// TestShardedSingleShardDegenerate: one shard behaves exactly like the
+// serial engine, with zero (unbounded) lookahead accepted.
+func TestShardedSingleShardDegenerate(t *testing.T) {
+	for _, mode := range []Mode{Ordered, Concurrent} {
+		var serial, sharded []traceRec
+		s := New()
+		buildLocalChains([]Scheduler{s}, 30, func(r int, at Time) {
+			serial = append(serial, traceRec{tag: r, at: at})
+		})
+		s.RunUntil(30 * Microsecond)
+
+		e := NewSharded(1, 0, mode)
+		buildLocalChains([]Scheduler{e.Shard(0)}, 30, func(r int, at Time) {
+			sharded = append(sharded, traceRec{tag: r, at: at})
+		})
+		e.RunUntil(30 * Microsecond)
+
+		if len(serial) != len(sharded) {
+			t.Fatalf("%v: %d vs %d events", mode, len(serial), len(sharded))
+		}
+		for i := range serial {
+			if serial[i] != sharded[i] {
+				t.Fatalf("%v: commit %d diverged", mode, i)
+			}
+		}
+	}
+}

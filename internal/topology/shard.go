@@ -1,0 +1,176 @@
+package topology
+
+import (
+	"fmt"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/sim"
+)
+
+// ShardPlan assigns every switch of a W×H mesh — and, implicitly, the
+// HCA hanging off each switch, since an HCA-switch link is never worth
+// cutting — to one of K link-connected regions, and records the
+// conservative lookahead the cut yields: the minimum latency of any
+// link crossing a region boundary. A parallel engine built from the
+// plan may advance each region independently inside windows of that
+// lookahead.
+type ShardPlan struct {
+	// K is the number of regions (1 <= K <= W*H).
+	K int
+	// W, H are the mesh dimensions the plan was computed for.
+	W, H int
+	// OfSwitch maps switch index (y*W+x) to its region.
+	OfSwitch []int
+	// Lookahead is the minimum cut-link latency, or 0 (unbounded) when
+	// K == 1 and no link is cut.
+	Lookahead sim.Time
+}
+
+// PlanShards partitions the mesh into k link-connected regions of
+// near-equal size and computes their lookahead. Regions are contiguous
+// chunks of the boustrophedon (snake) switch order — consecutive snake
+// positions are always mesh neighbours, so every chunk is connected.
+// k is clamped to [1, W*H]: one region degenerates to serial execution,
+// and more regions than switches degenerates to one switch per region.
+func PlanShards(w, h, k int, params *fabric.Params) ShardPlan {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("topology: invalid mesh %dx%d", w, h))
+	}
+	n := w * h
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	plan := ShardPlan{K: k, W: w, H: h, OfSwitch: make([]int, n)}
+	for pos := 0; pos < n; pos++ {
+		y := pos / w
+		x := pos % w
+		if y%2 == 1 {
+			x = w - 1 - x
+		}
+		// pos*k/n yields k contiguous chunks whose sizes differ by at
+		// most one.
+		plan.OfSwitch[y*w+x] = pos * k / n
+	}
+	plan.Lookahead = plan.MinCutLatency(params)
+	return plan
+}
+
+// MinCutLatency returns the smallest latency of any inter-switch link
+// whose endpoints lie in different regions — the true lookahead bound
+// for the plan — or 0 when no link is cut. Every mesh link has the same
+// propagation delay today, but the scan is written against the cut so a
+// future heterogeneous fabric only has to change the per-link term.
+func (p ShardPlan) MinCutLatency(params *fabric.Params) sim.Time {
+	var min sim.Time
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			i := y*p.W + x
+			check := func(j int) {
+				if p.OfSwitch[i] == p.OfSwitch[j] {
+					return
+				}
+				lat := params.PropDelay
+				if min == 0 || lat < min {
+					min = lat
+				}
+			}
+			if x+1 < p.W {
+				check(i + 1)
+			}
+			if y+1 < p.H {
+				check(i + p.W)
+			}
+		}
+	}
+	return min
+}
+
+// Validate checks the plan's internal consistency: dimensions, every
+// switch assigned to exactly one in-range region, every region
+// non-empty, and regions link-connected.
+func (p ShardPlan) Validate() error {
+	if p.W <= 0 || p.H <= 0 || len(p.OfSwitch) != p.W*p.H {
+		return fmt.Errorf("topology: plan covers %d switches for a %dx%d mesh", len(p.OfSwitch), p.W, p.H)
+	}
+	if p.K < 1 || p.K > p.W*p.H {
+		return fmt.Errorf("topology: %d regions for %d switches", p.K, p.W*p.H)
+	}
+	seen := make([]int, p.K)
+	for i, s := range p.OfSwitch {
+		if s < 0 || s >= p.K {
+			return fmt.Errorf("topology: switch %d assigned to region %d of %d", i, s, p.K)
+		}
+		seen[s]++
+	}
+	for s, n := range seen {
+		if n == 0 {
+			return fmt.Errorf("topology: region %d is empty", s)
+		}
+	}
+	// Connectivity: flood-fill each region from its first member over
+	// mesh links that stay inside the region.
+	for s := range seen {
+		start := -1
+		for i, r := range p.OfSwitch {
+			if r == s {
+				start = i
+				break
+			}
+		}
+		visited := make(map[int]bool)
+		stack := []int{start}
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[i] {
+				continue
+			}
+			visited[i] = true
+			x, y := i%p.W, i/p.W
+			for _, j := range []int{i - 1, i + 1, i - p.W, i + p.W} {
+				if j < 0 || j >= p.W*p.H || p.OfSwitch[j] != s {
+					continue
+				}
+				jx, jy := j%p.W, j/p.W
+				if (jx == x && (jy == y-1 || jy == y+1)) || (jy == y && (jx == x-1 || jx == x+1)) {
+					stack = append(stack, j)
+				}
+			}
+		}
+		if len(visited) != seen[s] {
+			return fmt.Errorf("topology: region %d is not link-connected (%d of %d reachable)", s, len(visited), seen[s])
+		}
+	}
+	return nil
+}
+
+// NewMeshSharded constructs and fully wires the mesh like NewMesh, but
+// places each switch and its HCA on the engine shard the plan assigns,
+// so the parallel engine's per-shard queues carry that region's fabric
+// events. The engine must have exactly plan.K shards and, when K > 1, a
+// lookahead no larger than the plan's.
+func NewMeshSharded(eng *sim.Sharded, params *fabric.Params, w, h int, plan ShardPlan) *Mesh {
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	if plan.W != w || plan.H != h {
+		panic(fmt.Sprintf("topology: plan for %dx%d used on a %dx%d mesh", plan.W, plan.H, w, h))
+	}
+	if eng.NumShards() != plan.K {
+		panic(fmt.Sprintf("topology: engine has %d shards, plan %d regions", eng.NumShards(), plan.K))
+	}
+	if plan.K > 1 && eng.Lookahead() > plan.Lookahead {
+		panic(fmt.Sprintf("topology: engine lookahead %v exceeds the plan's cut latency %v",
+			eng.Lookahead(), plan.Lookahead))
+	}
+	m := newBlankMesh(func(i int) sim.Scheduler { return eng.Shard(plan.OfSwitch[i]) }, params, w, h)
+	m.Plan = &plan
+	for i := range m.HCAs {
+		m.HCAs[i].SetLID(LIDOf(i))
+	}
+	m.programDOR()
+	return m
+}

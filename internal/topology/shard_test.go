@@ -1,0 +1,256 @@
+package topology
+
+import (
+	"testing"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/sim"
+)
+
+// TestPlanShardsPartition checks the core partition invariants across a
+// range of mesh shapes and region counts: every switch lands in exactly
+// one in-range region, regions are non-empty and link-connected, and
+// sizes are balanced to within one switch.
+func TestPlanShardsPartition(t *testing.T) {
+	params := fabric.DefaultParams()
+	for _, dim := range [][2]int{{1, 1}, {4, 1}, {1, 4}, {4, 4}, {5, 3}, {8, 8}} {
+		w, h := dim[0], dim[1]
+		for k := 1; k <= w*h; k++ {
+			plan := PlanShards(w, h, k, params)
+			if plan.K != k || plan.W != w || plan.H != h {
+				t.Fatalf("%dx%d k=%d: plan header %+v", w, h, k, plan)
+			}
+			if err := plan.Validate(); err != nil {
+				t.Fatalf("%dx%d k=%d: %v", w, h, k, err)
+			}
+			sizes := make([]int, k)
+			for i, s := range plan.OfSwitch {
+				if s < 0 || s >= k {
+					t.Fatalf("%dx%d k=%d: switch %d in region %d", w, h, k, i, s)
+				}
+				sizes[s]++
+			}
+			lo, hi := w*h, 0
+			for _, n := range sizes {
+				if n < lo {
+					lo = n
+				}
+				if n > hi {
+					hi = n
+				}
+			}
+			if lo == 0 || hi-lo > 1 {
+				t.Fatalf("%dx%d k=%d: unbalanced region sizes %v", w, h, k, sizes)
+			}
+		}
+	}
+}
+
+// TestPlanShardsLookahead checks the plan's lookahead against an
+// independent brute-force minimum over the cut links.
+func TestPlanShardsLookahead(t *testing.T) {
+	params := fabric.DefaultParams()
+	for _, k := range []int{1, 2, 3, 4, 8, 16} {
+		plan := PlanShards(4, 4, k, params)
+		var want sim.Time
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				i := y*4 + x
+				for _, j := range []int{i + 1, i + 4} {
+					if (j == i+1 && x+1 >= 4) || (j == i+4 && y+1 >= 4) {
+						continue
+					}
+					if plan.OfSwitch[i] != plan.OfSwitch[j] {
+						if want == 0 || params.PropDelay < want {
+							want = params.PropDelay
+						}
+					}
+				}
+			}
+		}
+		if plan.Lookahead != want {
+			t.Fatalf("k=%d: lookahead %v, cut minimum %v", k, plan.Lookahead, want)
+		}
+		if k == 1 && plan.Lookahead != 0 {
+			t.Fatalf("k=1 must cut no links, got lookahead %v", plan.Lookahead)
+		}
+		if k > 1 && plan.Lookahead != params.PropDelay {
+			t.Fatalf("k=%d: homogeneous mesh cut must be PropDelay, got %v", k, plan.Lookahead)
+		}
+	}
+}
+
+// TestPlanShardsClamps checks the degenerate inputs: k below 1 collapses
+// to the serial single-region plan, and k above the switch count caps at
+// one switch per region.
+func TestPlanShardsClamps(t *testing.T) {
+	params := fabric.DefaultParams()
+	if plan := PlanShards(3, 3, 0, params); plan.K != 1 {
+		t.Fatalf("k=0 must clamp to 1, got %d", plan.K)
+	}
+	if plan := PlanShards(3, 3, -4, params); plan.K != 1 {
+		t.Fatalf("k<0 must clamp to 1, got %d", plan.K)
+	}
+	plan := PlanShards(3, 3, 50, params)
+	if plan.K != 9 {
+		t.Fatalf("k=50 on 9 switches must clamp to 9, got %d", plan.K)
+	}
+	for i, s := range plan.OfSwitch {
+		count := 0
+		for _, r := range plan.OfSwitch {
+			if r == s {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("clamped plan: switch %d shares region %d", i, s)
+		}
+	}
+}
+
+// TestValidateRejects checks that Validate catches hand-corrupted plans.
+func TestValidateRejects(t *testing.T) {
+	params := fabric.DefaultParams()
+	good := PlanShards(4, 4, 4, params)
+
+	bad := good
+	bad.OfSwitch = append([]int(nil), good.OfSwitch...)
+	bad.OfSwitch[3] = 7
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range region accepted")
+	}
+
+	bad = good
+	bad.OfSwitch = append([]int(nil), good.OfSwitch...)
+	for i := range bad.OfSwitch {
+		if bad.OfSwitch[i] == 3 {
+			bad.OfSwitch[i] = 0
+		}
+	}
+	if bad.Validate() == nil {
+		t.Fatal("empty region accepted")
+	}
+
+	// Disconnected region: claim the two far corners of the mesh for
+	// region 0 and everything else for region 1.
+	bad = ShardPlan{K: 2, W: 4, H: 4, OfSwitch: make([]int, 16)}
+	for i := range bad.OfSwitch {
+		bad.OfSwitch[i] = 1
+	}
+	bad.OfSwitch[0] = 0
+	bad.OfSwitch[15] = 0
+	if bad.Validate() == nil {
+		t.Fatal("disconnected region accepted")
+	}
+
+	bad = good
+	bad.W = 5
+	if bad.Validate() == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// TestNewMeshShardedPlacement checks that a sharded mesh drives every
+// switch and its HCA from the shard the plan assigns, and that the
+// K=1 degenerate build works with zero lookahead.
+func TestNewMeshShardedPlacement(t *testing.T) {
+	params := fabric.DefaultParams()
+	plan := PlanShards(4, 4, 4, params)
+	eng := sim.NewSharded(plan.K, plan.Lookahead, sim.Ordered)
+	m := NewMeshSharded(eng, params, 4, 4, plan)
+	if m.Plan == nil || m.Plan.K != 4 {
+		t.Fatal("sharded mesh must record its plan")
+	}
+	for i := range m.Switches {
+		want := eng.Shard(plan.OfSwitch[i])
+		if m.Switches[i].Sim() != sim.Scheduler(want) {
+			t.Fatalf("switch %d on wrong shard", i)
+		}
+		if m.HCAs[i].Sim() != sim.Scheduler(want) {
+			t.Fatalf("HCA %d not on its switch's shard", i)
+		}
+	}
+
+	solo := PlanShards(2, 2, 1, params)
+	if solo.Lookahead != 0 {
+		t.Fatalf("single-region lookahead must be 0, got %v", solo.Lookahead)
+	}
+	soloEng := sim.NewSharded(1, 0, sim.Ordered)
+	if m := NewMeshSharded(soloEng, params, 2, 2, solo); m.NumNodes() != 4 {
+		t.Fatal("K=1 sharded mesh build failed")
+	}
+}
+
+// TestNewMeshShardedGuards checks the constructor's misuse panics:
+// engine/plan shard-count mismatch and an engine lookahead that
+// overshoots the plan's cut latency.
+func TestNewMeshShardedGuards(t *testing.T) {
+	params := fabric.DefaultParams()
+	plan := PlanShards(4, 4, 4, params)
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("shard count mismatch", func() {
+		NewMeshSharded(sim.NewSharded(2, plan.Lookahead, sim.Ordered), params, 4, 4, plan)
+	})
+	mustPanic("excess lookahead", func() {
+		NewMeshSharded(sim.NewSharded(4, plan.Lookahead*2, sim.Ordered), params, 4, 4, plan)
+	})
+	mustPanic("dims mismatch", func() {
+		NewMeshSharded(sim.NewSharded(4, plan.Lookahead, sim.Ordered), params, 4, 5, plan)
+	})
+}
+
+// TestShardedMeshTrafficMatchesSerial drives identical single-packet
+// traffic through a serial mesh and an Ordered sharded mesh and expects
+// the same delivery times — the fabric-level determinism check under
+// the parallel engine.
+func TestShardedMeshTrafficMatchesSerial(t *testing.T) {
+	run := func(s sim.Scheduler, run func(sim.Time), m *Mesh) []sim.Time {
+		for _, hca := range m.HCAs {
+			if err := hca.PKeyTable.Add(0x8001); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var times []sim.Time
+		for i := range m.HCAs {
+			m.HCAs[i].OnDeliver = func(d *fabric.Delivery) {
+				times = append(times, d.DeliveredAt)
+			}
+		}
+		// Cross-mesh packets chosen to cross region boundaries.
+		for _, pair := range [][2]int{{0, 15}, {15, 0}, {3, 12}, {5, 10}} {
+			src, dst := pair[0], pair[1]
+			d := &fabric.Delivery{Pkt: mkPkt(LIDOf(src), LIDOf(dst), 256), Class: fabric.ClassBestEffort}
+			m.HCAs[src].Send(d)
+		}
+		run(sim.Time(1_000_000_000))
+		return times
+	}
+
+	params := fabric.DefaultParams()
+	serial := sim.New()
+	serialTimes := run(serial, func(d sim.Time) { serial.RunUntil(d) },
+		NewMesh(serial, params, 4, 4))
+
+	plan := PlanShards(4, 4, 4, params)
+	eng := sim.NewSharded(plan.K, plan.Lookahead, sim.Ordered)
+	shardTimes := run(eng, func(d sim.Time) { eng.RunUntil(d) },
+		NewMeshSharded(eng, params, 4, 4, plan))
+
+	if len(serialTimes) != 4 || len(shardTimes) != 4 {
+		t.Fatalf("deliveries: serial %d, sharded %d", len(serialTimes), len(shardTimes))
+	}
+	for i := range serialTimes {
+		if serialTimes[i] != shardTimes[i] {
+			t.Fatalf("delivery %d: serial %v, sharded %v", i, serialTimes[i], shardTimes[i])
+		}
+	}
+}

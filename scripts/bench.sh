@@ -26,12 +26,14 @@ mode=-check
 bench() { go test -run '^$' -benchmem "$@"; }
 
 {
-  bench -bench '^(BenchmarkScheduleRun|BenchmarkScheduleRunSteady)$' \
+  bench -bench '^(BenchmarkScheduleRun|BenchmarkScheduleRunSteady|BenchmarkShardWindow)$' \
         -benchtime "${BENCHTIME:-100x}" ./internal/sim
   bench -bench '^(BenchmarkICRCSeal|BenchmarkVerifyICRC)$' \
         -benchtime "${BENCHTIME:-100x}" ./internal/icrc
   bench -bench '^BenchmarkCompile$' \
         -benchtime "${BENCHTIME:-100x}" ./internal/policy
   bench -bench '^(BenchmarkHotPath|BenchmarkHotPathAuth)$' \
+        -benchtime "${HOTPATH_BENCHTIME:-20x}" .
+  bench -bench '^BenchmarkHotPathParallel(Off|2|4|8)$' \
         -benchtime "${HOTPATH_BENCHTIME:-20x}" .
 } | tee /dev/stderr | go run ./scripts/benchgate "$mode"

@@ -69,6 +69,16 @@ echo "== ibsim splitbrain -quick (subnet-bisection smoke under the race detector
 go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/splitbrain" splitbrain -partitions-us 80,160,320 -heartbeats-us 10,20 -rekeys-us 0,60 >"$tmp/splitbrain.out"
 diff testdata/golden/splitbrain_quick.csv "$tmp/splitbrain/splitbrain.csv"
 
+echo "== ibsim sweep -quick -shards 4 (sharded engine smoke under the race detector)"
+# The conservative sharded engine (Ordered mode) on a race-instrumented
+# binary: the same sweep run serially and at 4 shards must produce
+# byte-identical CSVs and stdout. This is the CLI-level face of the
+# determinism harness in internal/sim/determinism_test.go.
+go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/shard0" sweep >"$tmp/shard0.out"
+go run -race ./cmd/ibsim -quick -jobs 2 -results '' -shards 4 -csv "$tmp/shard4" sweep >"$tmp/shard4.out"
+diff -r "$tmp/shard0" "$tmp/shard4"
+diff "$tmp/shard0.out" "$tmp/shard4.out"
+
 echo "== ibsim -list (experiment registry smoke)"
 # Every sweep subcommand ci.sh exercises must be advertised by -list.
 go run ./cmd/ibsim -list | grep -qx apm
@@ -77,9 +87,10 @@ go run ./cmd/ibsim -list | grep -qx failover
 go run ./cmd/ibsim -list | grep -qx drift
 go run ./cmd/ibsim -list | grep -qx splitbrain
 
-echo "== fuzz smoke (wire parsers, 5s each)"
+echo "== fuzz smoke (wire parsers + shard windows, 5s each)"
 go test -run '^$' -fuzz '^FuzzPacketUnmarshal$' -fuzztime 5s ./internal/packet
 go test -run '^$' -fuzz '^FuzzMADParse$' -fuzztime 5s ./internal/sm
+go test -run '^$' -fuzz '^FuzzShardWindow$' -fuzztime 5s ./internal/sim
 
 echo "== benchmark regression gate (allocs strict, time loose)"
 scripts/bench.sh
