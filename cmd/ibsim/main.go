@@ -20,6 +20,7 @@
 //	ibsim apm                    robustness: RC NAK recovery + automatic path migration
 //	ibsim drift                  policy plane: switch-state corruption vs the drift auditor
 //	ibsim splitbrain             robustness: subnet bisection, dual-master containment, merge reconciliation
+//	ibsim congestion             robustness: FECN/BECN congestion control vs DoS injection rate
 //	ibsim trace                  dump a packet-lifecycle trace
 //	ibsim all                    everything above (trace bounded to its default scope)
 //
@@ -131,7 +132,7 @@ var sweepCommands = map[string]bool{
 	"fig1": true, "fig5": true, "fig6": true, "sweep": true,
 	"authrate": true, "smdos": true, "scale": true, "faults": true,
 	"failover": true, "apm": true, "drift": true, "splitbrain": true,
-	"all": true,
+	"congestion": true, "all": true,
 }
 
 // commands is every subcommand, in the order `ibsim -list` prints them
@@ -139,7 +140,7 @@ var sweepCommands = map[string]bool{
 var commands = []string{
 	"config", "fig1", "fig5", "fig6", "table2", "table4", "attacks",
 	"sweep", "authrate", "smdos", "scale", "faults", "failover", "apm",
-	"drift", "splitbrain", "trace", "all",
+	"drift", "splitbrain", "congestion", "trace", "all",
 }
 
 // commandFuncs maps each subcommand to its runner. The registry-sync
@@ -164,6 +165,7 @@ var commandFuncs = map[string]func(args []string) error{
 	"apm":        runAPM,
 	"drift":      runDrift,
 	"splitbrain": runSplitBrain,
+	"congestion": runCongestion,
 	"trace":      runTrace,
 	"all":        func([]string) error { return runAll() },
 }
@@ -688,6 +690,35 @@ func runSplitBrain(args []string) error {
 	return writeTable(ibasec.SplitBrainCSV(rows))
 }
 
+func runCongestion(args []string) error {
+	fs := flag.NewFlagSet("congestion", flag.ExitOnError)
+	ratesFlag := fs.String("rates", "0.25,0.5,1.0", "comma-separated attacker injection rates (fraction of line rate)")
+	fs.Parse(args)
+
+	rates, err := parseFloats(*ratesFlag)
+	if err != nil {
+		return fmt.Errorf("congestion: -rates: %w", err)
+	}
+
+	base := baseConfig()
+	rows, err := ibasec.CongestionSweepCtx(runCtx, pool, rates, base)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Robustness. FECN/BECN congestion control vs DoS injection rate (attack covers first 60% of the run)")
+	fmt.Println("  mode  rate  cc   be-p99(us)  be-mean(us)  delivered  violations  fecn   cnps   throttled  cct  span  recover(us)  stall(us)")
+	for _, r := range rows {
+		cc := "off"
+		if r.CC {
+			cc = "on"
+		}
+		fmt.Printf("  %-4s  %4.2f  %-3s  %10.2f  %11.2f  %9d  %10d  %5d  %5d  %9d  %3d  %4d  %11.1f  %9.1f\n",
+			r.Mode, r.Rate, cc, r.BEp99US, r.BEMeanUS, r.Delivered, r.Violations,
+			r.FECNMarked, r.CNPs, r.Throttled, r.AttackerCCT, r.TreeSpan, r.RecoverUS, r.StallUS)
+	}
+	return writeTable(ibasec.CongestionCSV(rows))
+}
+
 func runTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	events := fs.Int("events", 30, "how many trailing events to print")
@@ -742,6 +773,7 @@ var allSteps = []struct {
 	{"apm", func() error { return runAPM(nil) }},
 	{"drift", func() error { return runDrift(nil) }},
 	{"splitbrain", func() error { return runSplitBrain(nil) }},
+	{"congestion", func() error { return runCongestion(nil) }},
 	{"trace", func() error { return runTrace(nil) }},
 }
 

@@ -214,6 +214,30 @@ func TestGoldenSplitBrain(t *testing.T) {
 	}
 }
 
+// TestGoldenCongestion pins the FECN/BECN congestion-control sweep (the
+// exact configuration scripts/ci.sh race-smokes via `ibsim -quick ...
+// congestion -rates 0.5,1.0`) and proves serial/parallel equivalence the
+// same way TestGoldenFailover does.
+func TestGoldenCongestion(t *testing.T) {
+	rates := []float64{0.5, 1.0}
+	parallel, err := CongestionSweepCtx(context.Background(), goldenPool(), rates, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "congestion_quick.csv", CongestionCSV(parallel))
+
+	if testing.Short() {
+		return
+	}
+	serial, err := CongestionSweepCtx(context.Background(), nil, rates, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := CongestionCSV(parallel).Bytes(), CongestionCSV(serial).Bytes(); !bytes.Equal(a, b) {
+		t.Fatalf("serial sweep diverged from parallel:\n%s\n---\n%s", b, a)
+	}
+}
+
 // TestGoldenAPM pins the RC recovery / path-migration sweep (the exact
 // configuration scripts/ci.sh race-smokes via `ibsim -quick ... apm
 // -bers 0,1e-5 -kills 0,1`) and proves serial/parallel equivalence the

@@ -49,6 +49,38 @@ func BenchmarkHotPath(b *testing.B) { benchHotPath(b, false) }
 // scratch path on top of the plain pipeline.
 func BenchmarkHotPathAuth(b *testing.B) { benchHotPath(b, true) }
 
+// BenchmarkCongestionHotPath runs the hot path with the Congestion
+// Control Annex armed and a line-rate incast flood driving it: FECN
+// marking at the switches, CNP reflection at the victim, and CCT
+// throttling at the attacker all run every op. Its envelope entry bounds
+// the cost of the full feedback loop; the plain BenchmarkHotPath entry
+// (congestion control off) holds the no-feature path to its recorded
+// allocation count, so merging the annex cannot tax runs that never
+// enable it.
+func BenchmarkCongestionHotPath(b *testing.B) {
+	cfg := hotPathConfig(false)
+	cfg.Congestion = DefaultCCParams()
+	cfg.Attackers = 1
+	cfg.AttackClass = ClassBestEffort
+	cfg.AttackIncast = true
+	cfg.AttackRate = 1.0
+	cfg.AttackCycle = cfg.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DeliveredLegit == 0 {
+			b.Fatal("hot path delivered nothing")
+		}
+		if res.FECNMarked == 0 || res.CCTThrottled == 0 {
+			b.Fatal("congestion control never engaged — benchmark measures nothing")
+		}
+	}
+}
+
 // benchHotPathShards runs the plain hot path on a 4x4 mesh — big enough
 // for 8 link-connected regions — with the given engine configuration
 // (0 = serial reference, >1 = sharded engine in Ordered mode).

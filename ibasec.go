@@ -82,6 +82,7 @@ type (
 	SplitBrainRow = core.SplitBrainRow
 	APMRow        = core.APMRow
 	DriftRow      = core.DriftRow
+	CongestionRow = core.CongestionRow
 	// AttackOutcome is one row of the Table 3 attack matrix.
 	AttackOutcome = attack.Outcome
 )
@@ -177,6 +178,15 @@ const (
 	ArbStrictPriority = fabric.ArbStrictPriority
 	ArbWeighted       = fabric.ArbWeighted
 )
+
+// CCParams configures the IBA Congestion Control Annex (switch FECN
+// marking thresholds and per-HCA congestion control tables) through
+// Config.Congestion; the zero value disables congestion control.
+type CCParams = fabric.CCParams
+
+// DefaultCCParams returns the congestion-control settings the
+// congestion experiment uses for its CC-on arms.
+func DefaultCCParams() CCParams { return core.DefaultCCParams() }
 
 // Class is a traffic class.
 type Class = fabric.Class
@@ -425,6 +435,22 @@ func DriftSweepCtx(ctx context.Context, pool *Pool, periodsUS []int, base Config
 	return core.DriftSweepCtx(ctx, pool, periodsUS, base)
 }
 
+// CongestionSweep runs the congestion-control experiment: one attacker
+// floods the best-effort VL for the first 60% of the run and the IBA
+// Congestion Control Annex (switch FECN marking, destination BECN/CNP
+// reflection, source-side CCT injection throttling) is compared against
+// the same flood with the annex off, sweeping enforcement design ×
+// attacker injection rate × CC arm.
+func CongestionSweep(rates []float64, base Config) ([]CongestionRow, error) {
+	return core.CongestionSweep(rates, base)
+}
+
+// CongestionSweepCtx is CongestionSweep with cancellation and an
+// optional worker pool.
+func CongestionSweepCtx(ctx context.Context, pool *Pool, rates []float64, base Config) ([]CongestionRow, error) {
+	return core.CongestionSweepCtx(ctx, pool, rates, base)
+}
+
 // CSVTable is one experiment's rows rendered for an encoding/csv writer.
 // The renderers below are the single source of truth for experiment CSV
 // formatting: cmd/ibsim and the golden-determinism tests both go through
@@ -454,3 +480,6 @@ func APMCSV(rows []APMRow) CSVTable { return core.APMCSV(rows) }
 
 // DriftCSV renders the policy-drift sweep.
 func DriftCSV(rows []DriftRow) CSVTable { return core.DriftCSV(rows) }
+
+// CongestionCSV renders the congestion-control sweep.
+func CongestionCSV(rows []CongestionRow) CSVTable { return core.CongestionCSV(rows) }

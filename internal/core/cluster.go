@@ -65,6 +65,29 @@ type Results struct {
 	DriftRepaired uint64
 	AuditMADs     uint64
 	RepairMADs    uint64
+
+	// BETail records best-effort network latency (µs) with tail
+	// quantiles; the congestion experiment reads its p99. Always
+	// collected (a histogram add per delivery is noise next to the
+	// Welford pass), always non-nil after Build.
+	BETail *metrics.Recorder
+
+	// Congestion-control aggregates, all zero unless Config.Congestion
+	// enables the annex. AttackerCCT is the largest congestion-control-
+	// table index across attacker HCAs at the end of the run (non-zero
+	// means the fabric was still throttling the flood when the run
+	// ended); CongestionSpan is the number of switches with any FECN
+	// marking activity — the blast radius of the congestion tree.
+	FECNMarked    uint64
+	CNPsSent      uint64
+	BECNsNotified uint64
+	CCTThrottled  uint64
+	AttackerCCT   int
+	CongestionSpan int
+	// CreditStallNs sums, over every switch output port, the time spent
+	// with backlog but no transmittable VL — upstream HOL-blocking
+	// pressure. Collected whether or not congestion control is on.
+	CreditStallNs uint64
 }
 
 // Combined returns the mean queuing and network delay over both traffic
@@ -161,10 +184,10 @@ func Build(cfg Config) (*Cluster, error) {
 	rngCrypto := rand.New(rand.NewSource(cfg.Seed ^ 0x5EC0DE))
 	rngTraffic := rand.New(rand.NewSource(cfg.Seed ^ 0x7AFF1C))
 	var ring *trace.Ring
-	if cfg.BitErrorRate > 0 || cfg.TraceCapacity > 0 || cfg.FaultPlan != nil {
+	if cfg.BitErrorRate > 0 || cfg.TraceCapacity > 0 || cfg.FaultPlan != nil || cfg.Congestion.Enabled() {
 		// Copy the params so error injection / tracing / fault BER
-		// bursts do not leak into other runs sharing the same Params
-		// value.
+		// bursts / congestion settings do not leak into other runs
+		// sharing the same Params value.
 		p := *cfg.Params
 		if cfg.BitErrorRate > 0 {
 			p.BitErrorRate = cfg.BitErrorRate
@@ -173,6 +196,9 @@ func Build(cfg Config) (*Cluster, error) {
 		if cfg.TraceCapacity > 0 {
 			ring = trace.NewRing(cfg.TraceCapacity)
 			p.Observer = ring
+		}
+		if cfg.Congestion.Enabled() {
+			p.Congestion = cfg.Congestion
 		}
 		cfg.Params = &p
 	}
@@ -222,7 +248,7 @@ func Build(cfg Config) (*Cluster, error) {
 		AttackSet: make(map[int]bool),
 		Rng:       rngTraffic,
 		Trace:     ring,
-		res:       &Results{Config: cfg},
+		res:       &Results{Config: cfg, BETail: metrics.NewRecorder(0, 1000, 2000)},
 
 		IslandRotators: make(map[*sm.SubnetManager]*sm.Rotator),
 	}
@@ -359,6 +385,13 @@ func Build(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Enforcement == enforce.SIF {
 		manager.AttachTraps()
+	}
+	if cfg.Congestion.Enabled() {
+		// Bring-up step of the CC annex: the SM's congestion manager
+		// programs marking thresholds into the switches and CCT
+		// parameters into the HCAs, and leaves the encoded blob on the
+		// master so HA state sync carries it to standbys.
+		manager.ProgramCongestionControl(cfg.Congestion)
 	}
 
 	// Standby SM placement: the highest-index nodes, skipping the
@@ -530,6 +563,7 @@ func (cl *Cluster) attachCollectors() {
 						cl.res.Realtime.AddSample(q, net)
 					case fabric.ClassBestEffort:
 						cl.res.BestEffort.AddSample(q, net)
+						cl.res.BETail.Add(net)
 					}
 					cl.res.DeliveredLegit++
 				}
@@ -641,6 +675,16 @@ func (cl *Cluster) armResilience() {
 					policy.AuditConfig{Period: cfg.Policy.AuditPeriod, Repair: cfg.Policy.Repair})
 				cl.Auditor.Start()
 			}
+			// Congestion control survives failover the same way: the
+			// promoted master re-applies the configuration parsed from
+			// its state-synced blob, becoming the congestion manager.
+			if len(newMaster.CCBlob) > 0 {
+				cc, err := sm.ParseCCBlob(newMaster.CCBlob)
+				if err != nil {
+					panic(fmt.Sprintf("core: synced congestion blob: %v", err))
+				}
+				newMaster.ProgramCongestionControl(cc)
+			}
 		}
 		if cfg.HA.SplitBrain {
 			cl.wireSplitBrain()
@@ -742,13 +786,29 @@ func (cl *Cluster) Simulate() *Results {
 				LIDOf: topology.LIDOf,
 			}
 			targets := allExcept(cl.Mesh.NumNodes(), node)
+			fixedPKey := cfg.AttackPKey
+			if cfg.AttackIncast {
+				// Stolen-key incast: flood the lowest-index legitimate
+				// co-member of the attacker's own primary partition with
+				// that partition's key. Valid at every enforcement hop,
+				// so the single hot destination link builds the
+				// congestion tree the CC annex is measured against.
+				fixedPKey = cl.PKeyOf[node]
+				for _, peer := range allExcept(cl.Mesh.NumNodes(), node) {
+					if !cl.AttackSet[peer] && cl.PKeyOf[peer] == fixedPKey {
+						targets = []int{peer}
+						break
+					}
+				}
+			}
 			// Sources run on their node's own scheduler: on the serial
 			// engine that is the one simulator, on the sharded engine it
 			// is the HCA's home shard, keeping injection events in the
 			// region's queue.
 			atk := workload.StartAttacker(
 				hca.Sim(), cl.Rng, sender, targets, cfg.MsgSize, cfg.AttackDuty, cfg.AttackCycle)
-			atk.FixedPKey = cfg.AttackPKey
+			atk.FixedPKey = fixedPKey
+			atk.Rate = cfg.AttackRate
 			attackers = append(attackers, atk)
 			continue
 		}
@@ -844,6 +904,41 @@ func (cl *Cluster) Simulate() *Results {
 			cl.res.AuthOK += ep.Counters.Get("auth_ok")
 			cl.res.AuthFail += ep.Counters.Get("auth_fail")
 		}
+	}
+
+	// Congestion accounting. Per-VL HOQ drops and the credit-stall
+	// gauge are surfaced through each device's counter namespace (the
+	// sorted CSVRow contract) so in-band tooling sees them alongside the
+	// forwarding counters; the fabric-wide sums land in the results.
+	surface := func(c *metrics.Counters, hoqVL func(uint8) uint64, stall sim.Time) {
+		for vl := uint8(0); vl < fabric.NumVLs; vl++ {
+			if n := hoqVL(vl); n > 0 {
+				c.Inc(fmt.Sprintf("hoq_dropped_vl%d", vl), n)
+			}
+		}
+		if stall > 0 {
+			ns := uint64(stall / sim.Nanosecond)
+			c.Set("credit_stall_ns", ns)
+			cl.res.CreditStallNs += ns
+		}
+	}
+	for _, sw := range cl.Mesh.Switches {
+		surface(sw.Counters, sw.HOQDroppedVL, sw.CreditStallTime())
+		cl.res.FECNMarked += sw.FECNMarkedTotal()
+	}
+	for node, hca := range cl.Mesh.HCAs {
+		surface(hca.Counters, hca.HOQDroppedVL, hca.CreditStallTime())
+		cl.res.CNPsSent += hca.Counters.Get("cnp_sent")
+		cl.res.BECNsNotified += hca.Counters.Get("becn_notified")
+		cl.res.CCTThrottled += hca.Counters.Get("cct_throttled")
+		if cl.AttackSet[node] {
+			if idx := hca.CCTIndex(); idx > cl.res.AttackerCCT {
+				cl.res.AttackerCCT = idx
+			}
+		}
+	}
+	if cfg.Congestion.Enabled() {
+		cl.res.CongestionSpan = cl.SM.CongestionTreeSpan()
 	}
 
 	// Link utilization over the whole run.

@@ -172,6 +172,18 @@ type Config struct {
 	// P_Key instead of a fresh random one — the stolen-key attack the
 	// drift experiment pairs with a corrupted switch table.
 	AttackPKey packet.PKey
+	// AttackRate scales the attacker's injection rate as a fraction of
+	// line rate. Zero or one floods flat out (the classic behaviour);
+	// the congestion experiment sweeps intermediate rates.
+	AttackRate float64
+	// AttackIncast aims every attacker at a single victim: the lowest-
+	// index co-member of the attacker's own primary partition, flooded
+	// with that partition's key. A stolen intra-partition key passes
+	// every enforcement design, and the single hot destination link
+	// grows the congestion tree the CC annex exists to contain — the
+	// congestion experiment's attack shape. Default off: attackers
+	// spray random destinations with random keys as before.
+	AttackIncast bool
 
 	// Duration is the simulated time; samples before Warmup are
 	// discarded.
@@ -223,6 +235,13 @@ type Config struct {
 	// Policy configures the declarative policy plane and its drift
 	// auditor; the zero value keeps the imperative bring-up path.
 	Policy PolicyParams
+	// Congestion configures the IBA Congestion Control Annex: switch
+	// FECN marking thresholds and per-HCA congestion control tables,
+	// programmed into every device by the SM at bring-up (and inherited
+	// by promoted standbys through HA state sync). The zero value
+	// disables congestion control — no marking, no throttling, byte-
+	// identical to pre-CC builds.
+	Congestion fabric.CCParams
 }
 
 // DefaultConfig returns the paper's Table 1 testbed with no attackers,
@@ -349,6 +368,15 @@ func (c *Config) Validate() error {
 	}
 	if c.AttackPKey != 0 && c.Attackers == 0 {
 		return fmt.Errorf("core: AttackPKey set with no attackers")
+	}
+	if c.AttackIncast && c.Attackers == 0 {
+		return fmt.Errorf("core: AttackIncast set with no attackers")
+	}
+	if c.AttackRate < 0 || c.AttackRate > 1 {
+		return fmt.Errorf("core: attack rate %v outside [0,1]", c.AttackRate)
+	}
+	if err := c.Congestion.Validate(c.Params.CreditsPerVL); err != nil {
+		return err
 	}
 	if c.FaultPlan != nil {
 		if len(c.FaultPlan.Compromises) > 0 && !c.Rekey.Enabled() {

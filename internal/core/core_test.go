@@ -36,6 +36,11 @@ func TestConfigValidation(t *testing.T) {
 		"warmup>=duration": func(c *Config) { c.Warmup = c.Duration },
 		"bad duty":         func(c *Config) { c.AttackDuty = 0 },
 		"nil params":       func(c *Config) { c.Params = nil },
+		"neg attack rate":  func(c *Config) { c.Attackers = 1; c.AttackRate = -0.5 },
+		"attack rate > 1":  func(c *Config) { c.Attackers = 1; c.AttackRate = 1.5 },
+		"incast no attack": func(c *Config) { c.AttackIncast = true },
+		"cc no threshold":  func(c *Config) { c.Congestion.CCTSize = 16 },
+		"cc deep marking":  func(c *Config) { c.Congestion = fabric.CCParams{MarkingThreshold: 999, CCTSize: 16, CCTStep: sim.Microsecond, CCTDecay: sim.Microsecond} },
 	}
 	for name, mutate := range cases {
 		cfg := quickCfg()

@@ -174,6 +174,32 @@ func DriftCSV(rows []DriftRow) CSVTable {
 	return t
 }
 
+// CongestionCSV renders the congestion-control sweep.
+func CongestionCSV(rows []CongestionRow) CSVTable {
+	t := CSVTable{
+		Name: "congestion",
+		Header: []string{
+			"mode", "rate", "cc",
+			"be_p99_us", "be_mean_us", "delivered", "violations",
+			"fecn_marked", "cnps", "throttled", "attacker_cct",
+			"tree_span", "recover_us", "stall_us",
+		},
+	}
+	for _, r := range rows {
+		cc := "off"
+		if r.CC {
+			cc = "on"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), Gtoa(r.Rate), cc,
+			Ftoa(r.BEp99US), Ftoa(r.BEMeanUS), Itoa(r.Delivered), Itoa(r.Violations),
+			Itoa(r.FECNMarked), Itoa(r.CNPs), Itoa(r.Throttled), Itoa(uint64(r.AttackerCCT)),
+			Itoa(uint64(r.TreeSpan)), Ftoa(r.RecoverUS), Ftoa(r.StallUS),
+		})
+	}
+	return t
+}
+
 // SplitBrainCSV renders the split-brain / merge-reconciliation sweep.
 func SplitBrainCSV(rows []SplitBrainRow) CSVTable {
 	t := CSVTable{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ibasec/internal/icrc"
 	"ibasec/internal/packet"
 	"ibasec/internal/sim"
 )
@@ -63,8 +64,23 @@ type outChannel struct {
 	ownerName  string
 
 	// hoqDropped counts packets aged out by the Head-of-Queue lifetime
-	// limit (Params.HOQLife).
-	hoqDropped uint64
+	// limit (Params.HOQLife), per VL.
+	hoqDropped [NumVLs]uint64
+
+	// Congestion Control Annex state. ccThreshold is the per-VL
+	// queue-depth marking threshold this channel was programmed with
+	// (zero until the SM's congestion manager programs the owning
+	// switch); fecnMarked counts packets marked on this port.
+	ccThreshold int
+	fecnMarked  uint64
+
+	// Credit-stall accounting: time spent with packets queued but no
+	// eligible VL (every backlogged VL out of credits) while the
+	// serializer is idle — the HOL-blocking signature a congestion tree
+	// spreads upstream.
+	stalled     bool
+	stallSince  sim.Time
+	creditStall sim.Time
 
 	// cross is non-nil when this channel bridges two shards of a
 	// Concurrent engine: deliveries and credit returns then travel
@@ -161,10 +177,39 @@ func (c *outChannel) enqueue(d *Delivery) {
 	}
 	c.queues[d.VL] = append(c.queues[d.VL], d)
 	c.queuedBytes += d.Pkt.WireSize()
+	if c.ccThreshold > 0 && d.VL != VLManagement && len(c.queues[d.VL]) >= c.ccThreshold {
+		c.markFECN(d)
+	}
 	if len(c.queues[d.VL]) == 1 {
 		c.armHOQ(d.VL)
 	}
 	c.trySend()
+}
+
+// markFECN sets the forward congestion notification bit on a queued
+// packet (CC annex A10.2.2.1): the output queue it joined is at or past
+// the programmed threshold, so the destination is told a congestion
+// tree is forming on its path. The bit lives in the ICRC-variant Resv8a
+// byte, so the wire image is patched in place and only the per-link
+// VCRC recomputed — neither the end-to-end ICRC nor the authentication
+// tag covers it, exactly as a real switch requires.
+func (c *outChannel) markFECN(d *Delivery) {
+	if d.Pkt.BTH.FECN || d.Malformed {
+		return
+	}
+	d.Pkt.BTH.FECN = true
+	wire := d.Pkt.Wire()
+	off := packet.LRHSize + 4
+	if d.Pkt.GRH != nil {
+		off += packet.GRHSize
+	}
+	wire[off] |= packet.BTHFECNBit
+	vc := icrc.CRC16(wire[:len(wire)-packet.VCRCSize])
+	wire[len(wire)-2] = byte(vc >> 8)
+	wire[len(wire)-1] = byte(vc)
+	d.Pkt.VCRC = vc
+	c.fecnMarked++
+	c.params.observe(c.sim.Now(), ObsFECNMark, c.ownerName, d)
 }
 
 // armHOQ starts the Head-of-Queue lifetime clock for the packet at the
@@ -184,7 +229,7 @@ func (c *outChannel) armHOQ(vl uint8) {
 		}
 		c.queues[vl] = c.queues[vl][1:]
 		c.queuedBytes -= d.Pkt.WireSize()
-		c.hoqDropped++
+		c.hoqDropped[vl]++
 		c.params.observe(c.sim.Now(), ObsHOQDrop, c.ownerName, d)
 		d.ReturnCredit()
 		c.armHOQ(vl)
@@ -212,6 +257,12 @@ func (c *outChannel) setDown(down bool) {
 	}
 	c.down = down
 	c.epoch++
+	if c.stalled {
+		// Close the open stall interval: a downed link empties its
+		// queues, and a fresh link starts with a full credit complement.
+		c.creditStall += c.sim.Now() - c.stallSince
+		c.stalled = false
+	}
 	if down {
 		for vl := range c.queues {
 			for _, d := range c.queues[vl] {
@@ -232,6 +283,25 @@ func (c *outChannel) setDown(down bool) {
 // QueueLen returns the number of packets waiting on a VL (used by
 // realtime sources for admission decisions).
 func (c *outChannel) QueueLen(vl uint8) int { return len(c.queues[vl]) }
+
+// hoqTotal sums the per-VL Head-of-Queue drop counters.
+func (c *outChannel) hoqTotal() uint64 {
+	var n uint64
+	for vl := range c.hoqDropped {
+		n += c.hoqDropped[vl]
+	}
+	return n
+}
+
+// stallTime returns the accumulated credit-stall time, closing any
+// open stall interval against now.
+func (c *outChannel) stallTime(now sim.Time) sim.Time {
+	t := c.creditStall
+	if c.stalled {
+		t += now - c.stallSince
+	}
+	return t
+}
 
 // eligible reports whether a VL has both a queued packet and a credit.
 func (c *outChannel) eligible(vl int) bool {
@@ -348,7 +418,18 @@ func (c *outChannel) trySend() {
 	}
 	vl := c.pickVL()
 	if vl < 0 {
+		if c.queuedBytes > 0 && !c.stalled {
+			// Backlog with no eligible VL: every queued lane is out of
+			// credits. Clock the stall until a credit return or HOQ
+			// expiry makes a lane eligible again.
+			c.stalled = true
+			c.stallSince = c.sim.Now()
+		}
 		return
+	}
+	if c.stalled {
+		c.creditStall += c.sim.Now() - c.stallSince
+		c.stalled = false
 	}
 	d := c.queues[vl][0]
 	c.queues[vl] = c.queues[vl][1:]

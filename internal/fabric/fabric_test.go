@@ -70,9 +70,19 @@ func TestParamsValidate(t *testing.T) {
 		t.Fatal("accepted zero credits")
 	}
 	p = DefaultParams()
+	p.CreditsPerVL = -4
+	if p.Validate() == nil {
+		t.Fatal("accepted negative credits")
+	}
+	p = DefaultParams()
 	p.PropDelay = -1
 	if p.Validate() == nil {
 		t.Fatal("accepted negative delay")
+	}
+	p = DefaultParams()
+	p.HOQLife = -sim.Microsecond
+	if p.Validate() == nil {
+		t.Fatal("accepted negative head-of-queue lifetime")
 	}
 }
 

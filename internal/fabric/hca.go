@@ -47,6 +47,15 @@ type HCA struct {
 	engineBusyTil  sim.Time
 	guid           uint64
 
+	// Congestion Control Annex state. cc holds the parameters the SM's
+	// congestion manager programmed (zero until programmed = CC off);
+	// ccFlows is the congestion control table, keyed by destination LID:
+	// each BECN arrival bumps the flow's index, each index level adds
+	// CCTStep of inter-packet injection delay, and a per-flow timer
+	// decays the index back every CCTDecay.
+	cc      CCParams
+	ccFlows map[packet.LID]*ccFlow
+
 	// verif holds the CRC scratch buffer for this HCA's receive checks;
 	// per-HCA rather than global because whole simulations run in
 	// parallel under the experiment runner.
@@ -122,12 +131,24 @@ func (h *HCA) Send(d *Delivery) {
 	d.EnqueuedAt = h.sim.Now()
 	h.Counters.Inc("sent", 1)
 	h.params.observe(h.sim.Now(), ObsEnqueue, h.name, d)
-	if h.ExtraSendDelay > 0 {
+	extra := h.ExtraSendDelay
+	if len(h.ccFlows) > 0 && d.Class != ClassManagement && d.Pkt.BTH.OpCode != packet.CNPNotify {
+		// Congestion control: a flow with a non-zero CCT index waits
+		// index*CCTStep extra before each injection. The delay rides the
+		// same serial send engine as MAC generation, so a throttled
+		// flood backs up in the source's own engine instead of the
+		// fabric — which is the entire point of the annex.
+		if f := h.ccFlows[d.Pkt.LRH.DLID]; f != nil && f.index > 0 {
+			extra += sim.Time(f.index) * h.cc.CCTStep
+			h.Counters.Inc("cct_throttled", 1)
+		}
+	}
+	if extra > 0 {
 		start := h.sim.Now()
 		if h.engineBusyTil > start {
 			start = h.engineBusyTil
 		}
-		h.engineBusyTil = start + h.ExtraSendDelay
+		h.engineBusyTil = start + extra
 		h.sim.ScheduleAt(h.engineBusyTil, func() { h.port.out.enqueue(d) })
 		return
 	}
@@ -183,7 +204,123 @@ func (h *HCA) HOQDropped() uint64 {
 	if h.port.out == nil {
 		return 0
 	}
-	return h.port.out.hoqDropped
+	return h.port.out.hoqTotal()
+}
+
+// HOQDroppedVL returns the Head-of-Queue drops on one of the HCA's send
+// VLs.
+func (h *HCA) HOQDroppedVL(vl uint8) uint64 {
+	if h.port.out == nil {
+		return 0
+	}
+	return h.port.out.hoqDropped[vl]
+}
+
+// CreditStallTime returns the cumulative time the HCA's outbound port
+// spent with backlog but no transmittable VL.
+func (h *HCA) CreditStallTime() sim.Time {
+	if h.port.out == nil {
+		return 0
+	}
+	return h.port.out.stallTime(h.sim.Now())
+}
+
+// ccFlow is one congestion control table entry: the current index and
+// whether its decay timer is armed.
+type ccFlow struct {
+	index int
+	armed bool
+}
+
+// SetCongestionControl programs the HCA's congestion-control-table
+// parameters (CC annex CCT write, performed by the SM's congestion
+// manager at bring-up). The zero value disables throttling and BECN
+// processing.
+func (h *HCA) SetCongestionControl(cc CCParams) {
+	h.cc = cc
+	if cc.Enabled() && h.ccFlows == nil {
+		h.ccFlows = make(map[packet.LID]*ccFlow)
+	}
+}
+
+// NotifyBECN records a backward congestion notification for the flow
+// toward dst: the CCT index rises one level (saturating at CCTSize),
+// and the decay timer is armed so throttling relaxes once notifications
+// stop. Called on CNP arrival (UD flows) and by the transport layer on
+// BECN-bearing ACKs (RC flows). No-op while congestion control is off.
+func (h *HCA) NotifyBECN(dst packet.LID) {
+	if !h.cc.Enabled() {
+		return
+	}
+	f := h.ccFlows[dst]
+	if f == nil {
+		f = &ccFlow{}
+		h.ccFlows[dst] = f
+	}
+	if f.index < h.cc.CCTSize {
+		f.index++
+	}
+	h.Counters.Inc("becn_notified", 1)
+	if !f.armed {
+		f.armed = true
+		h.armCCTDecay(f)
+	}
+}
+
+// armCCTDecay schedules the flow's next index decrement; the timer
+// re-arms while the index stays positive.
+func (h *HCA) armCCTDecay(f *ccFlow) {
+	h.sim.Schedule(h.cc.CCTDecay, func() {
+		if f.index > 0 {
+			f.index--
+		}
+		if f.index > 0 {
+			h.armCCTDecay(f)
+			return
+		}
+		f.armed = false
+	})
+}
+
+// CCTIndex returns the largest current congestion-control-table index
+// across the HCA's flows — non-zero means at least one flow is being
+// throttled at the source.
+func (h *HCA) CCTIndex() int {
+	idx := 0
+	for _, f := range h.ccFlows {
+		if f.index > idx {
+			idx = f.index
+		}
+	}
+	return idx
+}
+
+// sendCNP returns a congestion notification packet to the source of a
+// FECN-marked datagram (CC annex: UD has no ACK stream to piggyback
+// BECN on). The CNP carries the offending flow's P_Key and is
+// intercepted by the source HCA before its partition check — congestion
+// is a link-level phenomenon, and throttling an unauthorized flood is
+// exactly the annex's job.
+func (h *HCA) sendCNP(orig *Delivery) {
+	p := &packet.Packet{
+		LRH: packet.LRH{
+			LNH:  packet.LNHIBALocal,
+			DLID: orig.Pkt.LRH.SLID,
+			SLID: h.lid,
+		},
+		BTH: packet.BTH{
+			OpCode: packet.CNPNotify,
+			PKey:   orig.Pkt.BTH.PKey,
+			BECN:   true,
+		},
+	}
+	if err := h.verif.Seal(p); err != nil {
+		return
+	}
+	d := &Delivery{Pkt: p, Class: ClassBestEffort, VL: VLBestEffort}
+	h.Counters.Inc("cnp_sent", 1)
+	h.params.observe(h.sim.Now(), ObsCNP, h.name, d)
+	h.Send(d)
 }
 
 // arrive implements Device: verify CRCs, check the partition table,
@@ -202,6 +339,28 @@ func (h *HCA) arrive(_ int, d *Delivery) {
 			h.Counters.Inc("icrc_drops", 1)
 			h.params.observe(h.sim.Now(), ObsCRCDrop, h.name, d)
 			return
+		}
+	}
+	if h.cc.Enabled() && d.Class != ClassManagement {
+		// Congestion control runs below partition enforcement: a CNP for
+		// one of this HCA's flows is consumed here (before the P_Key
+		// check — the notification may quote an invalid key the flood
+		// carried), and a FECN-marked arrival is reflected back to its
+		// source so the congestion tree is starved where it is fed.
+		if d.Pkt.BTH.OpCode == packet.CNPNotify {
+			h.Counters.Inc("cnp_received", 1)
+			h.params.observe(h.sim.Now(), ObsBECN, h.name, d)
+			h.NotifyBECN(d.Pkt.LRH.SLID)
+			return
+		}
+		if d.Pkt.BTH.FECN {
+			h.Counters.Inc("fecn_received", 1)
+			if svc := d.Pkt.BTH.OpCode.Service(); svc == packet.ServiceUD || svc == packet.ServiceUC {
+				// No ACK stream to piggyback BECN on: answer with a
+				// standalone CNP. RC flows are handled by the transport
+				// layer, which sets BECN on the ACK instead.
+				h.sendCNP(d)
+			}
 		}
 	}
 	if d.Class != ClassManagement && !h.PKeyTable.Check(d.Pkt.BTH.PKey) {

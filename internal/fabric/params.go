@@ -128,6 +128,71 @@ type Params struct {
 	// the trace package records through. Keep implementations cheap:
 	// they run inline with the simulation.
 	Observer Observer
+
+	// Congestion holds the Congestion Control Annex parameters. The
+	// zero value disables congestion control entirely (no FECN marking,
+	// no CCT throttling), keeping the fabric byte-identical to builds
+	// that predate the feature.
+	Congestion CCParams
+}
+
+// CCParams are the IBA Congestion Control Annex (A10) knobs, modelled
+// in the shape of the annex's CongestionControlTable attributes. All
+// zero means congestion control is off. Devices do not act on these
+// directly: the subnet manager's congestion-control manager programs
+// them into switches and HCAs at bring-up via management datagrams, so
+// an unprogrammed device never marks or throttles even when the
+// fabric-wide Params carry CC settings.
+type CCParams struct {
+	// MarkingThreshold is the per-VL output-queue depth (in packets,
+	// counting the in-flight head) at or above which a switch sets the
+	// FECN bit on packets it forwards. Zero disables congestion control
+	// — the master switch for the whole feature. The management VL is
+	// never marked.
+	MarkingThreshold int
+	// CCTSize is the number of entries in the HCA congestion control
+	// table: the cap on the per-flow CCT index. Each BECN arrival bumps
+	// the flow's index by one, up to CCTSize.
+	CCTSize int
+	// CCTStep is the injection-delay quantum one CCT index level adds:
+	// a flow at index i waits an extra i*CCTStep between packets.
+	CCTStep sim.Time
+	// CCTDecay is the recovery timer period: while a flow's CCT index
+	// is non-zero it decrements by one every CCTDecay, so throttling
+	// relaxes after congestion (or the attack) stops.
+	CCTDecay sim.Time
+}
+
+// Enabled reports whether congestion control is switched on.
+func (c *CCParams) Enabled() bool { return c.MarkingThreshold > 0 }
+
+// Validate reports congestion-control configuration errors.
+func (c *CCParams) Validate(creditsPerVL int) error {
+	if c.MarkingThreshold < 0 {
+		return fmt.Errorf("fabric: negative congestion marking threshold %d", c.MarkingThreshold)
+	}
+	if !c.Enabled() {
+		if c.CCTSize != 0 || c.CCTStep != 0 || c.CCTDecay != 0 {
+			return fmt.Errorf("fabric: CCT parameters set but marking threshold is zero (congestion control off)")
+		}
+		return nil
+	}
+	if max := 4 * creditsPerVL; c.MarkingThreshold > max {
+		// A switch output queue converges at most the other four ports'
+		// input buffers (credit flow control bounds each at CreditsPerVL
+		// per lane), so a deeper threshold can never trip.
+		return fmt.Errorf("fabric: marking threshold %d exceeds reachable queue depth %d (4x per-VL credits)", c.MarkingThreshold, max)
+	}
+	if c.CCTSize <= 0 {
+		return fmt.Errorf("fabric: congestion control table size must be positive, got %d", c.CCTSize)
+	}
+	if c.CCTStep <= 0 {
+		return fmt.Errorf("fabric: congestion control table step must be positive, got %v", c.CCTStep)
+	}
+	if c.CCTDecay <= 0 {
+		return fmt.Errorf("fabric: congestion control table decay period must be positive, got %v", c.CCTDecay)
+	}
+	return nil
 }
 
 // ObsKind labels an observed packet event.
@@ -144,6 +209,9 @@ const (
 	ObsDeliver                       // destination HCA accepted it
 	ObsBlackhole                     // destroyed by an injected fault (link/switch down, MAD drop)
 	ObsHOQDrop                       // aged out by the Head-of-Queue lifetime limit
+	ObsFECNMark                      // switch set FECN: output queue at/above the marking threshold
+	ObsBECN                          // source HCA received backward congestion notification
+	ObsCNP                           // destination HCA emitted a congestion notification packet
 )
 
 func (k ObsKind) String() string {
@@ -166,6 +234,12 @@ func (k ObsKind) String() string {
 		return "blackhole"
 	case ObsHOQDrop:
 		return "hoq-drop"
+	case ObsFECNMark:
+		return "fecn-mark"
+	case ObsBECN:
+		return "becn"
+	case ObsCNP:
+		return "cnp"
 	default:
 		return "unknown"
 	}
@@ -247,5 +321,5 @@ func (p *Params) Validate() error {
 	if p.BitErrorRate > 0 && p.RNG == nil {
 		return fmt.Errorf("fabric: bit error injection needs an RNG")
 	}
-	return nil
+	return p.Congestion.Validate(p.CreditsPerVL)
 }

@@ -47,6 +47,9 @@ type Switch struct {
 	madTap  MADTap
 	guid    uint64
 	down    bool
+	// ccThreshold is the programmed FECN marking threshold (zero until
+	// the SM's congestion manager programs the switch).
+	ccThreshold int
 
 	Counters *metrics.Counters
 }
@@ -173,10 +176,70 @@ func (sw *Switch) HOQDropped() uint64 {
 	var n uint64
 	for i := range sw.ports {
 		if ch := sw.ports[i].out; ch != nil {
-			n += ch.hoqDropped
+			n += ch.hoqTotal()
 		}
 	}
 	return n
+}
+
+// HOQDroppedVL returns the Head-of-Queue drops on one VL across all the
+// switch's output ports.
+func (sw *Switch) HOQDroppedVL(vl uint8) uint64 {
+	var n uint64
+	for i := range sw.ports {
+		if ch := sw.ports[i].out; ch != nil {
+			n += ch.hoqDropped[vl]
+		}
+	}
+	return n
+}
+
+// SetCongestionControl programs the switch's FECN marking threshold
+// (CC annex CongestionControlTable write): every output port marks
+// forwarded packets whose VL queue is at or past the threshold. Zero
+// turns marking off. Applies to ports connected later too.
+func (sw *Switch) SetCongestionControl(markingThreshold int) {
+	sw.ccThreshold = markingThreshold
+	for _, p := range sw.ports {
+		if p.out != nil {
+			p.out.ccThreshold = markingThreshold
+		}
+	}
+}
+
+// FECNMarked returns the packets FECN-marked on one output port (zero
+// for unconnected ports).
+func (sw *Switch) FECNMarked(port int) uint64 {
+	if port < 0 || port >= len(sw.ports) || sw.ports[port].out == nil {
+		return 0
+	}
+	return sw.ports[port].out.fecnMarked
+}
+
+// FECNMarkedTotal sums FECN markings over all output ports — non-zero
+// means this switch is part of an active congestion tree.
+func (sw *Switch) FECNMarkedTotal() uint64 {
+	var n uint64
+	for i := range sw.ports {
+		if ch := sw.ports[i].out; ch != nil {
+			n += ch.fecnMarked
+		}
+	}
+	return n
+}
+
+// CreditStallTime returns the cumulative time the switch's output ports
+// spent with backlog but no transmittable VL — the upstream HOL-blocking
+// pressure a congestion tree exerts.
+func (sw *Switch) CreditStallTime() sim.Time {
+	var t sim.Time
+	now := sw.sim.Now()
+	for i := range sw.ports {
+		if ch := sw.ports[i].out; ch != nil {
+			t += ch.stallTime(now)
+		}
+	}
+	return t
 }
 
 // SetGUID assigns the switch's node GUID (reported in NodeInfo).
@@ -241,6 +304,7 @@ func (sw *Switch) bind(port int, ch *outChannel) {
 	if sw.ports[port].out != nil {
 		panic(fmt.Sprintf("fabric: %s port %d already connected", sw.name, port))
 	}
+	ch.ccThreshold = sw.ccThreshold
 	sw.ports[port].out = ch
 }
 

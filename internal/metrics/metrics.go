@@ -188,6 +188,15 @@ func (c *Counters) Inc(name string, delta uint64) {
 	c.mu.Unlock()
 }
 
+// Set overwrites the named entry with an absolute value — a gauge
+// (e.g. a cumulative stall-time snapshot) living in the same namespace
+// as the counters, so it flows through Names/CSVRow unchanged.
+func (c *Counters) Set(name string, v uint64) {
+	c.mu.Lock()
+	c.m[name] = v
+	c.mu.Unlock()
+}
+
 // Get returns the named counter's value (0 if never incremented).
 func (c *Counters) Get(name string) uint64 {
 	c.mu.RLock()

@@ -223,6 +223,18 @@ func TestCountersCSVRowSortedStable(t *testing.T) {
 	if i != len(before) {
 		t.Fatalf("lost %d pre-existing columns", len(before)-i)
 	}
+
+	// Gauges share the namespace: Set inserts a column under the same
+	// sorted contract and overwrites rather than accumulates.
+	c.Set("credit_stall_ns", 1500)
+	c.Set("credit_stall_ns", 900)
+	header3, _ := c.CSVRow()
+	if !sort.StringsAreSorted(header3) || len(header3) != len(header2)+1 {
+		t.Fatalf("CSV header after gauge insert: %v", header3)
+	}
+	if got := c.Get("credit_stall_ns"); got != 900 {
+		t.Fatalf("gauge should overwrite, got %d", got)
+	}
 }
 
 func TestLatencySplit(t *testing.T) {

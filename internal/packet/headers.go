@@ -128,8 +128,13 @@ func (k PKey) SameBase(o PKey) bool { return k.Base() == o.Base() }
 //	byte 0:    OpCode
 //	byte 1:    SE(1) | M(1) | PadCnt(2) | TVer(4)
 //	bytes 2-3: P_Key
-//	byte 4:    Resv8a — variant, masked in ICRC. The paper stores the
-//	           authentication-function identifier here (section 5.1).
+//	byte 4:    Resv8a — variant, masked in ICRC. Packed here as
+//	           FECN(1) | BECN(1) | AuthID(6): the congestion-control
+//	           annex notification bits share the byte with the paper's
+//	           authentication-function identifier (section 5.1), which
+//	           only needs the low six bits. Because the whole byte is
+//	           variant, a switch may set FECN mid-flight without
+//	           breaking the ICRC or the authentication tag.
 //	bytes 5-7: DestQP (24 bits)
 //	byte 8:    A(1) | rsvd(7)
 //	bytes 9-11: PSN (24 bits)
@@ -140,11 +145,21 @@ type BTH struct {
 	PadCnt uint8 // 2 bits: pad bytes appended to payload
 	TVer   uint8 // 4 bits: transport version
 	PKey   PKey
-	AuthID uint8 // Resv8a: 0 = plain ICRC, non-zero = MAC function id
+	FECN   bool  // forward explicit congestion notification (CC annex)
+	BECN   bool  // backward explicit congestion notification (CC annex)
+	AuthID uint8 // Resv8a low 6 bits: 0 = plain ICRC, non-zero = MAC function id
 	DestQP QPN
 	AckReq bool
 	PSN    uint32 // 24 bits
 }
+
+// BTH Resv8a bit masks: FECN and BECN occupy the top two bits, the
+// authentication-function identifier the remaining six.
+const (
+	BTHFECNBit   = 0x80
+	BTHBECNBit   = 0x40
+	BTHAuthIDMax = 0x3F
+)
 
 func (h *BTH) marshal(b []byte) {
 	b[0] = uint8(h.OpCode)
@@ -156,7 +171,13 @@ func (h *BTH) marshal(b []byte) {
 		b[1] |= 0x40
 	}
 	binary.BigEndian.PutUint16(b[2:4], uint16(h.PKey))
-	b[4] = h.AuthID
+	b[4] = h.AuthID & BTHAuthIDMax
+	if h.FECN {
+		b[4] |= BTHFECNBit
+	}
+	if h.BECN {
+		b[4] |= BTHBECNBit
+	}
 	putUint24(b[5:8], uint32(h.DestQP))
 	b[8] = 0
 	if h.AckReq {
@@ -172,7 +193,9 @@ func (h *BTH) unmarshal(b []byte) {
 	h.PadCnt = b[1] >> 4 & 0x03
 	h.TVer = b[1] & 0x0F
 	h.PKey = PKey(binary.BigEndian.Uint16(b[2:4]))
-	h.AuthID = b[4]
+	h.FECN = b[4]&BTHFECNBit != 0
+	h.BECN = b[4]&BTHBECNBit != 0
+	h.AuthID = b[4] & BTHAuthIDMax
 	h.DestQP = QPN(uint24(b[5:8]))
 	h.AckReq = b[8]&0x80 != 0
 	h.PSN = uint24(b[9:12])

@@ -45,6 +45,11 @@ const (
 	// Unreliable Datagram (UD).
 	UDSendOnly    OpCode = 0x64
 	UDSendOnlyImm OpCode = 0x65
+
+	// Congestion Notification Packet (CC annex A10): a standalone BTH-only
+	// packet a destination returns to a UD source whose packets arrived
+	// FECN-marked. RC flows piggyback BECN on ACKs instead.
+	CNPNotify OpCode = 0x81
 )
 
 // Service identifies an IBA transport service type.
@@ -109,7 +114,9 @@ func (op OpCode) HasAETH() bool { return op == RCAck || op == RCRDMAReadRespO }
 func (op OpCode) HasImm() bool { return op == UDSendOnlyImm }
 
 // HasPayload reports whether packets with this opcode may carry payload.
-func (op OpCode) HasPayload() bool { return op != RCAck && op != RCRDMAReadReq }
+func (op OpCode) HasPayload() bool {
+	return op != RCAck && op != RCRDMAReadReq && op != CNPNotify
+}
 
 func (op OpCode) String() string {
 	switch op {
@@ -139,6 +146,8 @@ func (op OpCode) String() string {
 		return "UD_SEND_ONLY"
 	case UDSendOnlyImm:
 		return "UD_SEND_ONLY_IMMEDIATE"
+	case CNPNotify:
+		return "CNP"
 	default:
 		return fmt.Sprintf("OpCode(0x%02x)", uint8(op))
 	}

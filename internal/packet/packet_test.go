@@ -279,7 +279,9 @@ func TestPropertyRoundTrip(t *testing.T) {
 				OpCode: op,
 				SE:     r.Intn(2) == 0,
 				PKey:   PKey(r.Intn(1 << 16)),
-				AuthID: uint8(r.Intn(256)),
+				AuthID: uint8(r.Intn(BTHAuthIDMax + 1)),
+				FECN:   r.Intn(2) == 0,
+				BECN:   r.Intn(2) == 0,
 				DestQP: QPN(r.Intn(1 << 24)),
 				PSN:    uint32(r.Intn(1 << 24)),
 			},

@@ -1,0 +1,145 @@
+package sm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ibasec/internal/fabric"
+	"ibasec/internal/sim"
+)
+
+// This file implements the control plane of the IBA Congestion Control
+// Annex (A10): the subnet manager's congestion-control manager, which
+// programs switch marking thresholds and HCA congestion control tables
+// at bring-up, re-programs them after failover from the state-synced
+// configuration blob, and answers congestion log queries over the
+// programmed fabric.
+
+// ccBlobMagic opens every encoded congestion-control configuration.
+// It must stay distinct from the policy document magic ("IBPL"): HA
+// state-sync MADs carry both blobs as interchangeable trailers and
+// classify them by these first bytes.
+const ccBlobMagic = "IBCC"
+
+// ccBlobVersion is the current encoding version.
+const ccBlobVersion = 1
+
+// ccBlobSize is the fixed encoded size: magic(4), version(1),
+// threshold(2), cctSize(2), cctStep(8), cctDecay(8).
+const ccBlobSize = 25
+
+// EncodeCCBlob renders a congestion-control configuration into the
+// deterministic wire form carried by HA state sync.
+func EncodeCCBlob(cc fabric.CCParams) []byte {
+	b := make([]byte, ccBlobSize)
+	copy(b, ccBlobMagic)
+	b[4] = ccBlobVersion
+	binary.BigEndian.PutUint16(b[5:7], uint16(cc.MarkingThreshold))
+	binary.BigEndian.PutUint16(b[7:9], uint16(cc.CCTSize))
+	binary.BigEndian.PutUint64(b[9:17], uint64(cc.CCTStep))
+	binary.BigEndian.PutUint64(b[17:25], uint64(cc.CCTDecay))
+	return b
+}
+
+// IsCCBlob reports whether the blob opens with the congestion-control
+// magic — the state-sync trailer classifier.
+func IsCCBlob(b []byte) bool {
+	return len(b) >= len(ccBlobMagic) && string(b[:len(ccBlobMagic)]) == ccBlobMagic
+}
+
+// ParseCCBlob decodes an encoded congestion-control configuration,
+// rejecting truncated, mis-tagged, or over-long blobs.
+func ParseCCBlob(b []byte) (fabric.CCParams, error) {
+	if !IsCCBlob(b) {
+		return fabric.CCParams{}, fmt.Errorf("sm: not a congestion-control blob")
+	}
+	if len(b) != ccBlobSize {
+		return fabric.CCParams{}, fmt.Errorf("sm: congestion-control blob length %d, want %d", len(b), ccBlobSize)
+	}
+	if b[4] != ccBlobVersion {
+		return fabric.CCParams{}, fmt.Errorf("sm: congestion-control blob version %d, want %d", b[4], ccBlobVersion)
+	}
+	return fabric.CCParams{
+		MarkingThreshold: int(binary.BigEndian.Uint16(b[5:7])),
+		CCTSize:          int(binary.BigEndian.Uint16(b[7:9])),
+		CCTStep:          sim.Time(binary.BigEndian.Uint64(b[9:17])),
+		CCTDecay:         sim.Time(binary.BigEndian.Uint64(b[17:25])),
+	}, nil
+}
+
+// ProgramCongestionControl writes the marking threshold into every
+// switch and the CCT parameters into every HCA the SM currently serves
+// (the whole fabric, or its island when scoped), charging one
+// configuration MAD per device, and leaves the encoded blob on the SM
+// so HA state sync carries it to standbys. The zero value un-programs
+// devices — the off switch. Idempotent; a promoted standby calls it
+// again with the configuration parsed from its inherited CCBlob.
+func (m *SubnetManager) ProgramCongestionControl(cc fabric.CCParams) {
+	for i, sw := range m.mesh.Switches {
+		if !m.InIsland(i) {
+			continue
+		}
+		sw.SetCongestionControl(cc.MarkingThreshold)
+		m.Counters.Inc("cc_program_mads", 1)
+	}
+	for i, hca := range m.mesh.HCAs {
+		if !m.InIsland(i) {
+			continue
+		}
+		hca.SetCongestionControl(cc)
+		m.Counters.Inc("cc_program_mads", 1)
+	}
+	if cc.Enabled() {
+		m.CCBlob = EncodeCCBlob(cc)
+	} else {
+		m.CCBlob = nil
+	}
+}
+
+// CongestionLogEntry is one switch's row of the SM's congestion log
+// (the annex's SwitchCongestionLog attribute, reduced to what the
+// simulator measures): how many packets the switch FECN-marked per
+// port, and the time its output ports spent credit-stalled.
+type CongestionLogEntry struct {
+	Switch      int
+	PortMarked  []uint64
+	TotalMarked uint64
+	StallNs     uint64
+}
+
+// QueryCongestionLog collects the congestion log from every switch the
+// SM serves, in switch order, charging one query MAD per switch.
+// Switches with no marking activity are omitted — the log's length is
+// the span of the congestion tree.
+func (m *SubnetManager) QueryCongestionLog() []CongestionLogEntry {
+	var log []CongestionLogEntry
+	for i, sw := range m.mesh.Switches {
+		if !m.InIsland(i) {
+			continue
+		}
+		m.Counters.Inc("cc_log_queries", 1)
+		total := sw.FECNMarkedTotal()
+		if total == 0 {
+			continue
+		}
+		e := CongestionLogEntry{
+			Switch:      i,
+			TotalMarked: total,
+			StallNs:     uint64(sw.CreditStallTime()),
+		}
+		for p := 0; p < sw.NumPorts(); p++ {
+			e.PortMarked = append(e.PortMarked, sw.FECNMarked(p))
+		}
+		log = append(log, e)
+	}
+	sort.Slice(log, func(a, b int) bool { return log[a].Switch < log[b].Switch })
+	return log
+}
+
+// CongestionTreeSpan returns the number of served switches with any
+// marking activity — the blast-radius metric the congestion experiment
+// sweeps.
+func (m *SubnetManager) CongestionTreeSpan() int {
+	return len(m.QueryCongestionLog())
+}

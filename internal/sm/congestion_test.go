@@ -1,0 +1,123 @@
+package sm
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ibasec/internal/enforce"
+	"ibasec/internal/fabric"
+	"ibasec/internal/sim"
+)
+
+func testCCParams() fabric.CCParams {
+	return fabric.CCParams{
+		MarkingThreshold: 6,
+		CCTSize:          16,
+		CCTStep:          2 * sim.Microsecond,
+		CCTDecay:         20 * sim.Microsecond,
+	}
+}
+
+func TestCCBlobRoundTrip(t *testing.T) {
+	cc := testCCParams()
+	blob := EncodeCCBlob(cc)
+	if !IsCCBlob(blob) {
+		t.Fatal("encoded blob not recognised by the classifier")
+	}
+	got, err := ParseCCBlob(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cc {
+		t.Fatalf("round trip changed the configuration: got %+v want %+v", got, cc)
+	}
+
+	if _, err := ParseCCBlob([]byte("IBPLnot-congestion-control!!!")); err == nil {
+		t.Error("accepted a policy-magic blob")
+	}
+	if _, err := ParseCCBlob(blob[:ccBlobSize-3]); err == nil {
+		t.Error("accepted a truncated blob")
+	}
+	if _, err := ParseCCBlob(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Error("accepted an over-long blob")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[4] = ccBlobVersion + 1
+	if _, err := ParseCCBlob(bad); err == nil {
+		t.Error("accepted an unknown version")
+	}
+}
+
+// TestStateSyncCarriesCCBlob covers every trailer combination of the HA
+// state-sync encoding: the congestion-control blob and the policy
+// document must survive a round trip and land in the right field (they
+// are classified by magic, not position), and the trailer-free legacy
+// encoding must still parse.
+func TestStateSyncCarriesCCBlob(t *testing.T) {
+	base := stateSyncMAD{
+		Master:     3,
+		DirDigest:  0xDEADBEEF,
+		Partitions: []syncPartition{{Base: 0x8001, Epoch: 7, Members: []uint16{1, 4, 9}}},
+	}
+	policy := []byte("IBPLfake-policy-document")
+	cc := EncodeCCBlob(testCCParams())
+
+	cases := map[string]stateSyncMAD{
+		"legacy no trailers": base,
+		"policy only":        {Master: base.Master, DirDigest: base.DirDigest, Partitions: base.Partitions, Policy: policy},
+		"cc only":            {Master: base.Master, DirDigest: base.DirDigest, Partitions: base.Partitions, CC: cc},
+		"policy and cc":      {Master: base.Master, DirDigest: base.DirDigest, Partitions: base.Partitions, Policy: policy, CC: cc},
+	}
+	for name, in := range cases {
+		got, err := parseStateSync(encodeStateSync(in))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Errorf("%s: round trip changed the MAD:\n got %+v\nwant %+v", name, got, in)
+		}
+		if !bytes.Equal(got.CC, in.CC) || !bytes.Equal(got.Policy, in.Policy) {
+			t.Errorf("%s: trailer misclassified: CC=%q Policy=%q", name, got.CC, got.Policy)
+		}
+	}
+}
+
+// TestProgramCongestionControl checks the congestion manager's bring-up
+// write: programming the fabric arms every HCA's BECN processing,
+// charges one MAD per device, and leaves the encoded blob on the SM for
+// HA state sync; re-programming the zero value disarms everything and
+// clears the blob.
+func TestProgramCongestionControl(t *testing.T) {
+	r := newRig(t, enforce.NoFiltering)
+	cc := testCCParams()
+	r.m.ProgramCongestionControl(cc)
+
+	h := r.mesh.HCA(5)
+	h.NotifyBECN(1)
+	if h.CCTIndex() != 1 {
+		t.Fatal("programmed HCA ignored a BECN")
+	}
+	devices := uint64(len(r.mesh.Switches) + len(r.mesh.HCAs))
+	if got := r.m.Counters.Get("cc_program_mads"); got != devices {
+		t.Fatalf("cc_program_mads = %d, want one per device (%d)", got, devices)
+	}
+	want, err := ParseCCBlob(r.m.CCBlob)
+	if err != nil || want != cc {
+		t.Fatalf("SM did not retain the synced blob: %v %+v", err, want)
+	}
+	if len(r.m.QueryCongestionLog()) != 0 {
+		t.Fatal("congestion log non-empty on an idle fabric")
+	}
+
+	r.m.ProgramCongestionControl(fabric.CCParams{})
+	if r.m.CCBlob != nil {
+		t.Fatal("zero-value programming did not clear the synced blob")
+	}
+	h2 := r.mesh.HCA(6)
+	h2.NotifyBECN(1)
+	if h2.CCTIndex() != 0 {
+		t.Fatal("unprogrammed HCA still processes BECNs")
+	}
+}

@@ -76,6 +76,13 @@ type stateSyncMAD struct {
 	// when the policy plane is off — in which case the encoding is
 	// byte-identical to the pre-policy format.
 	Policy []byte
+	// CC is the master's encoded congestion-control configuration,
+	// carried as a second optional trailer (distinguished from the
+	// policy blob by its "IBCC" magic) so a promoted standby can
+	// reprogram thresholds and CCTs after failover. Empty when
+	// congestion control is off — the encoding then stays byte-identical
+	// to the pre-CC format.
+	CC []byte
 }
 
 type syncPartition struct {
@@ -86,7 +93,8 @@ type syncPartition struct {
 
 // encodeStateSync renders: type, master(2), dirDigest(4), count(2), then
 // per partition base(2), epoch(4), nMembers(2), members(2 each), then —
-// only when a policy document is attached — blobLen(4) and the blob.
+// only when attached — length-prefixed trailers: blobLen(4) and the blob,
+// first the policy document, then the congestion-control configuration.
 func encodeStateSync(m stateSyncMAD) []byte {
 	n := 9
 	for _, p := range m.Partitions {
@@ -94,6 +102,9 @@ func encodeStateSync(m stateSyncMAD) []byte {
 	}
 	if len(m.Policy) > 0 {
 		n += 4 + len(m.Policy)
+	}
+	if len(m.CC) > 0 {
+		n += 4 + len(m.CC)
 	}
 	pl := make([]byte, n)
 	pl[0] = haTypeStateSync
@@ -115,6 +126,12 @@ func encodeStateSync(m stateSyncMAD) []byte {
 		binary.BigEndian.PutUint32(pl[off:], uint32(len(m.Policy)))
 		off += 4
 		copy(pl[off:], m.Policy)
+		off += len(m.Policy)
+	}
+	if len(m.CC) > 0 {
+		binary.BigEndian.PutUint32(pl[off:], uint32(len(m.CC)))
+		off += 4
+		copy(pl[off:], m.CC)
 	}
 	return pl
 }
@@ -154,10 +171,12 @@ func parseStateSync(pl []byte) (stateSyncMAD, error) {
 		}
 		m.Partitions = append(m.Partitions, p)
 	}
-	// Optional policy trailer. Its absence (the pre-policy encoding) is
-	// valid; a present-but-truncated trailer is rejected like any other
-	// short field.
-	if off < len(pl) {
+	// Optional length-prefixed trailers, classified by leading magic:
+	// congestion-control blobs open with "IBCC", anything else is the
+	// marshalled policy document (which opens with its own "IBPL"). The
+	// trailer-free pre-policy encoding parses unchanged; a present-but-
+	// truncated trailer is rejected like any other short field.
+	for off < len(pl) {
 		if off+4 > len(pl) {
 			return stateSyncMAD{}, errHAShort
 		}
@@ -166,7 +185,13 @@ func parseStateSync(pl []byte) (stateSyncMAD, error) {
 		if bn <= 0 || off+bn > len(pl) {
 			return stateSyncMAD{}, errHAShort
 		}
-		m.Policy = append([]byte(nil), pl[off:off+bn]...)
+		blob := append([]byte(nil), pl[off:off+bn]...)
+		off += bn
+		if IsCCBlob(blob) {
+			m.CC = blob
+		} else {
+			m.Policy = blob
+		}
 	}
 	return m, nil
 }
@@ -541,6 +566,7 @@ func (c *Coordinator) beatFrom(idx int) {
 	digest := fnv1a32(sync.Partitions)
 	sync.DirDigest = digest
 	sync.Policy = master.PolicyBlob
+	sync.CC = master.CCBlob
 	hb := encodeHeartbeat(heartbeatMAD{Master: uint16(c.nodes[idx]), Seq: c.hbSeqs[idx], Digest: digest})
 	ss := encodeStateSync(sync)
 	// With SplitBrain on, masters also beat entry 0 — that is how a
@@ -636,6 +662,9 @@ func (c *Coordinator) Dispatch(node int, d *fabric.Delivery) bool {
 			c.sms[i].AdoptPartitions(snap)
 			if len(sync.Policy) > 0 {
 				c.sms[i].PolicyBlob = append([]byte(nil), sync.Policy...)
+			}
+			if len(sync.CC) > 0 {
+				c.sms[i].CCBlob = append([]byte(nil), sync.CC...)
 			}
 			if fnv1a32(sync.Partitions) != sync.DirDigest {
 				c.Counters.Inc("sync_digest_mismatch", 1)

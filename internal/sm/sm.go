@@ -96,6 +96,12 @@ type SubnetManager struct {
 	// coordinator appends it to state-sync MADs so a promoted standby
 	// inherits the intent it must audit against.
 	PolicyBlob []byte
+	// CCBlob is the encoded congestion-control configuration this SM
+	// programs from (see congestion.go for the format). Non-empty only
+	// when the CC annex is enabled; the HA coordinator appends it to
+	// state-sync MADs so a promoted standby inherits the thresholds and
+	// CCT parameters it must keep programmed.
+	CCBlob []byte
 	// ProgramTables, when non-nil, replaces ProgramSwitchTables'
 	// built-in membership-derived programming with compiled-intent
 	// programming — wired by the core layer when the policy plane is

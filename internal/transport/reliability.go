@@ -271,14 +271,14 @@ func (e *Endpoint) handleRCRequest(q *QP, p *packet.Packet, d *fabric.Delivery) 
 		// An RDMA read is acknowledged by its response (IBA 9.7.5.1.5);
 		// everything else gets an explicit cumulative ACK.
 		if p.BTH.OpCode != packet.RCRDMAReadReq {
-			e.sendAck(q, p.BTH.PSN)
+			e.sendAck(q, p.BTH.PSN, p.BTH.FECN)
 		}
 		return true
 	case st.gotAny && psnBefore(p.BTH.PSN, st.ePSN):
 		// Duplicate of an already-delivered request: re-acknowledge,
 		// do not re-deliver.
 		e.Counters.Inc("rc_duplicates", 1)
-		e.sendAck(q, (st.ePSN-1)&0xFFFFFF)
+		e.sendAck(q, (st.ePSN-1)&0xFFFFFF, p.BTH.FECN)
 		return false
 	default:
 		// Gap (an earlier request was discarded en route): drop and tell
@@ -297,7 +297,7 @@ func (e *Endpoint) handleRCRequest(q *QP, p *packet.Packet, d *fabric.Delivery) 
 			}
 			return false
 		}
-		e.sendAck(q, (st.ePSN-1)&0xFFFFFF)
+		e.sendAck(q, (st.ePSN-1)&0xFFFFFF, p.BTH.FECN)
 		return false
 	}
 }
@@ -308,15 +308,17 @@ func psnBefore(a, b uint32) bool {
 }
 
 // sendAck emits a (possibly authenticated) cumulative acknowledgement
-// for PSN psn.
-func (e *Endpoint) sendAck(q *QP, psn uint32) {
-	e.sendAckSyndrome(q, psn, packet.AETHAck, "rc_acks_sent")
+// for PSN psn. becn reflects a FECN-marked request back to the
+// requester as a backward congestion notification (CC annex: RC flows
+// piggyback BECN on the ACK stream instead of standalone CNPs).
+func (e *Endpoint) sendAck(q *QP, psn uint32, becn bool) {
+	e.sendAckSyndrome(q, psn, packet.AETHAck, "rc_acks_sent", becn)
 }
 
 // sendNakSeq emits a PSN-sequence-error NAK naming the last in-order
 // PSN, so the requester goes back immediately instead of timing out.
 func (e *Endpoint) sendNakSeq(q *QP, psn uint32) {
-	e.sendAckSyndrome(q, psn, packet.AETHNAKSeq, "rc_naks_sent")
+	e.sendAckSyndrome(q, psn, packet.AETHNAKSeq, "rc_naks_sent", false)
 }
 
 // sendRNRNak emits a receiver-not-ready NAK carrying the QP's advertised
@@ -326,23 +328,27 @@ func (e *Endpoint) sendNakSeq(q *QP, psn uint32) {
 // consumed". MSN 0 would instead falsely acknowledge (and discard) the
 // un-delivered PSN-0 head of the window.
 func (e *Endpoint) sendRNRNak(q *QP, st *rcState) {
-	e.sendAckSyndrome(q, (st.ePSN-1)&0xFFFFFF, packet.AETHRNRNak|rnrCode(q.RNRDelay), "rc_rnr_naks_sent")
+	e.sendAckSyndrome(q, (st.ePSN-1)&0xFFFFFF, packet.AETHRNRNak|rnrCode(q.RNRDelay), "rc_rnr_naks_sent", false)
 }
 
 // sendAckSyndrome builds, seals and sends one acknowledgement packet
-// with the given AETH syndrome, counting it under counter.
-func (e *Endpoint) sendAckSyndrome(q *QP, psn uint32, syndrome uint8, counter string) {
+// with the given AETH syndrome, counting it under counter. becn sets
+// the backward-congestion-notification bit.
+func (e *Endpoint) sendAckSyndrome(q *QP, psn uint32, syndrome uint8, counter string, becn bool) {
 	if q.RemoteLID == 0 {
 		return
 	}
 	p := &packet.Packet{
 		LRH:  packet.LRH{SLID: e.hca.LID(), DLID: q.RemoteLID},
-		BTH:  packet.BTH{OpCode: packet.RCAck, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: psn},
+		BTH:  packet.BTH{OpCode: packet.RCAck, PKey: q.PKey, DestQP: q.RemoteQPN, PSN: psn, BECN: becn},
 		AETH: &packet.AETH{Syndrome: syndrome, MSN: psn},
 	}
 	if err := e.seal(p, q, q.RemoteLID, q.RemoteQPN, q.N); err != nil {
 		e.Counters.Inc("rc_ack_seal_failed", 1)
 		return
+	}
+	if becn {
+		e.Counters.Inc("rc_becn_sent", 1)
 	}
 	e.Counters.Inc(counter, 1)
 	e.hca.Send(&fabric.Delivery{
@@ -367,6 +373,12 @@ func rnrDelay(c uint8) sim.Time {
 
 // handleRCAck processes an acknowledgement (or NAK) at the requester.
 func (e *Endpoint) handleRCAck(q *QP, p *packet.Packet) {
+	if p.BTH.BECN {
+		// The responder saw our requests FECN-marked: bump the flow's
+		// congestion-control-table index so injection slows at the source.
+		e.Counters.Inc("rc_becn_received", 1)
+		e.hca.NotifyBECN(p.LRH.SLID)
+	}
 	st := q.rc()
 	acked := p.AETH.MSN
 	kept := st.unacked[:0]

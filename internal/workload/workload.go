@@ -175,6 +175,11 @@ type Attacker struct {
 	// partition key instead of guessing.
 	FixedPKey packet.PKey
 
+	// Rate scales the injection rate below line speed: packets are
+	// spaced lineInterval/Rate apart. Zero or one floods back-to-back
+	// (the classic behaviour); the congestion experiment sweeps it.
+	Rate float64
+
 	gen  *Generator
 	rng  *rand.Rand
 	s    sim.Scheduler
@@ -212,6 +217,9 @@ func (a *Attacker) scheduleBurst(after sim.Time) {
 		}
 		a.Bursts++
 		iv := a.lineInterval()
+		if a.Rate > 0 && a.Rate < 1 {
+			iv = sim.Time(float64(iv) / a.Rate)
+		}
 		gen := &Generator{}
 		gen.stop = a.s.Every(iv, func() {
 			gen.Sent++

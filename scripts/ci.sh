@@ -69,6 +69,15 @@ echo "== ibsim splitbrain -quick (subnet-bisection smoke under the race detector
 go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/splitbrain" splitbrain -partitions-us 80,160,320 -heartbeats-us 10,20 -rekeys-us 0,60 >"$tmp/splitbrain.out"
 diff testdata/golden/splitbrain_quick.csv "$tmp/splitbrain/splitbrain.csv"
 
+echo "== ibsim congestion -quick (FECN/BECN congestion-control smoke under the race detector)"
+# Line-rate incast flood vs the Congestion Control Annex: switch FECN
+# marking, CNP reflection, source CCT throttling and post-attack decay
+# on a race-instrumented binary, byte-for-byte against the committed
+# golden CSV (the same sweep TestGoldenCongestion pins both serially and
+# in parallel).
+go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/congestion" congestion -rates 0.5,1.0 >"$tmp/congestion.out"
+diff testdata/golden/congestion_quick.csv "$tmp/congestion/congestion.csv"
+
 echo "== ibsim sweep -quick -shards 4 (sharded engine smoke under the race detector)"
 # The conservative sharded engine (Ordered mode) on a race-instrumented
 # binary: the same sweep run serially and at 4 shards must produce
@@ -86,6 +95,7 @@ go run ./cmd/ibsim -list | grep -qx faults
 go run ./cmd/ibsim -list | grep -qx failover
 go run ./cmd/ibsim -list | grep -qx drift
 go run ./cmd/ibsim -list | grep -qx splitbrain
+go run ./cmd/ibsim -list | grep -qx congestion
 
 echo "== fuzz smoke (wire parsers + shard windows, 5s each)"
 go test -run '^$' -fuzz '^FuzzPacketUnmarshal$' -fuzztime 5s ./internal/packet
