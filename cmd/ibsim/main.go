@@ -21,6 +21,7 @@
 //	ibsim drift                  policy plane: switch-state corruption vs the drift auditor
 //	ibsim splitbrain             robustness: subnet bisection, dual-master containment, merge reconciliation
 //	ibsim congestion             robustness: FECN/BECN congestion control vs DoS injection rate
+//	ibsim health                 robustness: flaky-link quarantine (PerfMgr) vs gray failure and oscillating BER
 //	ibsim trace                  dump a packet-lifecycle trace
 //	ibsim all                    everything above (trace bounded to its default scope)
 //
@@ -132,7 +133,7 @@ var sweepCommands = map[string]bool{
 	"fig1": true, "fig5": true, "fig6": true, "sweep": true,
 	"authrate": true, "smdos": true, "scale": true, "faults": true,
 	"failover": true, "apm": true, "drift": true, "splitbrain": true,
-	"congestion": true, "all": true,
+	"congestion": true, "health": true, "all": true,
 }
 
 // commands is every subcommand, in the order `ibsim -list` prints them
@@ -140,7 +141,7 @@ var sweepCommands = map[string]bool{
 var commands = []string{
 	"config", "fig1", "fig5", "fig6", "table2", "table4", "attacks",
 	"sweep", "authrate", "smdos", "scale", "faults", "failover", "apm",
-	"drift", "splitbrain", "congestion", "trace", "all",
+	"drift", "splitbrain", "congestion", "health", "trace", "all",
 }
 
 // commandFuncs maps each subcommand to its runner. The registry-sync
@@ -166,6 +167,7 @@ var commandFuncs = map[string]func(args []string) error{
 	"drift":      runDrift,
 	"splitbrain": runSplitBrain,
 	"congestion": runCongestion,
+	"health":     runHealth,
 	"trace":      runTrace,
 	"all":        func([]string) error { return runAll() },
 }
@@ -719,6 +721,32 @@ func runCongestion(args []string) error {
 	return writeTable(ibasec.CongestionCSV(rows))
 }
 
+func runHealth(args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	bersFlag := fs.String("bers", "1e-4", "comma-separated peak bit-error rates for the degraded link")
+	fs.Parse(args)
+
+	bers, err := parseFloats(*bersFlag)
+	if err != nil {
+		return fmt.Errorf("health: -bers: %w", err)
+	}
+
+	base := baseConfig()
+	rows, err := ibasec.HealthSweepCtx(runCtx, pool, bers, base)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Robustness. Flaky-link quarantine (PerfMgr) vs gray failure (ramp) and oscillating BER (osc)")
+	fmt.Println("  mode  attack  arm       ber      delivered  crc-rej  lost<q  lost>q  detect(us)  quar  readmit  false  flaps  sweep-mads  trap-mads  reroute-mads")
+	for _, r := range rows {
+		fmt.Printf("  %-4s  %-6s  %-8s  %-7g  %9d  %7d  %6d  %6d  %10.1f  %4d  %7d  %5d  %5d  %10d  %9d  %d\n",
+			r.Mode, r.Attack, r.Arm, r.BER, r.Delivered, r.CRCRejected,
+			r.LostBeforeQ, r.LostAfterQ, r.DetectUS, r.Quarantines, r.Readmits,
+			r.FalseQuarantines, r.Flaps, r.SweepMADs, r.TrapMADs, r.RerouteMADs)
+	}
+	return writeTable(ibasec.HealthCSV(rows))
+}
+
 func runTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	events := fs.Int("events", 30, "how many trailing events to print")
@@ -774,6 +802,7 @@ var allSteps = []struct {
 	{"drift", func() error { return runDrift(nil) }},
 	{"splitbrain", func() error { return runSplitBrain(nil) }},
 	{"congestion", func() error { return runCongestion(nil) }},
+	{"health", func() error { return runHealth(nil) }},
 	{"trace", func() error { return runTrace(nil) }},
 }
 

@@ -238,6 +238,40 @@ func TestGoldenCongestion(t *testing.T) {
 	}
 }
 
+// TestGoldenHealth pins the flaky-link health-plane sweep (the exact
+// configuration scripts/ci.sh race-smokes via `ibsim -quick ... health
+// -bers 1e-4`) and proves engine equivalence three ways: the same sweep
+// through the worker pool, through a nil (serial) pool, and on the
+// two-shard Ordered engine must all match the golden bytes.
+func TestGoldenHealth(t *testing.T) {
+	bers := []float64{1e-4}
+	parallel, err := HealthSweepCtx(context.Background(), goldenPool(), bers, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "health_quick.csv", HealthCSV(parallel))
+
+	if testing.Short() {
+		return
+	}
+	serial, err := HealthSweepCtx(context.Background(), nil, bers, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := HealthCSV(parallel).Bytes(), HealthCSV(serial).Bytes(); !bytes.Equal(a, b) {
+		t.Fatalf("serial sweep diverged from parallel:\n%s\n---\n%s", b, a)
+	}
+	sharded := quickConfig()
+	sharded.Shards = 2
+	shardRows, err := HealthSweepCtx(context.Background(), goldenPool(), bers, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := HealthCSV(parallel).Bytes(), HealthCSV(shardRows).Bytes(); !bytes.Equal(a, b) {
+		t.Fatalf("two-shard sweep diverged from serial engine:\n%s\n---\n%s", b, a)
+	}
+}
+
 // TestGoldenAPM pins the RC recovery / path-migration sweep (the exact
 // configuration scripts/ci.sh race-smokes via `ibsim -quick ... apm
 // -bers 0,1e-5 -kills 0,1`) and proves serial/parallel equivalence the

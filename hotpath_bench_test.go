@@ -81,6 +81,37 @@ func BenchmarkCongestionHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkHealthSweep runs the hot path with the performance manager
+// armed at a short sweep period, so every op carries the full health
+// plane: PortCounters Get MADs over VL15 on every watched inter-switch
+// link, EWMA scoring, and trap arming. Its envelope entry bounds the
+// telemetry overhead; the plain BenchmarkHotPath entry (Health off)
+// holds the no-feature path to its recorded allocation count, so the
+// counter plumbing in the switches and HCAs cannot tax runs that never
+// enable the PerfMgr.
+func BenchmarkHealthSweep(b *testing.B) {
+	cfg := hotPathConfig(false)
+	cfg.Health = HealthParams{
+		SweepPeriod:   40 * Microsecond,
+		TrapThreshold: 6,
+		Damping:       true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DeliveredLegit == 0 {
+			b.Fatal("hot path delivered nothing")
+		}
+		if res.HealthSweepMADs == 0 {
+			b.Fatal("PerfMgr never swept — benchmark measures nothing")
+		}
+	}
+}
+
 // benchHotPathShards runs the plain hot path on a 4x4 mesh — big enough
 // for 8 link-connected regions — with the given engine configuration
 // (0 = serial reference, >1 = sharded engine in Ordered mode).

@@ -83,6 +83,7 @@ type (
 	APMRow        = core.APMRow
 	DriftRow      = core.DriftRow
 	CongestionRow = core.CongestionRow
+	HealthRow     = core.HealthRow
 	// AttackOutcome is one row of the Table 3 attack matrix.
 	AttackOutcome = attack.Outcome
 )
@@ -122,12 +123,33 @@ type (
 	CorruptOp = faults.CorruptOp
 	// LinkID names one full-duplex link from its switch side.
 	LinkID = topology.LinkID
+	// LinkBER degrades one link's bit-error rate for a window — the
+	// gray-failure fault the health plane exists to catch.
+	LinkBER = faults.LinkBER
 	// Resweeper is the SM's periodic self-healing loop (Cluster.Resweeper
 	// when Config.ResweepPeriod > 0).
 	Resweeper = sm.Resweeper
 	// HealEvent reports one completed healing round.
 	HealEvent = sm.HealEvent
+	// PerfMgr is the health plane's sweep/score/quarantine loop
+	// (Cluster.PerfMgr when Config.Health is enabled).
+	PerfMgr = sm.PerfMgr
+	// HealthEvent reports one quarantine transition.
+	HealthEvent = sm.HealthEvent
+	// HealthParams configures the health plane through Config.Health;
+	// the zero value disables it.
+	HealthParams = core.HealthParams
+	// PortCounters is one port's IBA error-counter block (saturating,
+	// PerfMgr-swept).
+	PortCounters = fabric.PortCounters
 )
+
+// OscillatingBER builds the adversarial flapping-link plan: the link's
+// bit-error rate toggles between rate and clean every half period over
+// [from, until) — the route-churn attack flap damping bounds.
+func OscillatingBER(link LinkID, rate float64, period, from, until Time) []LinkBER {
+	return faults.OscillatingBER(link, rate, period, from, until)
+}
 
 // Table-corruption operations and symbolic switch targets (resolved
 // against the built cluster: the attacker's or the victim's ingress).
@@ -445,6 +467,21 @@ func CongestionSweep(rates []float64, base Config) ([]CongestionRow, error) {
 	return core.CongestionSweep(rates, base)
 }
 
+// HealthSweep runs the flaky-link health-plane experiment: one central
+// inter-switch link under a stepped BER ramp or an adversarial
+// oscillating-BER attack, with the PerfMgr off, on undamped, or on with
+// flap damping, measuring detection latency, loss before/after
+// quarantine, false positives, route churn and MAD overhead.
+func HealthSweep(bers []float64, base Config) ([]HealthRow, error) {
+	return core.HealthSweep(bers, base)
+}
+
+// HealthSweepCtx is HealthSweep with cancellation and an optional
+// worker pool; a nil pool runs the points serially.
+func HealthSweepCtx(ctx context.Context, pool *Pool, bers []float64, base Config) ([]HealthRow, error) {
+	return core.HealthSweepCtx(ctx, pool, bers, base)
+}
+
 // CongestionSweepCtx is CongestionSweep with cancellation and an
 // optional worker pool.
 func CongestionSweepCtx(ctx context.Context, pool *Pool, rates []float64, base Config) ([]CongestionRow, error) {
@@ -483,3 +520,6 @@ func DriftCSV(rows []DriftRow) CSVTable { return core.DriftCSV(rows) }
 
 // CongestionCSV renders the congestion-control sweep.
 func CongestionCSV(rows []CongestionRow) CSVTable { return core.CongestionCSV(rows) }
+
+// HealthCSV renders the flaky-link health-plane sweep.
+func HealthCSV(rows []HealthRow) CSVTable { return core.HealthCSV(rows) }

@@ -78,16 +78,29 @@ type Results struct {
 	// means the fabric was still throttling the flood when the run
 	// ended); CongestionSpan is the number of switches with any FECN
 	// marking activity — the blast radius of the congestion tree.
-	FECNMarked    uint64
-	CNPsSent      uint64
-	BECNsNotified uint64
-	CCTThrottled  uint64
-	AttackerCCT   int
+	FECNMarked     uint64
+	CNPsSent       uint64
+	BECNsNotified  uint64
+	CCTThrottled   uint64
+	AttackerCCT    int
 	CongestionSpan int
 	// CreditStallNs sums, over every switch output port, the time spent
 	// with backlog but no transmittable VL — upstream HOL-blocking
 	// pressure. Collected whether or not congestion control is on.
 	CreditStallNs uint64
+
+	// Health-plane aggregates, all zero unless Config.Health enables the
+	// PerfMgr. Quarantines counts links fenced, Readmits links returned
+	// to service, QuarantineRefused proposals the connectivity guard
+	// vetoed; the MAD counters split the in-band cost into sweep reads,
+	// trap notifications (plus their rearm Sets) and the reroute Sets
+	// that reprogram forwarding tables around a fenced link.
+	Quarantines       uint64
+	Readmits          uint64
+	QuarantineRefused uint64
+	HealthSweepMADs   uint64
+	HealthTrapMADs    uint64
+	HealthRerouteMADs uint64
 }
 
 // Combined returns the mean queuing and network delay over both traffic
@@ -144,6 +157,14 @@ type Cluster struct {
 	// before Simulate; the apm experiment uses it to rearm migrated RC
 	// connections once the primary path heals).
 	OnHeal func(sm.HealEvent)
+	// PerfMgr is the health plane's sweep/score/quarantine loop, non-nil
+	// when Config.Health is enabled (wired during Simulate). After a
+	// failover it is rebuilt on the promoted master.
+	PerfMgr *sm.PerfMgr
+	// OnHealth, when non-nil, observes every quarantine transition (set
+	// before Simulate; the health experiment uses it for detection
+	// latency).
+	OnHealth func(sm.HealthEvent)
 
 	// IslandRotators tracks per-island key rotators started at contained
 	// takeovers, keyed by the island master SM. Populated only with
@@ -160,6 +181,9 @@ type Cluster struct {
 	// retiredAuditors keeps auditors displaced by failover so their
 	// counters and events still reach the results.
 	retiredAuditors []*policy.Auditor
+	// retiredPerfMgrs keeps performance managers displaced by failover
+	// so their counters and events still reach the results.
+	retiredPerfMgrs []*sm.PerfMgr
 }
 
 // Run builds the cluster from cfg, simulates it, and returns the results.
@@ -594,7 +618,7 @@ func (cl *Cluster) dispatchMgmt(node int, d *fabric.Delivery) bool {
 func (cl *Cluster) armResilience() {
 	cfg := cl.Cfg
 	auditing := cfg.Policy.Enabled && cfg.Policy.AuditPeriod > 0 && cl.Policy != nil
-	if cfg.ResweepPeriod > 0 || cl.HA != nil || auditing {
+	if cfg.ResweepPeriod > 0 || cl.HA != nil || auditing || cfg.Health.Enabled() {
 		// The periodic re-sweep, a promoted standby's re-verification
 		// sweep and the drift auditor all need in-band agents answering
 		// SMPs on every switch and HCA. The filter reference lets switch
@@ -641,6 +665,17 @@ func (cl *Cluster) armResilience() {
 		r.Start()
 		cl.Resweeper = r
 	}
+	if cfg.Health.Enabled() {
+		pm := cl.newPerfMgr(cl.SM)
+		if cl.Resweeper != nil {
+			// Heal sweeps must not re-program routes over a link the
+			// health plane fenced (the double-programming race): the
+			// resweeper treats quarantined halves as dead.
+			cl.Resweeper.Quarantined = pm.QuarantinedEdges
+		}
+		pm.Start()
+		cl.PerfMgr = pm
+	}
 	if cl.HA != nil {
 		cl.HA.OnTakeover = func(newMaster *sm.SubnetManager) {
 			// The promoted standby takes over every master duty that
@@ -685,6 +720,27 @@ func (cl *Cluster) armResilience() {
 				}
 				newMaster.ProgramCongestionControl(cc)
 			}
+			// The health plane survives failover the same way: the
+			// promoted master rebuilds the PerfMgr on its own node and
+			// adopts the quarantine state parsed from the synced blob, so
+			// degraded links stay fenced across the takeover.
+			if cl.PerfMgr != nil {
+				cl.PerfMgr.Stop()
+				cl.retiredPerfMgrs = append(cl.retiredPerfMgrs, cl.PerfMgr)
+				pm := cl.newPerfMgr(newMaster)
+				if len(newMaster.HealthBlob) > 0 {
+					entries, err := sm.ParseHealthBlob(newMaster.HealthBlob)
+					if err != nil {
+						panic(fmt.Sprintf("core: synced health blob: %v", err))
+					}
+					pm.Adopt(entries)
+				}
+				if cl.Resweeper != nil {
+					cl.Resweeper.Quarantined = pm.QuarantinedEdges
+				}
+				pm.Start()
+				cl.PerfMgr = pm
+			}
 		}
 		if cfg.HA.SplitBrain {
 			cl.wireSplitBrain()
@@ -716,6 +772,9 @@ func (cl *Cluster) armResilience() {
 				}
 				if cl.Auditor != nil {
 					cl.Auditor.Stop() // auditing too; takeover restarts it
+				}
+				if cl.PerfMgr != nil {
+					cl.PerfMgr.Stop() // sweeping too; takeover rebuilds it
 				}
 				if cl.HA != nil {
 					cl.HA.KillMaster()
@@ -764,6 +823,52 @@ func (cl *Cluster) armResilience() {
 			})
 		}
 	}
+}
+
+// newPerfMgr builds a performance manager bound to smgr's node, with
+// the health config's zero defaults resolved: Alpha 0.5, quarantine at
+// an EWMA score of 4 errors/sweep, readmit at an eighth of that, a base
+// probation of four sweeps and a damped hold-down cap of sixteen
+// probations.
+func (cl *Cluster) newPerfMgr(smgr *sm.SubnetManager) *sm.PerfMgr {
+	h := cl.Cfg.Health
+	pc := sm.PerfConfig{
+		SweepPeriod:     h.SweepPeriod,
+		Alpha:           h.Alpha,
+		QuarantineScore: h.QuarantineScore,
+		ReadmitScore:    h.ReadmitScore,
+		Probation:       h.Probation,
+		HoldMax:         h.HoldMax,
+		Damping:         h.Damping,
+		TrapThreshold:   h.TrapThreshold,
+	}
+	if pc.Alpha == 0 {
+		pc.Alpha = 0.5
+	}
+	if pc.QuarantineScore == 0 {
+		pc.QuarantineScore = 4
+	}
+	if pc.ReadmitScore == 0 {
+		pc.ReadmitScore = pc.QuarantineScore / 8
+	}
+	if pc.Probation == 0 {
+		pc.Probation = 4 * h.SweepPeriod
+	}
+	if pc.HoldMax == 0 {
+		pc.HoldMax = 16 * pc.Probation
+	}
+	// Own Discoverer: sharing the resweeper's would let its per-sweep
+	// Reset cancel PMA reads in flight.
+	disc := sm.NewDiscoverer(cl.Sim, cl.Mesh.HCA(smgr.Node()), cl.Cfg.SM.MKey, 25*sim.Microsecond)
+	disc.MaxRetries = 2
+	disc.SetTimeoutMult = 10
+	pm := sm.NewPerfMgr(cl.Sim, cl.Mesh, disc, smgr, pc)
+	pm.OnEvent = func(ev sm.HealthEvent) {
+		if cl.OnHealth != nil {
+			cl.OnHealth(ev)
+		}
+	}
+	return pm
 }
 
 // Simulate runs the configured workload and returns results.
@@ -868,6 +973,17 @@ func (cl *Cluster) Simulate() *Results {
 	}
 	if cl.Resweeper != nil {
 		cl.Resweeper.Stop()
+	}
+	if cl.PerfMgr != nil {
+		cl.PerfMgr.Stop()
+		for _, pm := range append(cl.retiredPerfMgrs, cl.PerfMgr) {
+			cl.res.Quarantines += pm.Counters.Get("quarantines")
+			cl.res.Readmits += pm.Counters.Get("readmits")
+			cl.res.QuarantineRefused += pm.Counters.Get("quarantine_refused")
+			cl.res.HealthSweepMADs += pm.Counters.Get("health_sweep_mads")
+			cl.res.HealthTrapMADs += pm.Counters.Get("health_trap_mads") + pm.Counters.Get("trap_rearm_mads")
+			cl.res.HealthRerouteMADs += pm.Counters.Get("reroute_mads")
+		}
 	}
 	if cl.Auditor != nil {
 		cl.Auditor.Stop()

@@ -122,6 +122,44 @@ type PolicyParams struct {
 	PinInvalid uint16
 }
 
+// HealthParams configures the performance-management health plane: a
+// PerfMgr beside the master SM sweeps every inter-switch link's
+// PortCounters over real PMA MADs, scores links with a delta-based
+// EWMA, and proactively quarantines flaky links — rerouting around them
+// before they fail hard. The zero value disables the plane entirely
+// (no sweeps, no traps, byte-identical to pre-health builds).
+type HealthParams struct {
+	// SweepPeriod is the PortCounters sweep interval; zero disables the
+	// whole health plane.
+	SweepPeriod sim.Time
+	// Alpha is the EWMA smoothing factor; zero defaults to 0.5.
+	Alpha float64
+	// QuarantineScore fences a link when its EWMA error score reaches
+	// it; zero defaults to 4 (errors per sweep, both directions).
+	QuarantineScore float64
+	// ReadmitScore re-admits a fenced link once its score decays to it
+	// and the hold-down expired; zero defaults to QuarantineScore/8.
+	ReadmitScore float64
+	// Probation is the base hold-down served in quarantine; zero
+	// defaults to 4×SweepPeriod.
+	Probation sim.Time
+	// HoldMax caps the exponentially grown hold-down under Damping;
+	// zero defaults to 16×Probation.
+	HoldMax sim.Time
+	// Damping grows the hold-down as Probation·2^(flaps−1) (capped at
+	// HoldMax) — the defence that bounds route churn under an
+	// oscillating-BER attack. Off, every quarantine serves flat
+	// Probation.
+	Damping bool
+	// TrapThreshold arms switch-local threshold traps: a port whose
+	// error sum crosses it notifies the PerfMgr immediately instead of
+	// waiting for the next sweep. Zero disables traps.
+	TrapThreshold uint64
+}
+
+// Enabled reports whether the health plane should be wired.
+func (h HealthParams) Enabled() bool { return h.SweepPeriod > 0 }
+
 // Config describes one simulation run. The zero value is not runnable;
 // start from DefaultConfig.
 type Config struct {
@@ -242,6 +280,11 @@ type Config struct {
 	// disables congestion control — no marking, no throttling, byte-
 	// identical to pre-CC builds.
 	Congestion fabric.CCParams
+	// Health configures the PerfMgr health plane: periodic PortCounters
+	// sweeps, EWMA link scoring and proactive flaky-link quarantine.
+	// The zero value disables it — no sweeps, no traps, byte-identical
+	// to pre-health builds.
+	Health HealthParams
 }
 
 // DefaultConfig returns the paper's Table 1 testbed with no attackers,
@@ -377,6 +420,23 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Congestion.Validate(c.Params.CreditsPerVL); err != nil {
 		return err
+	}
+	if c.Health.Enabled() {
+		if c.Health.Alpha < 0 || c.Health.Alpha >= 1 {
+			return fmt.Errorf("core: health EWMA alpha %v outside [0,1)", c.Health.Alpha)
+		}
+		if c.Health.QuarantineScore < 0 || c.Health.ReadmitScore < 0 {
+			return fmt.Errorf("core: negative health score threshold")
+		}
+		if c.Health.QuarantineScore != 0 && c.Health.ReadmitScore > c.Health.QuarantineScore {
+			return fmt.Errorf("core: readmit score %v above quarantine score %v", c.Health.ReadmitScore, c.Health.QuarantineScore)
+		}
+		if c.Health.Probation < 0 || c.Health.HoldMax < 0 {
+			return fmt.Errorf("core: negative health hold-down")
+		}
+	} else if c.Health.Alpha != 0 || c.Health.QuarantineScore != 0 || c.Health.ReadmitScore != 0 ||
+		c.Health.Probation != 0 || c.Health.HoldMax != 0 || c.Health.Damping || c.Health.TrapThreshold != 0 {
+		return fmt.Errorf("core: health settings require Health.SweepPeriod > 0")
 	}
 	if c.FaultPlan != nil {
 		if len(c.FaultPlan.Compromises) > 0 && !c.Rekey.Enabled() {

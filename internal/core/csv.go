@@ -200,6 +200,32 @@ func CongestionCSV(rows []CongestionRow) CSVTable {
 	return t
 }
 
+// HealthCSV renders the flaky-link health-plane sweep.
+func HealthCSV(rows []HealthRow) CSVTable {
+	t := CSVTable{
+		Name: "health",
+		Header: []string{
+			"mode", "attack", "arm", "ber",
+			"sent", "delivered", "delivered_frac",
+			"crc_rejected", "lost_before_q", "lost_after_q",
+			"detect_us", "quarantines", "readmits", "refused",
+			"false_quarantines", "flaps",
+			"sweep_mads", "trap_mads", "reroute_mads",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), r.Attack, r.Arm, Gtoa(r.BER),
+			Itoa(r.Sent), Itoa(r.Delivered), Ftoa(r.DeliveredFrac),
+			Itoa(r.CRCRejected), Itoa(r.LostBeforeQ), Itoa(r.LostAfterQ),
+			Ftoa(r.DetectUS), Itoa(r.Quarantines), Itoa(r.Readmits), Itoa(r.Refused),
+			Itoa(r.FalseQuarantines), Itoa(uint64(r.Flaps)),
+			Itoa(r.SweepMADs), Itoa(r.TrapMADs), Itoa(r.RerouteMADs),
+		})
+	}
+	return t
+}
+
 // SplitBrainCSV renders the split-brain / merge-reconciliation sweep.
 func SplitBrainCSV(rows []SplitBrainRow) CSVTable {
 	t := CSVTable{

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ibasec/internal/enforce"
+	"ibasec/internal/faults"
+	"ibasec/internal/runner"
+	"ibasec/internal/sim"
+	"ibasec/internal/sm"
+	"ibasec/internal/topology"
+)
+
+// HealthRow is one point of the health-plane experiment: a single
+// gray-failing link under a stepped BER ramp or an adversarial
+// oscillating-BER attack, with the PerfMgr off (the reactive resweep
+// baseline), on without flap damping, or on with damping.
+type HealthRow struct {
+	Mode   enforce.Mode
+	Attack string // "ramp" (progressive gray failure) or "osc" (adversarial flapping)
+	Arm    string // "off", "undamped", "damped"
+	BER    float64
+
+	// Datagram background traffic.
+	Sent          uint64
+	Delivered     uint64
+	DeliveredFrac float64
+
+	// CRC-rejected packets — the delivered-loss the bad link inflicts —
+	// split at the first quarantine of the target link: LostBeforeQ
+	// accrued while traffic still crossed it, LostAfterQ after the
+	// health plane had fenced it (the proactive win; with the plane off
+	// everything lands in LostBeforeQ).
+	CRCRejected uint64
+	LostBeforeQ uint64
+	LostAfterQ  uint64
+
+	// DetectUS is the BER onset → first target-link quarantine latency;
+	// zero when the link was never quarantined.
+	DetectUS float64
+
+	// Quarantine churn and its in-band cost.
+	Quarantines uint64
+	Readmits    uint64
+	Refused     uint64
+	// FalseQuarantines counts quarantines of links other than the
+	// degraded target — healthy links the scorer wrongly fenced.
+	FalseQuarantines uint64
+	// Flaps is the target link's final flap count: how many times the
+	// attacker managed to force it in and out of service.
+	Flaps       int
+	SweepMADs   uint64
+	TrapMADs    uint64
+	RerouteMADs uint64
+}
+
+// HealthSweep runs the flaky-link experiment: for each enforcement
+// design, attack shape and health-plane arm it degrades one central
+// inter-switch link and measures detection latency, loss before/after
+// quarantine, false positives, route churn and MAD overhead.
+func HealthSweep(bers []float64, base Config) ([]HealthRow, error) {
+	return HealthSweepCtx(context.Background(), nil, bers, base)
+}
+
+// HealthSweepCtx is HealthSweep with cancellation and an optional
+// worker pool; a nil pool runs the points serially.
+func HealthSweepCtx(ctx context.Context, pool *runner.Pool, bers []float64, base Config) ([]HealthRow, error) {
+	modes := []enforce.Mode{enforce.DPT, enforce.IF, enforce.SIF}
+	attacks := []string{"ramp", "osc"}
+	arms := []string{"off", "undamped", "damped"}
+	jobs := make([]runner.Job[HealthRow], 0, len(modes)*len(attacks)*len(arms)*len(bers))
+	for _, mode := range modes {
+		for _, attack := range attacks {
+			for _, arm := range arms {
+				for _, ber := range bers {
+					mode, attack, arm, ber := mode, attack, arm, ber
+					jobs = append(jobs, sweepJob("health", len(jobs), base.Seed,
+						fmt.Sprintf("mode=%s,attack=%s,arm=%s,ber=%g", mode, attack, arm, ber),
+						func(context.Context) (HealthRow, error) {
+							return runHealthPoint(base, mode, attack, arm, ber)
+						}))
+				}
+			}
+		}
+	}
+	return runner.Run(ctx, pool, jobs)
+}
+
+// healthTargetLink is the degraded link: the East link of the switch at
+// mesh coordinates (1,1) — central, so plenty of background traffic
+// crosses it, and canonical (East/South) so it is exactly the identity
+// the PerfMgr scores. The mesh must be at least 3 wide and 2 tall for
+// an alternate route around it to exist.
+func healthTargetLink() topology.LinkID {
+	return topology.LinkID{Switch: 5, Port: topology.PortEast}
+}
+
+// runHealthPoint runs one (mode, attack, arm, ber) cell of the sweep.
+func runHealthPoint(base Config, mode enforce.Mode, attack, arm string, ber float64) (HealthRow, error) {
+	cfg := base
+	cfg.Enforcement = mode
+	cfg.Attackers = 0
+	cfg.RealtimeLoad = 0
+	// Fixed moderate background load, as in the chaos experiment: the
+	// measurement is loss inflicted by the bad link, not congestion.
+	cfg.BestEffortLoad = 0.3
+	// The reactive baseline every arm is compared against: the periodic
+	// heal re-sweep, which only notices the link once its probes die.
+	cfg.ResweepPeriod = 200 * sim.Microsecond
+	// Healed/quarantine routes are shortest-path, not dimension-ordered;
+	// arm HOQ ageing so a transient cyclic credit dependency cannot hold
+	// buffers to the end of the run. Copy the params first: the base
+	// config's value is shared across concurrent sweep points.
+	p := *cfg.Params
+	p.HOQLife = 100 * sim.Microsecond
+	cfg.Params = &p
+
+	switch arm {
+	case "off":
+		// Reactive baseline: no health plane at all.
+	case "undamped", "damped":
+		cfg.Health = HealthParams{
+			SweepPeriod: 40 * sim.Microsecond,
+			Alpha:       0.5,
+			// The target link carries only a few background packets per
+			// 40 µs sweep, so a sustained error-rate of one per sweep
+			// already means a large fraction of its traffic is dying.
+			QuarantineScore: 1.0,
+			TrapThreshold:   6,
+			Damping:         arm == "damped",
+		}
+	default:
+		return HealthRow{}, fmt.Errorf("core: unknown health arm %q", arm)
+	}
+
+	// The attack window: BER starts at warmup and ends at 3/4 of the
+	// run, leaving a clean tail for re-admission and drain.
+	target := healthTargetLink()
+	from, until := cfg.Warmup, cfg.Duration*3/4
+	plan := &faults.Plan{Seed: cfg.Seed}
+	switch attack {
+	case "ramp":
+		// Progressive gray failure: the link's BER climbs in three
+		// steps (ber/4, ber, 4·ber) — the proactive plane should fence
+		// it mid-ramp, before the link degrades to useless.
+		step := (until - from) / 3
+		plan.LinkBER = []faults.LinkBER{
+			{Link: target, Rate: ber / 4, From: from, Until: from + step},
+			{Link: target, Rate: ber, From: from + step, Until: from + 2*step},
+			{Link: target, Rate: ber * 4, From: from + 2*step, Until: until},
+		}
+	case "osc":
+		// Adversarial flapping: full-rate BER toggled on and off every
+		// half period, shaped to bounce the link in and out of
+		// quarantine — the route-churn attack flap damping bounds.
+		plan.LinkBER = faults.OscillatingBER(target, ber*4, 240*sim.Microsecond, from, until)
+	default:
+		return HealthRow{}, fmt.Errorf("core: unknown health attack %q", attack)
+	}
+	cfg.FaultPlan = plan
+
+	cl, err := Build(cfg)
+	if err != nil {
+		return HealthRow{}, err
+	}
+
+	row := HealthRow{Mode: mode, Attack: attack, Arm: arm, BER: ber}
+	// Snapshot the CRC-loss counters at the instant the target link is
+	// first quarantined: everything after that is loss the fence did
+	// not prevent.
+	var lostAtQ uint64
+	var firstQ sim.Time
+	cl.OnHealth = func(ev sm.HealthEvent) {
+		if ev.Link == target {
+			if ev.Quarantined && firstQ == 0 {
+				firstQ = ev.At
+				lostAtQ = crcLoss(cl)
+			}
+			if ev.Flaps > row.Flaps {
+				row.Flaps = ev.Flaps
+			}
+		} else if ev.Quarantined {
+			row.FalseQuarantines++
+		}
+	}
+	res := cl.Simulate()
+
+	row.Sent, row.Delivered = res.SentLegit, res.DeliveredUD
+	if row.Sent > 0 {
+		row.DeliveredFrac = float64(row.Delivered) / float64(row.Sent)
+	}
+	row.CRCRejected = crcLoss(cl)
+	if firstQ > 0 {
+		row.LostBeforeQ = lostAtQ
+		row.LostAfterQ = row.CRCRejected - lostAtQ
+		row.DetectUS = (firstQ - from).Microseconds()
+	} else {
+		row.LostBeforeQ = row.CRCRejected
+	}
+	row.Quarantines = res.Quarantines
+	row.Readmits = res.Readmits
+	row.Refused = res.QuarantineRefused
+	row.SweepMADs = res.HealthSweepMADs
+	row.TrapMADs = res.HealthTrapMADs
+	row.RerouteMADs = res.HealthRerouteMADs
+	return row, nil
+}
+
+// crcLoss sums the CRC-rejected packets across the fabric — the
+// delivered-loss a degraded link inflicts on traffic crossing it.
+func crcLoss(cl *Cluster) uint64 {
+	var n uint64
+	for _, sw := range cl.Mesh.Switches {
+		n += sw.Counters.Get("vcrc_drops")
+	}
+	for _, h := range cl.Mesh.HCAs {
+		n += h.Counters.Get("vcrc_drops") + h.Counters.Get("icrc_drops")
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"ibasec/internal/faults"
+	"ibasec/internal/sim"
+	"ibasec/internal/sm"
+)
+
+// TestHealthQuarantinesFlakyLink is the core-level smoke for the
+// PerfMgr: a persistently degraded inter-switch link must be fenced
+// during the run, and fencing must actually reduce delivered loss —
+// packets stop crossing the corrupting hop once routes avoid it.
+func TestHealthQuarantinesFlakyLink(t *testing.T) {
+	target := healthTargetLink()
+	plan := func(cfg Config) *faults.Plan {
+		return &faults.Plan{
+			Seed:    cfg.Seed,
+			LinkBER: []faults.LinkBER{{Link: target, Rate: 1e-4, From: cfg.Warmup, Until: cfg.Duration}},
+		}
+	}
+
+	run := func(health bool) (*Cluster, *Results) {
+		cfg := quickCfg()
+		cfg.RealtimeLoad = 0
+		cfg.BestEffortLoad = 0.3
+		if health {
+			cfg.Health = HealthParams{
+				SweepPeriod:     40 * sim.Microsecond,
+				Alpha:           0.5,
+				QuarantineScore: 1,
+				TrapThreshold:   6,
+				Damping:         true,
+			}
+		}
+		cfg.FaultPlan = plan(cfg)
+		cl, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := cl.Simulate()
+		return cl, res
+	}
+
+	with, withRes := run(true)
+	if withRes.Quarantines == 0 {
+		t.Fatal("degraded link was never quarantined")
+	}
+	without, withoutRes := run(false)
+	if withoutRes.Quarantines != 0 {
+		t.Fatal("quarantines counted with Health disabled")
+	}
+	if lw, lo := crcLoss(with), crcLoss(without); lw >= lo {
+		t.Fatalf("quarantine did not cut CRC loss: with=%d without=%d", lw, lo)
+	}
+}
+
+// TestHealthSurvivesFailover mirrors TestCongestionSurvivesFailover
+// for the health plane: quarantine state rides the VL15 HA sync, so a
+// promoted standby's PerfMgr must still fence the flaky link instead
+// of re-admitting it blind after the master dies.
+func TestHealthSurvivesFailover(t *testing.T) {
+	cfg := quickCfg()
+	cfg.RealtimeLoad = 0
+	cfg.BestEffortLoad = 0.3
+	cfg.Health = HealthParams{
+		SweepPeriod:     40 * sim.Microsecond,
+		Alpha:           0.5,
+		QuarantineScore: 1,
+		TrapThreshold:   6,
+		Damping:         true,
+	}
+	cfg.HA = HAParams{Standbys: 1, Heartbeat: 50 * sim.Microsecond}
+	target := healthTargetLink()
+	cfg.FaultPlan = &faults.Plan{
+		Seed:    cfg.Seed,
+		LinkBER: []faults.LinkBER{{Link: target, Rate: 1e-4, From: cfg.Warmup, Until: cfg.Duration}},
+		SMKills: []faults.SMKill{{At: cfg.Duration / 2}},
+	}
+
+	cl, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawQuarantine bool
+	cl.OnHealth = func(ev sm.HealthEvent) {
+		if ev.Quarantined && ev.Link == target {
+			sawQuarantine = true
+		}
+	}
+	cl.Simulate()
+
+	if !sawQuarantine {
+		t.Fatal("degraded link was never quarantined before the failover")
+	}
+	if cl.PerfMgr == nil {
+		t.Fatal("no PerfMgr survived the takeover")
+	}
+	// The post-takeover PerfMgr must still fence both halves of the
+	// target link: it adopted the health blob rather than starting from
+	// a clean slate.
+	guid := cl.Mesh.Switches[target.Switch].GUID()
+	edges := cl.PerfMgr.QuarantinedEdges()
+	if !edges[guid][target.Port] {
+		t.Fatalf("promoted PerfMgr does not fence the flaky link: %v", edges)
+	}
+}

@@ -24,6 +24,13 @@ type Port struct {
 	owner Device
 	id    int
 	out   *outChannel
+
+	// health holds the port's IBA PortCounters (swept by the
+	// Performance Management plane); trapArmed is the port's
+	// threshold-trap arm bit. Both live here rather than in per-switch
+	// slices so arming the health plane costs no extra allocations.
+	health    PortCounters
+	trapArmed bool
 }
 
 // Connected reports whether the port has been wired to a peer.
@@ -73,6 +80,20 @@ type outChannel struct {
 	// switch); fecnMarked counts packets marked on this port.
 	ccThreshold int
 	fecnMarked  uint64
+
+	// Performance Management state. health points at the owning port's
+	// IBA error counters (set at bind; every increment site is an error
+	// path, so a clean run never touches them); healthSw, when non-nil,
+	// is the owning switch whose threshold trap is checked after each
+	// error increment (fields rather than a closure so binding costs no
+	// allocation). berOverride, when berSet, replaces the fabric-wide
+	// BitErrorRate for this one link direction — the per-link
+	// gray-failure injection the health experiment drives.
+	health      *PortCounters
+	healthSw    *Switch
+	healthPort  int
+	berOverride float64
+	berSet      bool
 
 	// Credit-stall accounting: time spent with packets queued but no
 	// eligible VL (every backlogged VL out of credits) while the
@@ -230,6 +251,7 @@ func (c *outChannel) armHOQ(vl uint8) {
 		c.queues[vl] = c.queues[vl][1:]
 		c.queuedBytes -= d.Pkt.WireSize()
 		c.hoqDropped[vl]++
+		c.noteXmitDiscard()
 		c.params.observe(c.sim.Now(), ObsHOQDrop, c.ownerName, d)
 		d.ReturnCredit()
 		c.armHOQ(vl)
@@ -243,8 +265,21 @@ func (c *outChannel) armHOQ(vl uint8) {
 // blackholed still equals sent.
 func (c *outChannel) blackhole(d *Delivery) {
 	c.blackholed++
+	c.noteXmitDiscard()
 	c.params.observe(c.sim.Now(), ObsBlackhole, c.ownerName, d)
 	d.ReturnCredit()
+}
+
+// noteXmitDiscard records a discarded-instead-of-transmitted packet in
+// the port's PortXmitDiscards counter and runs the owner's threshold-
+// trap check.
+func (c *outChannel) noteXmitDiscard() {
+	if c.health != nil {
+		c.health.AddXmitDiscards(1)
+	}
+	if c.healthSw != nil {
+		c.healthSw.checkHealthTrap(c.healthPort)
+	}
 }
 
 // setDown transitions the channel's link state. Taking the link down
@@ -257,6 +292,9 @@ func (c *outChannel) setDown(down bool) {
 	}
 	c.down = down
 	c.epoch++
+	if down && c.health != nil {
+		c.health.AddLinkDowned(1)
+	}
 	if c.stalled {
 		// Close the open stall interval: a downed link empties its
 		// queues, and a fresh link starts with a full credit complement.
@@ -390,6 +428,11 @@ func (c *outChannel) pickVLWeighted() int {
 // downstream.
 func (c *outChannel) maybeCorrupt(d *Delivery) {
 	ber := c.params.BitErrorRate
+	if c.berSet {
+		// Per-link gray-failure injection: this one link direction
+		// corrupts at its own rate, overriding the fabric-wide model.
+		ber = c.berOverride
+	}
 	if ber == 0 {
 		return
 	}
@@ -397,6 +440,12 @@ func (c *outChannel) maybeCorrupt(d *Delivery) {
 	pStrike := -math.Expm1(float64(bits) * math.Log1p(-ber))
 	if c.params.RNG.Float64() >= pStrike {
 		return
+	}
+	if c.health != nil {
+		c.health.AddSymbolErrors(1)
+	}
+	if c.healthSw != nil {
+		c.healthSw.checkHealthTrap(c.healthPort)
 	}
 	wire := d.Pkt.Marshal()
 	i := c.params.RNG.Intn(len(wire) * 8)

@@ -56,6 +56,10 @@ type HCA struct {
 	cc      CCParams
 	ccFlows map[packet.LID]*ccFlow
 
+	// health holds the CA port's IBA PortCounters (one port per HCA),
+	// swept by the Performance Management plane over PMA MADs.
+	health PortCounters
+
 	// verif holds the CRC scratch buffer for this HCA's receive checks;
 	// per-HCA rather than global because whole simulations run in
 	// parallel under the experiment runner.
@@ -105,7 +109,34 @@ func (h *HCA) bind(port int, ch *outChannel) {
 	if h.port.out != nil {
 		panic(fmt.Sprintf("fabric: HCA %s already connected", h.name))
 	}
+	ch.health = &h.health
 	h.port.out = ch
+}
+
+// PortHealth returns a copy of the HCA port's IBA PortCounters.
+func (h *HCA) PortHealth() PortCounters { return h.health }
+
+// SetLinkBER overrides the bit-error rate of the HCA's outbound link
+// direction (per-link gray-failure injection); the fabric Params' RNG
+// must be installed. No-op while unconnected.
+func (h *HCA) SetLinkBER(rate float64) {
+	if h.port.out == nil {
+		return
+	}
+	if h.port.out.cross != nil {
+		panic("fabric: a concurrent cross-shard link cannot carry a per-link BER override")
+	}
+	h.port.out.berOverride = rate
+	h.port.out.berSet = true
+}
+
+// ClearLinkBER removes the HCA's outbound bit-error override.
+func (h *HCA) ClearLinkBER() {
+	if h.port.out == nil {
+		return
+	}
+	h.port.out.berSet = false
+	h.port.out.berOverride = 0
 }
 
 // Send queues a packet for injection. The delivery is stamped with the
@@ -331,12 +362,14 @@ func (h *HCA) arrive(_ int, d *Delivery) {
 	d.ReturnCredit()
 	if !vcrcOK(d) {
 		h.Counters.Inc("vcrc_drops", 1)
+		h.health.AddRcvErrors(1)
 		h.params.observe(h.sim.Now(), ObsCRCDrop, h.name, d)
 		return
 	}
 	if d.Tainted && d.Pkt.BTH.AuthID == 0 {
 		if ok, err := h.verif.VerifyICRC(d.Pkt.Wire()); err != nil || !ok {
 			h.Counters.Inc("icrc_drops", 1)
+			h.health.AddRcvErrors(1)
 			h.params.observe(h.sim.Now(), ObsCRCDrop, h.name, d)
 			return
 		}

@@ -1,0 +1,74 @@
+package fabric
+
+import "testing"
+
+// IBA 16.1.3.5 mandates saturating counters: a PortCounters field that
+// reaches its ceiling sticks there instead of wrapping, so a sweep
+// delta across a saturated read can only be underestimated, never
+// negative. This is the contract the PerfMgr's CounterDelta relies on.
+func TestPortCountersSaturate(t *testing.T) {
+	var pc PortCounters
+
+	pc.AddSymbolErrors(0xFFFE)
+	if pc.SymbolErrors != 0xFFFE {
+		t.Fatalf("symbol errors %#x, want 0xFFFE", pc.SymbolErrors)
+	}
+	pc.AddSymbolErrors(1)
+	if pc.SymbolErrors != 0xFFFF {
+		t.Fatalf("symbol errors %#x, want ceiling", pc.SymbolErrors)
+	}
+	pc.AddSymbolErrors(1) // must stick, not wrap to 0
+	if pc.SymbolErrors != 0xFFFF {
+		t.Fatalf("ceiling wrapped: %#x", pc.SymbolErrors)
+	}
+
+	// A single huge increment must clamp, not overflow past the ceiling.
+	pc.AddRcvErrors(0xFFFF)
+	pc.AddRcvErrors(0xFFFF)
+	if pc.RcvErrors != 0xFFFF {
+		t.Fatalf("rcv errors %#x, want ceiling", pc.RcvErrors)
+	}
+
+	pc.AddXmitDiscards(0xFF00)
+	pc.AddXmitDiscards(0x0200)
+	if pc.XmitDiscards != 0xFFFF {
+		t.Fatalf("xmit discards %#x, want ceiling", pc.XmitDiscards)
+	}
+
+	pc.AddVL15Dropped(0xFFFF)
+	pc.AddVL15Dropped(1)
+	if pc.VL15Dropped != 0xFFFF {
+		t.Fatalf("vl15 dropped %#x, want ceiling", pc.VL15Dropped)
+	}
+
+	// LinkDowned is the spec's one 8-bit counter: ceiling 0xFF.
+	for i := 0; i < 300; i++ {
+		pc.AddLinkDowned(1)
+	}
+	if pc.LinkDowned != 0xFF {
+		t.Fatalf("link downed %#x, want 8-bit ceiling", pc.LinkDowned)
+	}
+
+	if got := pc.ErrorSum(); got != 2*0xFFFF {
+		t.Fatalf("error sum %d, want %d", got, 2*0xFFFF)
+	}
+}
+
+// Ordinary increments must still count exactly.
+func TestPortCountersCountExactly(t *testing.T) {
+	var pc PortCounters
+	for i := 0; i < 10; i++ {
+		pc.AddSymbolErrors(1)
+	}
+	pc.AddRcvErrors(3)
+	pc.AddLinkDowned(2)
+	pc.AddXmitDiscards(4)
+	pc.AddVL15Dropped(5)
+	want := PortCounters{SymbolErrors: 10, RcvErrors: 3, LinkDowned: 2, XmitDiscards: 4, VL15Dropped: 5}
+	if pc != want {
+		t.Fatalf("got %+v, want %+v", pc, want)
+	}
+	if pc.ErrorSum() != 13 {
+		t.Fatalf("error sum %d, want 13", pc.ErrorSum())
+	}
+}

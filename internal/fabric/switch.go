@@ -51,6 +51,14 @@ type Switch struct {
 	// the SM's congestion manager programs the switch).
 	ccThreshold int
 
+	// trapThreshold and onHealthTrap are the PerfMgr's programmed
+	// threshold trap: when a port's error sum (symbol + receive errors)
+	// reaches the threshold while the port's arm bit is set, the trap
+	// fires once and disarms until re-armed. The per-port counters and
+	// arm bits live on the Port itself.
+	trapThreshold uint64
+	onHealthTrap  func(sw *Switch, port int)
+
 	Counters *metrics.Counters
 }
 
@@ -242,6 +250,75 @@ func (sw *Switch) CreditStallTime() sim.Time {
 	return t
 }
 
+// PortHealth returns a copy of the port's IBA PortCounters (the zero
+// value for out-of-range ports).
+func (sw *Switch) PortHealth(port int) PortCounters {
+	if port < 0 || port >= len(sw.ports) {
+		return PortCounters{}
+	}
+	return sw.ports[port].health
+}
+
+// SetPortBER overrides the bit-error rate of the port's outbound link
+// direction — the per-link gray-failure injection knob. The rate rides
+// the fabric Params' RNG, so callers must ensure one is installed.
+// No-op on unconnected ports.
+func (sw *Switch) SetPortBER(port int, rate float64) {
+	if port < 0 || port >= len(sw.ports) || sw.ports[port].out == nil {
+		return
+	}
+	ch := sw.ports[port].out
+	if ch.cross != nil {
+		panic("fabric: a concurrent cross-shard link cannot carry a per-link BER override")
+	}
+	ch.berOverride = rate
+	ch.berSet = true
+}
+
+// ClearPortBER removes the port's bit-error override; the fabric-wide
+// rate (usually zero) applies again.
+func (sw *Switch) ClearPortBER(port int) {
+	if port < 0 || port >= len(sw.ports) || sw.ports[port].out == nil {
+		return
+	}
+	sw.ports[port].out.berSet = false
+	sw.ports[port].out.berOverride = 0
+}
+
+// SetHealthTrap programs the switch's error-threshold trap (the
+// PerfMgr's fast path): every port arms, and the first port whose
+// error sum reaches the threshold fires fn once and disarms. Zero
+// threshold (or nil fn) turns traps off.
+func (sw *Switch) SetHealthTrap(threshold uint64, fn func(sw *Switch, port int)) {
+	sw.trapThreshold = threshold
+	sw.onHealthTrap = fn
+	for _, p := range sw.ports {
+		p.trapArmed = threshold > 0 && fn != nil
+	}
+}
+
+// RearmHealthTrap re-arms one port's threshold trap after the PerfMgr
+// has handled (and typically reset its baseline for) the previous fire.
+func (sw *Switch) RearmHealthTrap(port int) {
+	if port >= 0 && port < len(sw.ports) && sw.trapThreshold > 0 && sw.onHealthTrap != nil {
+		sw.ports[port].trapArmed = true
+	}
+}
+
+// checkHealthTrap fires the programmed trap when an armed port's error
+// sum reaches the threshold. Called from the port's error-counter
+// increment sites only, so clean traffic never reaches it.
+func (sw *Switch) checkHealthTrap(port int) {
+	if sw.trapThreshold == 0 || sw.onHealthTrap == nil || !sw.ports[port].trapArmed {
+		return
+	}
+	if sw.ports[port].health.ErrorSum() >= sw.trapThreshold {
+		sw.ports[port].trapArmed = false
+		sw.Counters.Inc("health_traps", 1)
+		sw.onHealthTrap(sw, port)
+	}
+}
+
 // SetGUID assigns the switch's node GUID (reported in NodeInfo).
 func (sw *Switch) SetGUID(g uint64) { sw.guid = g }
 
@@ -305,6 +382,8 @@ func (sw *Switch) bind(port int, ch *outChannel) {
 		panic(fmt.Sprintf("fabric: %s port %d already connected", sw.name, port))
 	}
 	ch.ccThreshold = sw.ccThreshold
+	ch.health = &sw.ports[port].health
+	ch.healthSw, ch.healthPort = sw, port
 	sw.ports[port].out = ch
 }
 
@@ -323,6 +402,8 @@ func (sw *Switch) arrive(port int, d *Delivery) {
 	}
 	if !vcrcOK(d) {
 		sw.Counters.Inc("vcrc_drops", 1)
+		sw.ports[port].health.AddRcvErrors(1)
+		sw.checkHealthTrap(port)
 		sw.params.observe(sw.sim.Now(), ObsCRCDrop, sw.name, d)
 		d.ReturnCredit()
 		return
@@ -336,6 +417,7 @@ func (sw *Switch) arrive(port int, d *Delivery) {
 			drop, delay := sw.madTap(sw, d)
 			if drop {
 				sw.Counters.Inc("mad_dropped", 1)
+				sw.ports[port].health.AddVL15Dropped(1)
 				sw.params.observe(sw.sim.Now(), ObsBlackhole, sw.name, d)
 				d.ReturnCredit()
 				return

@@ -45,6 +45,40 @@ type BERBurst struct {
 	Until sim.Time
 }
 
+// LinkBER raises the bit-error rate of one full-duplex link to Rate
+// during [From, Until) (Until zero: until the end of the run), leaving
+// every other link clean — the gray-failure fault BERBurst cannot
+// express (a burst is fabric-wide). Both directions of the link degrade,
+// like a real marginal cable. The link is named from the switch side;
+// the HCA-facing uplink is Port PortHCA.
+type LinkBER struct {
+	Link  topology.LinkID
+	Rate  float64
+	From  sim.Time
+	Until sim.Time
+}
+
+// OscillatingBER builds the adversarial flapping-link plan: the link's
+// bit-error rate toggles between rate and clean every half period over
+// [from, until). An attacker who can induce symbol errors uses exactly
+// this shape to bounce a link in and out of quarantine and force route
+// churn — the behaviour the PerfMgr's exponential flap damping exists
+// to bound. Append the result to Plan.LinkBER.
+func OscillatingBER(link topology.LinkID, rate float64, period, from, until sim.Time) []LinkBER {
+	var out []LinkBER
+	if period <= 0 || until <= from {
+		return out
+	}
+	for t := from; t < until; t += period {
+		end := t + period/2
+		if end > until {
+			end = until
+		}
+		out = append(out, LinkBER{Link: link, Rate: rate, From: t, Until: end})
+	}
+	return out
+}
+
 // MADLoss drops each management datagram arriving at any switch with
 // probability DropProb and delays the survivors by Delay, during
 // [From, Until) (Until zero: until the end of the run).
@@ -201,7 +235,10 @@ type Plan struct {
 	// the link kills of each cut.
 	Partitions []Partition
 	BER        []BERBurst
-	MAD        *MADLoss
+	// LinkBER are per-link bit-error windows (gray links); unlike BER
+	// they leave the rest of the fabric clean.
+	LinkBER []LinkBER
+	MAD     *MADLoss
 	// SMKills and Compromises are management-plane faults; the core
 	// layer schedules them against its SM coordinator and key rotator
 	// (Install only validates them — they have no fabric-level effect).
@@ -249,6 +286,23 @@ func (p *Plan) Validate(m *topology.Mesh) error {
 	for _, b := range p.BER {
 		if b.Rate < 0 || b.Rate >= 1 {
 			return fmt.Errorf("faults: BER burst rate %v outside [0,1)", b.Rate)
+		}
+	}
+	for _, lb := range p.LinkBER {
+		if lb.Link.Switch < 0 || lb.Link.Switch >= len(m.Switches) {
+			return fmt.Errorf("faults: link BER on switch %d of %d", lb.Link.Switch, len(m.Switches))
+		}
+		if _, _, _, ok := m.LinkPeer(lb.Link.Switch, lb.Link.Port); !ok {
+			return fmt.Errorf("faults: link BER on unconnected port %d of switch %d", lb.Link.Port, lb.Link.Switch)
+		}
+		if lb.Rate < 0 || lb.Rate >= 1 {
+			return fmt.Errorf("faults: link BER rate %v outside [0,1)", lb.Rate)
+		}
+		if lb.From < 0 {
+			return fmt.Errorf("faults: link BER at negative time %v", lb.From)
+		}
+		if lb.Until != 0 && lb.Until <= lb.From {
+			return fmt.Errorf("faults: link BER window [%v,%v) is empty", lb.From, lb.Until)
 		}
 	}
 	if p.MAD != nil && (p.MAD.DropProb < 0 || p.MAD.DropProb > 1) {
@@ -346,6 +400,18 @@ func Install(s sim.Scheduler, m *topology.Mesh, params *fabric.Params, p *Plan) 
 			s.ScheduleAt(b.Until, func() { params.BitErrorRate = saved })
 		}
 	}
+	for _, lb := range p.LinkBER {
+		lb := lb
+		s.ScheduleAt(lb.From, func() {
+			if params.RNG == nil {
+				params.RNG = rng
+			}
+			inj.setLinkBER(lb.Link, lb.Rate)
+		})
+		if lb.Until > lb.From {
+			s.ScheduleAt(lb.Until, func() { inj.clearLinkBER(lb.Link) })
+		}
+	}
 	if mad := p.MAD; mad != nil {
 		tap := func(sw *fabric.Switch, d *fabric.Delivery) (bool, sim.Time) {
 			if mad.DropProb > 0 && rng.Float64() < mad.DropProb {
@@ -380,6 +446,37 @@ func (inj *Injector) setLink(l topology.LinkID, up bool) {
 		inj.mesh.HCAs[peer].SetLinkState(up)
 	} else {
 		inj.mesh.Switches[peer].SetLinkState(peerPort, up)
+	}
+}
+
+// setLinkBER raises a per-link bit-error override on both halves of a
+// full-duplex link: a marginal cable corrupts traffic in both
+// directions.
+func (inj *Injector) setLinkBER(l topology.LinkID, rate float64) {
+	inj.mesh.Switches[l.Switch].SetPortBER(l.Port, rate)
+	isHCA, peer, peerPort, ok := inj.mesh.LinkPeer(l.Switch, l.Port)
+	if !ok {
+		return
+	}
+	if isHCA {
+		inj.mesh.HCAs[peer].SetLinkBER(rate)
+	} else {
+		inj.mesh.Switches[peer].SetPortBER(peerPort, rate)
+	}
+}
+
+// clearLinkBER drops the override from both halves, restoring the
+// fabric-wide rate.
+func (inj *Injector) clearLinkBER(l topology.LinkID) {
+	inj.mesh.Switches[l.Switch].ClearPortBER(l.Port)
+	isHCA, peer, peerPort, ok := inj.mesh.LinkPeer(l.Switch, l.Port)
+	if !ok {
+		return
+	}
+	if isHCA {
+		inj.mesh.HCAs[peer].ClearLinkBER()
+	} else {
+		inj.mesh.Switches[peer].ClearPortBER(peerPort)
 	}
 }
 

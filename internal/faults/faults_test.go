@@ -276,3 +276,124 @@ func TestInstallLinkKillBlackholes(t *testing.T) {
 		t.Fatalf("blackholed %d, want 2", n)
 	}
 }
+
+// Validate must reject malformed per-link BER entries: out-of-range
+// switches, unconnected ports, rates outside [0,1), negative start
+// times and empty windows.
+func TestValidateRejectsBadLinkBER(t *testing.T) {
+	s := sim.New()
+	m := topology.NewMesh(s, fabric.DefaultParams(), 2, 2)
+	east := topology.LinkID{Switch: 0, Port: topology.PortEast}
+	bad := []*Plan{
+		{LinkBER: []LinkBER{{Link: topology.LinkID{Switch: 9, Port: topology.PortEast}, Rate: 1e-5}}},
+		{LinkBER: []LinkBER{{Link: topology.LinkID{Switch: 1, Port: topology.PortEast}, Rate: 1e-5}}}, // east boundary of a 2x2
+		{LinkBER: []LinkBER{{Link: east, Rate: 1.5}}},
+		{LinkBER: []LinkBER{{Link: east, Rate: -0.1}}},
+		{LinkBER: []LinkBER{{Link: east, Rate: 1e-5, From: -sim.Microsecond}}},
+		{LinkBER: []LinkBER{{Link: east, Rate: 1e-5, From: 20 * sim.Microsecond, Until: 10 * sim.Microsecond}}}, // empty window
+	}
+	for i, p := range bad {
+		if err := p.Validate(m); err == nil {
+			t.Errorf("bad link-BER plan %d validated", i)
+		}
+	}
+	good := &Plan{LinkBER: []LinkBER{
+		{Link: east, Rate: 1e-5, From: 10 * sim.Microsecond, Until: 20 * sim.Microsecond},
+		{Link: topology.LinkID{Switch: 3, Port: topology.PortHCA}, Rate: 1e-6}, // HCA uplink is a valid target
+	}}
+	if err := good.Validate(m); err != nil {
+		t.Fatalf("good link-BER plan rejected: %v", err)
+	}
+}
+
+// OscillatingBER must emit clean half-period on-windows covering
+// exactly [from, until), and degenerate inputs must produce no windows.
+func TestOscillatingBERWindows(t *testing.T) {
+	link := topology.LinkID{Switch: 0, Port: topology.PortEast}
+	from, until := 100*sim.Microsecond, 1000*sim.Microsecond
+	period := 240 * sim.Microsecond
+	wins := OscillatingBER(link, 1e-4, period, from, until)
+	if len(wins) == 0 {
+		t.Fatal("no windows emitted")
+	}
+	for i, w := range wins {
+		if w.Link != link || w.Rate != 1e-4 {
+			t.Fatalf("window %d carries wrong link/rate: %+v", i, w)
+		}
+		if w.From < from || w.Until > until || w.Until <= w.From {
+			t.Fatalf("window %d outside schedule: [%v,%v)", i, w.From, w.Until)
+		}
+		if i > 0 && w.From != wins[i-1].From+period {
+			t.Fatalf("window %d not one period after its predecessor", i)
+		}
+		if w.Until-w.From > period/2 {
+			t.Fatalf("window %d on-phase longer than half a period", i)
+		}
+	}
+	if OscillatingBER(link, 1e-4, 0, from, until) != nil {
+		t.Fatal("zero period emitted windows")
+	}
+	if OscillatingBER(link, 1e-4, period, until, from) != nil {
+		t.Fatal("inverted schedule emitted windows")
+	}
+	// The generated plan must validate as-is.
+	s := sim.New()
+	m := topology.NewMesh(s, fabric.DefaultParams(), 2, 2)
+	p := &Plan{LinkBER: wins}
+	if err := p.Validate(m); err != nil {
+		t.Fatalf("oscillating plan rejected: %v", err)
+	}
+}
+
+// TestInstallLinkBERWindow proves a per-link BER burst corrupts traffic
+// crossing the named link only inside its window, counts the strikes in
+// the port's saturating health counters, and leaves other links clean.
+func TestInstallLinkBERWindow(t *testing.T) {
+	s := sim.New()
+	params := fabric.DefaultParams()
+	m := topology.NewMesh(s, params, 2, 2)
+	p := &Plan{LinkBER: []LinkBER{{
+		Link: topology.LinkID{Switch: 0, Port: topology.PortEast},
+		// At 8 kbit per packet this rate makes corruption a near
+		// certainty for every packet in the window.
+		Rate: 1e-3,
+		From: 10 * sim.Microsecond, Until: 100 * sim.Microsecond,
+	}}}
+	if _, err := Install(s, m, params, p); err != nil {
+		t.Fatal(err)
+	}
+	m.HCA(0).PKeyTable.Add(0x8001)
+	m.HCA(1).PKeyTable.Add(0x8001)
+	delivered := 0
+	m.HCA(1).OnDeliver = func(d *fabric.Delivery) { delivered++ }
+	send := func() {
+		m.HCA(0).Send(&fabric.Delivery{
+			Pkt:   mkPkt(topology.LIDOf(0), topology.LIDOf(1)),
+			Class: fabric.ClassBestEffort, VL: fabric.VLBestEffort,
+		})
+	}
+	// One packet before the window, a burst inside it, one after.
+	send()
+	for i := 0; i < 10; i++ {
+		s.ScheduleAt(sim.Time(20+5*i)*sim.Microsecond, send)
+	}
+	s.ScheduleAt(200*sim.Microsecond, send)
+	s.Run()
+
+	struck := m.Switches[0].PortHealth(topology.PortEast)
+	if struck.SymbolErrors == 0 {
+		t.Fatal("no symbol errors recorded on the degraded half")
+	}
+	rejected := m.Switches[1].Counters.Get("vcrc_drops") + m.HCA(1).Counters.Get("vcrc_drops") + m.HCA(1).Counters.Get("icrc_drops")
+	if rejected == 0 {
+		t.Fatal("no CRC rejects downstream of the degraded link")
+	}
+	// The pre- and post-window packets crossed a clean link.
+	if delivered == 0 {
+		t.Fatal("window edges corrupted: nothing delivered")
+	}
+	// Unrelated links stay pristine.
+	if pc := m.Switches[0].PortHealth(topology.PortSouth); pc != (fabric.PortCounters{}) {
+		t.Fatalf("unrelated port accumulated counters: %+v", pc)
+	}
+}

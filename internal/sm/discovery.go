@@ -283,6 +283,31 @@ func (a *SwitchAgent) execute(sw *fabric.Switch, inPort int, d *fabric.Delivery,
 		sw.SetRoute(lid, port)
 		sw.Counters.Inc("smp_routes_set", 1)
 
+	case fr.Method == smpMethodGet && fr.Attr == smpAttrPortCounters:
+		port := int(pl[smpOffData])
+		if port < 0 || port >= sw.NumPorts() {
+			resp[smpOffStatus] = smpStatusBadHop
+			break
+		}
+		encodePortCounters(data, sw.PortHealth(port))
+		sw.Counters.Inc("smp_portcounters", 1)
+
+	case fr.Method == smpMethodSet && fr.Attr == smpAttrPortCounters:
+		// PerfMgr re-arms the switch's threshold trap for one port after
+		// consuming a trap notice (IBA PortCounters writes reset/rearm).
+		if fr.MKey != a.MKey {
+			resp[smpOffStatus] = smpStatusBadMKey
+			sw.Counters.Inc("smp_mkey_violations", 1)
+			break
+		}
+		port := int(pl[smpOffData])
+		if port < 0 || port >= sw.NumPorts() {
+			resp[smpOffStatus] = smpStatusBadHop
+			break
+		}
+		sw.RearmHealthTrap(port)
+		sw.Counters.Inc("smp_trap_rearm", 1)
+
 	case fr.Method == smpMethodGet && fr.Attr == smpAttrAuditState:
 		a.auditState(sw, resp)
 
@@ -368,6 +393,9 @@ func (a *NodeAgent) deliver(d *fabric.Delivery) {
 		data[1] = 1
 		binary.BigEndian.PutUint64(data[2:], a.HCA.GUID())
 		binary.BigEndian.PutUint16(data[10:], uint16(a.HCA.LID()))
+
+	case fr.Method == smpMethodGet && fr.Attr == smpAttrPortCounters:
+		encodePortCounters(data, a.HCA.PortHealth())
 
 	case fr.Method == smpMethodSet && fr.Attr == smpAttrSetLID:
 		if fr.MKey != a.MKey {

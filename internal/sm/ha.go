@@ -83,6 +83,11 @@ type stateSyncMAD struct {
 	// congestion control is off — the encoding then stays byte-identical
 	// to the pre-CC format.
 	CC []byte
+	// Health is the master's encoded quarantine state, carried as a
+	// third optional trailer (magic "IBHQ") so a promoted standby keeps
+	// links the performance manager fenced out of the routes. Empty when
+	// the health plane is off.
+	Health []byte
 }
 
 type syncPartition struct {
@@ -105,6 +110,9 @@ func encodeStateSync(m stateSyncMAD) []byte {
 	}
 	if len(m.CC) > 0 {
 		n += 4 + len(m.CC)
+	}
+	if len(m.Health) > 0 {
+		n += 4 + len(m.Health)
 	}
 	pl := make([]byte, n)
 	pl[0] = haTypeStateSync
@@ -132,6 +140,12 @@ func encodeStateSync(m stateSyncMAD) []byte {
 		binary.BigEndian.PutUint32(pl[off:], uint32(len(m.CC)))
 		off += 4
 		copy(pl[off:], m.CC)
+		off += len(m.CC)
+	}
+	if len(m.Health) > 0 {
+		binary.BigEndian.PutUint32(pl[off:], uint32(len(m.Health)))
+		off += 4
+		copy(pl[off:], m.Health)
 	}
 	return pl
 }
@@ -172,8 +186,9 @@ func parseStateSync(pl []byte) (stateSyncMAD, error) {
 		m.Partitions = append(m.Partitions, p)
 	}
 	// Optional length-prefixed trailers, classified by leading magic:
-	// congestion-control blobs open with "IBCC", anything else is the
-	// marshalled policy document (which opens with its own "IBPL"). The
+	// congestion-control blobs open with "IBCC", quarantine-state blobs
+	// with "IBHQ", anything else is the marshalled policy document
+	// (which opens with its own "IBPL"). The
 	// trailer-free pre-policy encoding parses unchanged; a present-but-
 	// truncated trailer is rejected like any other short field.
 	for off < len(pl) {
@@ -187,9 +202,12 @@ func parseStateSync(pl []byte) (stateSyncMAD, error) {
 		}
 		blob := append([]byte(nil), pl[off:off+bn]...)
 		off += bn
-		if IsCCBlob(blob) {
+		switch {
+		case IsCCBlob(blob):
 			m.CC = blob
-		} else {
+		case IsHealthBlob(blob):
+			m.Health = blob
+		default:
 			m.Policy = blob
 		}
 	}
@@ -567,6 +585,7 @@ func (c *Coordinator) beatFrom(idx int) {
 	sync.DirDigest = digest
 	sync.Policy = master.PolicyBlob
 	sync.CC = master.CCBlob
+	sync.Health = master.HealthBlob
 	hb := encodeHeartbeat(heartbeatMAD{Master: uint16(c.nodes[idx]), Seq: c.hbSeqs[idx], Digest: digest})
 	ss := encodeStateSync(sync)
 	// With SplitBrain on, masters also beat entry 0 — that is how a
@@ -665,6 +684,9 @@ func (c *Coordinator) Dispatch(node int, d *fabric.Delivery) bool {
 			}
 			if len(sync.CC) > 0 {
 				c.sms[i].CCBlob = append([]byte(nil), sync.CC...)
+			}
+			if len(sync.Health) > 0 {
+				c.sms[i].HealthBlob = append([]byte(nil), sync.Health...)
 			}
 			if fnv1a32(sync.Partitions) != sync.DirDigest {
 				c.Counters.Inc("sync_digest_mismatch", 1)

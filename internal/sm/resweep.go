@@ -43,6 +43,14 @@ type Resweeper struct {
 	// OnEvent, when non-nil, receives a HealEvent after every sweep that
 	// changed the graph and completed reconfiguration.
 	OnEvent func(HealEvent)
+	// Quarantined, when non-nil, reports the directed switch-edge halves
+	// (GUID and port, both directions) the performance manager currently
+	// has fenced. The resweeper strips them from every probe result
+	// before diffing and before route programming, so a heal sweep —
+	// whose probes still traverse the physically-up fenced link — can
+	// never re-program routes back over it (the double-programming race
+	// between the health plane's reroute and a concurrent heal).
+	Quarantined func() map[uint64]map[int]bool
 }
 
 // HealEvent reports one completed healing round.
@@ -133,6 +141,9 @@ func (r *Resweeper) tick() {
 	}
 	r.disc.Probe(func(topo *DiscoveredTopology) {
 		r.SweepLatency.Add((r.sim.Now() - start).Microseconds())
+		if r.Quarantined != nil {
+			stripEdges(topo.Edges, r.Quarantined())
+		}
 		lost, gained := diffEdges(r.edges, topo.Edges)
 		if lost == 0 && gained == 0 {
 			r.sweeping = false
@@ -165,6 +176,17 @@ func (r *Resweeper) tick() {
 			}
 		})
 	})
+}
+
+// stripEdges removes the fenced edge halves from a probed edge set —
+// the discovered graph then treats the quarantined link as absent, so
+// both the change diff and any subsequent route programming avoid it.
+func stripEdges(edges map[uint64]map[int]uint64, fenced map[uint64]map[int]bool) {
+	for guid, ports := range fenced {
+		for p := range ports {
+			delete(edges[guid], p)
+		}
+	}
 }
 
 // diffEdges counts directed edges in old-but-not-new (lost) and

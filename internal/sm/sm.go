@@ -102,6 +102,12 @@ type SubnetManager struct {
 	// state-sync MADs so a promoted standby inherits the thresholds and
 	// CCT parameters it must keep programmed.
 	CCBlob []byte
+	// HealthBlob is the encoded quarantine state of the performance
+	// manager running beside this SM (see perfmgr.go for the format).
+	// Non-empty only when the health plane is enabled; the HA
+	// coordinator appends it to state-sync MADs so a promoted standby
+	// keeps degraded links fenced.
+	HealthBlob []byte
 	// ProgramTables, when non-nil, replaces ProgramSwitchTables'
 	// built-in membership-derived programming with compiled-intent
 	// programming — wired by the core layer when the policy plane is

@@ -32,7 +32,7 @@ bench() { go test -run '^$' -benchmem "$@"; }
         -benchtime "${BENCHTIME:-100x}" ./internal/icrc
   bench -bench '^BenchmarkCompile$' \
         -benchtime "${BENCHTIME:-100x}" ./internal/policy
-  bench -bench '^(BenchmarkHotPath|BenchmarkHotPathAuth|BenchmarkCongestionHotPath)$' \
+  bench -bench '^(BenchmarkHotPath|BenchmarkHotPathAuth|BenchmarkCongestionHotPath|BenchmarkHealthSweep)$' \
         -benchtime "${HOTPATH_BENCHTIME:-20x}" .
   bench -bench '^BenchmarkHotPathParallel(Off|2|4|8)$' \
         -benchtime "${HOTPATH_BENCHTIME:-20x}" .

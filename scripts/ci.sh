@@ -78,6 +78,15 @@ echo "== ibsim congestion -quick (FECN/BECN congestion-control smoke under the r
 go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/congestion" congestion -rates 0.5,1.0 >"$tmp/congestion.out"
 diff testdata/golden/congestion_quick.csv "$tmp/congestion/congestion.csv"
 
+echo "== ibsim health -quick (flaky-link quarantine smoke under the race detector)"
+# Per-link BER ramp and adversarial oscillating BER vs the PerfMgr:
+# PortCounters sweeps, EWMA scoring, proactive quarantine, damped
+# re-admission and threshold traps on a race-instrumented binary,
+# byte-for-byte against the committed golden CSV (the same sweep
+# TestGoldenHealth pins serially, in parallel and at 2 shards).
+go run -race ./cmd/ibsim -quick -jobs 2 -results '' -csv "$tmp/health" health -bers 1e-4 >"$tmp/health.out"
+diff testdata/golden/health_quick.csv "$tmp/health/health.csv"
+
 echo "== ibsim sweep -quick -shards 4 (sharded engine smoke under the race detector)"
 # The conservative sharded engine (Ordered mode) on a race-instrumented
 # binary: the same sweep run serially and at 4 shards must produce
@@ -96,6 +105,7 @@ go run ./cmd/ibsim -list | grep -qx failover
 go run ./cmd/ibsim -list | grep -qx drift
 go run ./cmd/ibsim -list | grep -qx splitbrain
 go run ./cmd/ibsim -list | grep -qx congestion
+go run ./cmd/ibsim -list | grep -qx health
 
 echo "== fuzz smoke (wire parsers + shard windows, 5s each)"
 go test -run '^$' -fuzz '^FuzzPacketUnmarshal$' -fuzztime 5s ./internal/packet
